@@ -1,0 +1,75 @@
+"""Table II — dataset summary statistics.
+
+The paper's Table II lists, for each of PEMS03/04/07/08, the number of
+sensors, the number of edges, the number of 5-minute time steps and the
+recording period.  The registry in :mod:`repro.data.datasets` stores exactly
+those numbers, and this benchmark additionally measures the cost of
+generating the scaled synthetic stand-in used throughout the harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import PEMS_SPECS, dataset_summary_table, load_dataset
+
+from conftest import NODE_SCALE, STEP_SCALE, print_table
+
+#: Published values of Table II (name -> (|V|, |E|, time steps, range)).
+PAPER_TABLE2 = {
+    "PEMS03": (358, 547, 26208, "09/2018 - 11/2018"),
+    "PEMS04": (307, 340, 16992, "01/2018 - 02/2018"),
+    "PEMS07": (883, 866, 28224, "05/2017 - 08/2017"),
+    "PEMS08": (170, 295, 17856, "07/2016 - 08/2016"),
+}
+
+
+@pytest.mark.parametrize("dataset_name", sorted(PAPER_TABLE2))
+def test_table2_dataset_summary(benchmark, dataset_name):
+    """Regenerate one row of Table II and time the synthetic-dataset build."""
+    spec = PEMS_SPECS[dataset_name]
+    expected = PAPER_TABLE2[dataset_name]
+    assert (spec.num_nodes, spec.num_edges, spec.num_steps, spec.time_range) == expected
+
+    dataset = benchmark.pedantic(
+        load_dataset,
+        args=(dataset_name,),
+        kwargs={"node_scale": NODE_SCALE, "step_scale": STEP_SCALE, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        {
+            "dataset": spec.name,
+            "|V| (paper)": spec.num_nodes,
+            "|E| (paper)": spec.num_edges,
+            "steps (paper)": spec.num_steps,
+            "|V| (bench)": dataset.num_nodes,
+            "|E| (bench)": dataset.road_network.num_edges,
+            "steps (bench)": dataset.num_steps,
+        }
+    ]
+    print_table(
+        f"Table II — {dataset_name}",
+        rows,
+        ["dataset", "|V| (paper)", "|E| (paper)", "steps (paper)", "|V| (bench)", "|E| (bench)", "steps (bench)"],
+    )
+    # The scaled stand-in must preserve the relative edge density (±50%).
+    paper_density = spec.num_edges / spec.num_nodes
+    bench_density = dataset.road_network.num_edges / dataset.num_nodes
+    assert 0.5 * paper_density < bench_density < 1.8 * paper_density
+
+
+def test_table2_full_summary(benchmark):
+    """Print the complete Table II from the registry."""
+    rows = benchmark(dataset_summary_table)
+    assert len(rows) == 4
+    print_table(
+        "Table II — dataset registry",
+        [
+            {"dataset": name, "|V|": nodes, "|E|": edges, "steps": steps, "range": time_range}
+            for name, nodes, edges, steps, time_range in rows
+        ],
+        ["dataset", "|V|", "|E|", "steps", "range"],
+    )

@@ -1,0 +1,79 @@
+"""Table IV — number of parameters, training and testing time.
+
+The paper's Table IV compares DyHSL (256K parameters) against STGODE (714K)
+and DSTAGNN (3.58M), showing that DyHSL needs the fewest parameters while
+its training / testing time stays comparable.  STGODE and DSTAGNN are not
+among the reproduced baselines (their ODE solver and multi-head attention
+stacks fall outside this library's scope), so the comparison is run against
+the two heaviest reproduced spatio-temporal GNNs — Graph WaveNet and AGCRN —
+which play the same role of parameter-hungry competitors.  The reproduction
+target is the ordering: DyHSL has the smallest parameter count and a
+comparable per-epoch cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import measure_complexity
+from repro.baselines import create_baseline
+from repro.core import DyHSL
+from repro.tensor import seed as seed_everything
+from repro.training import TrainerConfig
+
+from conftest import HIDDEN, SEED, dyhsl_config, print_table, trainer_config
+
+#: Paper Table IV (parameters, training s/epoch, testing s).
+PAPER_TABLE4 = {
+    "STGODE": (714_000, 92.49, 8.5),
+    "DSTAGNN": (3_580_000, 190.5, 15.8),
+    "DyHSL": (256_000, 104.5, 14.2),
+}
+
+#: Reproduced models standing in for the parameter-hungry competitors.
+MODELS = ["GraphWaveNet", "AGCRN", "DyHSL"]
+
+_RESULTS: List[dict] = []
+
+
+def _build(model_name: str, data):
+    seed_everything(SEED)
+    if model_name == "DyHSL":
+        return DyHSL(dyhsl_config(data), data.adjacency)
+    return create_baseline(model_name, data.adjacency, data.num_nodes, hidden_dim=HIDDEN)
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_table4_scalability(benchmark, pems08_data, model_name):
+    """Measure parameters plus one-epoch train / test wall time for one model."""
+    model = _build(model_name, pems08_data)
+    report = benchmark.pedantic(
+        measure_complexity,
+        args=(model_name, model, pems08_data),
+        kwargs={"trainer_config": trainer_config()},
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS.append(
+        {
+            "model": model_name,
+            "parameters": report.num_parameters,
+            "train s/epoch": round(report.train_seconds_per_epoch, 2),
+            "test s": round(report.test_seconds, 2),
+        }
+    )
+    assert report.num_parameters > 0
+
+    if len(_RESULTS) == len(MODELS):
+        print_table(
+            "Table IV — scalability (synthetic substrate; paper compares STGODE / DSTAGNN / DyHSL)",
+            _RESULTS,
+            ["model", "parameters", "train s/epoch", "test s"],
+        )
+        print("Paper reference:", PAPER_TABLE4)
+        by_name = {row["model"]: row for row in _RESULTS}
+        # Shape check: DyHSL uses fewer parameters than both heavy competitors.
+        assert by_name["DyHSL"]["parameters"] < by_name["GraphWaveNet"]["parameters"]
+        assert by_name["DyHSL"]["parameters"] < by_name["AGCRN"]["parameters"]

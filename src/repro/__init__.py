@@ -1,0 +1,31 @@
+"""Reproduction of DyHSL (Dynamic Hypergraph Structure Learning, ICDE 2023).
+
+The package is organised in layered subpackages:
+
+* ``repro.tensor`` / ``repro.nn`` / ``repro.optim`` - NumPy autograd substrate;
+* ``repro.graph`` / ``repro.data`` - graph and traffic-data substrates;
+* ``repro.core`` - the DyHSL model (the paper's contribution);
+* ``repro.baselines`` - comparison models from the paper's Table III;
+* ``repro.training`` / ``repro.analysis`` - training, metrics and the
+  analyses behind the paper's tables and figures.
+"""
+
+from . import analysis, baselines, core, data, graph, nn, optim, tensor, training
+from .core import DyHSL, DyHSLConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "nn",
+    "optim",
+    "graph",
+    "data",
+    "core",
+    "baselines",
+    "training",
+    "analysis",
+    "DyHSL",
+    "DyHSLConfig",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Analysis utilities backing the paper's scalability, sensitivity and case-study sections."""
+
+from .complexity import ComplexityReport, count_parameters, measure_complexity, parameter_breakdown
+from .incidence import IncidenceAnalysis, IncidenceSnapshot, analyze_incidence, render_incidence_matrix
+from .sensitivity import PAPER_SWEEPS, SweepPoint, SweepResult, sensitivity_sweep
+from .visualization import SensorTrace, ascii_sparkline, extract_sensor_traces, render_case_study
+
+__all__ = [
+    "ComplexityReport",
+    "count_parameters",
+    "parameter_breakdown",
+    "measure_complexity",
+    "SweepPoint",
+    "SweepResult",
+    "sensitivity_sweep",
+    "PAPER_SWEEPS",
+    "SensorTrace",
+    "extract_sensor_traces",
+    "ascii_sparkline",
+    "render_case_study",
+    "IncidenceAnalysis",
+    "IncidenceSnapshot",
+    "analyze_incidence",
+    "render_incidence_matrix",
+]

@@ -1,0 +1,112 @@
+"""Model complexity and runtime accounting (paper Table IV).
+
+Table IV compares the number of parameters and the per-epoch training /
+test wall-clock time of DyHSL against two representative baselines.  This
+module measures the same three quantities for any model built on the
+library's substrate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.loaders import ForecastingData
+from ..nn import Module
+from ..tensor import Tensor, no_grad
+from ..training.trainer import Trainer, TrainerConfig
+
+__all__ = ["ComplexityReport", "count_parameters", "measure_complexity", "parameter_breakdown"]
+
+
+@dataclass(frozen=True)
+class ComplexityReport:
+    """One row of the scalability table.
+
+    Attributes
+    ----------
+    name:
+        Model name.
+    num_parameters:
+        Learnable parameter count.
+    train_seconds_per_epoch:
+        Wall-clock seconds of one training epoch.
+    test_seconds:
+        Wall-clock seconds of one full test-set prediction pass.
+    """
+
+    name: str
+    num_parameters: int
+    train_seconds_per_epoch: float
+    test_seconds: float
+
+    def row(self) -> Dict[str, float]:
+        """Flatten into a printable dictionary."""
+        return {
+            "model": self.name,
+            "parameters": self.num_parameters,
+            "train_s_per_epoch": round(self.train_seconds_per_epoch, 2),
+            "test_s": round(self.test_seconds, 2),
+        }
+
+
+def count_parameters(model: Module) -> int:
+    """Number of learnable scalar parameters of a model."""
+    return model.num_parameters()
+
+
+def parameter_breakdown(model: Module) -> Dict[str, int]:
+    """Parameter count per top-level child module (useful for reports)."""
+    breakdown: Dict[str, int] = {}
+    for name, parameter in model.named_parameters():
+        top_level = name.split(".")[0]
+        breakdown[top_level] = breakdown.get(top_level, 0) + parameter.size
+    return breakdown
+
+
+def measure_complexity(
+    name: str,
+    model: Module,
+    data: ForecastingData,
+    trainer_config: Optional[TrainerConfig] = None,
+) -> ComplexityReport:
+    """Measure parameters plus one-epoch training and test-pass times.
+
+    The model is trained for exactly one epoch (regardless of the supplied
+    configuration) because Table IV reports *per-epoch* cost, not converged
+    accuracy.
+    """
+    config = trainer_config or TrainerConfig()
+    config = TrainerConfig(
+        learning_rate=config.learning_rate,
+        weight_decay=config.weight_decay,
+        batch_size=config.batch_size,
+        max_epochs=1,
+        gradient_clip=config.gradient_clip,
+        patience=1,
+        null_value=config.null_value,
+        shuffle=config.shuffle,
+        verbose=False,
+    )
+    trainer = Trainer(model, data, config)
+
+    started = time.perf_counter()
+    trainer._train_epoch(data.train.loader(batch_size=config.batch_size, shuffle=False))
+    train_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    model.eval()
+    with no_grad():
+        for start in range(0, data.test.inputs.shape[0], config.batch_size):
+            model(Tensor(data.test.inputs[start:start + config.batch_size]))
+    test_seconds = time.perf_counter() - started
+
+    return ComplexityReport(
+        name=name,
+        num_parameters=count_parameters(model),
+        train_seconds_per_epoch=train_seconds,
+        test_seconds=test_seconds,
+    )

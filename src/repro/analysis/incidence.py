@@ -1,0 +1,131 @@
+"""Analysis of the learned hypergraph incidence matrix (paper Fig. 7).
+
+Fig. 7 visualises sub-matrices of the learned incidence matrix ``Λ`` at
+three time steps of a PEMS08 window and discusses two observations:
+
+* different nodes attach to different hyperedges (the structure is not
+  degenerate), and
+* a node's closest hyperedge *changes over time*, i.e. the learned
+  structure is genuinely dynamic.
+
+This module extracts the same sub-matrices from a trained DyHSL model and
+computes quantitative summaries of both observations so they can be checked
+without a plotting backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import DyHSL
+from ..tensor import Tensor
+
+__all__ = ["IncidenceSnapshot", "IncidenceAnalysis", "analyze_incidence", "render_incidence_matrix"]
+
+
+@dataclass
+class IncidenceSnapshot:
+    """Incidence sub-matrix of one time step."""
+
+    time_step: int
+    matrix: np.ndarray  # (num_nodes_shown, num_hyperedges)
+
+    def closest_hyperedges(self) -> np.ndarray:
+        """Index of the hyperedge each node is most strongly attached to."""
+        return np.argmax(self.matrix, axis=1)
+
+
+@dataclass
+class IncidenceAnalysis:
+    """Quantitative summary of the learned hypergraph structure."""
+
+    snapshots: List[IncidenceSnapshot]
+    node_hyperedge_entropy: float
+    temporal_shift_fraction: float
+    hyperedge_usage: np.ndarray
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers of the Fig. 7 discussion."""
+        return {
+            "node_hyperedge_entropy": round(self.node_hyperedge_entropy, 4),
+            "temporal_shift_fraction": round(self.temporal_shift_fraction, 4),
+            "active_hyperedges": int((self.hyperedge_usage > 1e-6).sum()),
+        }
+
+
+def analyze_incidence(
+    model: DyHSL,
+    inputs: np.ndarray,
+    time_steps: Sequence[int] = (0, 5, 11),
+    max_nodes: int = 8,
+    window: int = 1,
+) -> IncidenceAnalysis:
+    """Extract and summarise the learned incidence matrices of one window.
+
+    Parameters
+    ----------
+    model:
+        A (trained) DyHSL model with the hypergraph branch enabled.
+    inputs:
+        A single normalised input window of shape ``(1, T, N, F)`` or a
+        batch whose first sample is analysed.
+    time_steps:
+        Time steps whose sub-matrices to extract (the paper shows 1, 6, 12,
+        i.e. indices 0, 5, 11).
+    max_nodes:
+        Number of nodes shown per snapshot (the paper shows a sub-matrix).
+    window:
+        Pooling scale whose hypergraph to inspect (1 keeps per-step
+        resolution).
+    """
+    inputs = np.asarray(inputs, dtype=float)
+    if inputs.ndim != 4:
+        raise ValueError("inputs must have shape (batch, T, N, F)")
+    incidence = model.incidence_matrices(Tensor(inputs[:1]), window=window)  # (1, T/w, N, I)
+    incidence = incidence[0]
+    pooled_steps, num_nodes, num_hyperedges = incidence.shape
+    shown_nodes = min(max_nodes, num_nodes)
+
+    snapshots = []
+    for step in time_steps:
+        pooled_index = min(step // window, pooled_steps - 1)
+        snapshots.append(
+            IncidenceSnapshot(time_step=int(step), matrix=incidence[pooled_index, :shown_nodes].copy())
+        )
+
+    # Diversity of attachments: entropy of the distribution of "closest
+    # hyperedge" assignments over all observations.
+    flattened = incidence.reshape(-1, num_hyperedges)
+    closest = np.argmax(flattened, axis=1)
+    counts = np.bincount(closest, minlength=num_hyperedges).astype(float)
+    probabilities = counts / counts.sum()
+    nonzero = probabilities[probabilities > 0]
+    entropy = float(-(nonzero * np.log(nonzero)).sum())
+
+    # Dynamics: fraction of nodes whose closest hyperedge changes between the
+    # first and last pooled time step.
+    first_assignment = np.argmax(incidence[0], axis=1)
+    last_assignment = np.argmax(incidence[-1], axis=1)
+    shift_fraction = float((first_assignment != last_assignment).mean())
+
+    usage = np.abs(flattened).mean(axis=0)
+    return IncidenceAnalysis(
+        snapshots=snapshots,
+        node_hyperedge_entropy=entropy,
+        temporal_shift_fraction=shift_fraction,
+        hyperedge_usage=usage,
+    )
+
+
+def render_incidence_matrix(snapshot: IncidenceSnapshot, precision: int = 2) -> str:
+    """Render one incidence sub-matrix as an aligned text table."""
+    matrix = snapshot.matrix
+    header = "node \\ edge " + " ".join(f"{edge:>7d}" for edge in range(matrix.shape[1]))
+    lines = [f"time step {snapshot.time_step}", header]
+    for node in range(matrix.shape[0]):
+        row = " ".join(f"{value:7.{precision}f}" for value in matrix[node])
+        lines.append(f"{node:>11d} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Hyperparameter sensitivity sweeps (paper Fig. 5).
+
+Fig. 5 of the paper varies three hyperparameters of DyHSL — the number of
+hidden layers ``Ls`` in the multi-scale module, the number of hyperedges
+``I`` and the hidden dimension ``d`` — one at a time while keeping the
+others at their defaults, and reports MAE / RMSE / MAPE for each value.
+:func:`sensitivity_sweep` reproduces that protocol on the synthetic data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core import DyHSL, DyHSLConfig
+from ..data.loaders import ForecastingData
+from ..training.experiment import run_neural_experiment
+from ..training.metrics import ForecastMetrics
+from ..training.trainer import TrainerConfig
+
+__all__ = ["SweepPoint", "SweepResult", "sensitivity_sweep", "PAPER_SWEEPS"]
+
+#: The hyperparameter grids studied in Fig. 5 of the paper.
+PAPER_SWEEPS: Dict[str, Sequence] = {
+    "mhce_layers": (1, 2, 3, 4),
+    "num_hyperedges": (8, 16, 32, 64),
+    "hidden_dim": (16, 32, 64, 128),
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Result of training one configuration in a sweep."""
+
+    parameter: str
+    value: float
+    metrics: ForecastMetrics
+    num_parameters: int
+
+    def row(self) -> Dict[str, float]:
+        """Flatten into a printable dictionary."""
+        return {
+            "parameter": self.parameter,
+            "value": self.value,
+            "MAE": round(self.metrics.mae, 2),
+            "RMSE": round(self.metrics.rmse, 2),
+            "MAPE": round(self.metrics.mape, 2),
+            "parameters": self.num_parameters,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All points of one hyperparameter sweep."""
+
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def best(self) -> SweepPoint:
+        """Point with the lowest MAE."""
+        if not self.points:
+            raise ValueError("sweep contains no points")
+        return min(self.points, key=lambda point: point.metrics.mae)
+
+    def spread(self) -> float:
+        """Max minus min MAE across the sweep (the paper argues this is small)."""
+        if not self.points:
+            return 0.0
+        maes = [point.metrics.mae for point in self.points]
+        return max(maes) - min(maes)
+
+
+def sensitivity_sweep(
+    parameter: str,
+    values: Iterable,
+    data: ForecastingData,
+    base_config: DyHSLConfig,
+    trainer_config: Optional[TrainerConfig] = None,
+) -> SweepResult:
+    """Train DyHSL once per value of ``parameter`` and collect test metrics.
+
+    Parameters
+    ----------
+    parameter:
+        Name of a :class:`DyHSLConfig` field (e.g. ``"num_hyperedges"``).
+    values:
+        Values to sweep over.
+    data:
+        Preprocessed forecasting data.
+    base_config:
+        Configuration providing every other hyperparameter.
+    trainer_config:
+        Optimisation settings shared across the sweep.
+    """
+    if not hasattr(base_config, parameter):
+        raise AttributeError(f"DyHSLConfig has no field named {parameter!r}")
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        config = base_config.replace(**{parameter: value})
+        model = DyHSL(config, data.adjacency)
+        experiment = run_neural_experiment(f"DyHSL[{parameter}={value}]", model, data, trainer_config)
+        result.points.append(
+            SweepPoint(
+                parameter=parameter,
+                value=float(value),
+                metrics=experiment.metrics,
+                num_parameters=experiment.num_parameters,
+            )
+        )
+    return result

@@ -1,0 +1,49 @@
+"""Baseline forecasting models reproduced from the paper's Table III."""
+
+from .agcrn import AGCRN, AGCRNCell, NodeAdaptiveGraphConv
+from .astgcn import ASTGCN, SpatialAttention, TemporalAttention
+from .base import StatisticalForecaster, build_lag_matrix
+from .dcrnn import DCGRUCell, DCRNN, DiffusionConv
+from .graph_wavenet import AdaptiveGraphConv, GraphWaveNet
+from .hypergraph_models import DHGNNForecaster, HGCRNN, StaticHypergraphConv, neighbourhood_hypergraph
+from .registry import BASELINE_REGISTRY, BaselineSpec, available_baselines, create_baseline
+from .sequence import FCLSTM, GRUEncoderDecoder, TCNForecaster
+from .statistical import ARIMAForecaster, HistoricalAverage, SVRForecaster, VARForecaster
+from .stgcn import ChebGraphConv, STConvBlock, STGCN
+from .stsgcn import STSGCN, SynchronousGraphConv
+
+__all__ = [
+    "ASTGCN",
+    "SpatialAttention",
+    "TemporalAttention",
+    "DHGNNForecaster",
+    "HGCRNN",
+    "StaticHypergraphConv",
+    "neighbourhood_hypergraph",
+    "StatisticalForecaster",
+    "build_lag_matrix",
+    "HistoricalAverage",
+    "ARIMAForecaster",
+    "VARForecaster",
+    "SVRForecaster",
+    "FCLSTM",
+    "TCNForecaster",
+    "GRUEncoderDecoder",
+    "STGCN",
+    "STConvBlock",
+    "ChebGraphConv",
+    "DCRNN",
+    "DCGRUCell",
+    "DiffusionConv",
+    "GraphWaveNet",
+    "AdaptiveGraphConv",
+    "AGCRN",
+    "AGCRNCell",
+    "NodeAdaptiveGraphConv",
+    "STSGCN",
+    "SynchronousGraphConv",
+    "BaselineSpec",
+    "BASELINE_REGISTRY",
+    "available_baselines",
+    "create_baseline",
+]

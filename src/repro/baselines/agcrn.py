@@ -1,0 +1,124 @@
+"""AGCRN baseline (Bai et al., NeurIPS 2020).
+
+Adaptive Graph Convolutional Recurrent Network: a GRU whose gate
+transformations are *node-adaptive* graph convolutions.  The graph is not
+taken from the road network at all — it is inferred from learnable node
+embeddings ``E`` as ``softmax(relu(E Eᵀ))`` — and the convolution weights
+are generated per node from the same embeddings (node-adaptive parameter
+learning), which is the model's signature mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Linear, Module, Parameter
+from ..tensor import Tensor, init, ops
+
+__all__ = ["NodeAdaptiveGraphConv", "AGCRNCell", "AGCRN"]
+
+
+class NodeAdaptiveGraphConv(Module):
+    """Graph convolution with embedding-generated weights and adjacency.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of sensors ``N``.
+    embedding_dim:
+        Node embedding width used both for the adaptive adjacency and for
+        generating per-node weights.
+    in_channels / out_channels:
+        Feature dimensions of the convolution.
+    """
+
+    def __init__(self, num_nodes: int, embedding_dim: int, in_channels: int, out_channels: int) -> None:
+        super().__init__()
+        self.node_embeddings = Parameter(init.normal((num_nodes, embedding_dim), std=0.1), name="node_embeddings")
+        # Weight pool: per-embedding-dimension weights, combined per node.
+        self.weight_pool = Parameter(
+            init.xavier_uniform((embedding_dim, 2 * in_channels, out_channels)), name="weight_pool"
+        )
+        self.bias_pool = Parameter(init.zeros((embedding_dim, out_channels)), name="bias_pool")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    def adaptive_adjacency(self) -> Tensor:
+        """Learned adjacency ``softmax(relu(E Eᵀ))``."""
+        scores = self.node_embeddings.matmul(self.node_embeddings.transpose()).relu()
+        return scores.softmax(axis=-1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the convolution to ``(B, N, C)`` input."""
+        adjacency = self.adaptive_adjacency()
+        propagated = adjacency.matmul(x)  # (B, N, C)
+        combined = ops.concatenate([x, propagated], axis=-1)  # (B, N, 2C)
+        # Node-specific weights: W_i = sum_k E_ik * pool_k  -> (N, 2C, C_out)
+        weights = ops.tensordot_last(
+            self.node_embeddings, self.weight_pool.reshape(self.weight_pool.shape[0], -1)
+        ).reshape(self.node_embeddings.shape[0], 2 * self.in_channels, self.out_channels)
+        biases = self.node_embeddings.matmul(self.bias_pool)  # (N, C_out)
+        # Einsum 'bnc,nco->bno' expressed with broadcasting matmul:
+        output = combined.unsqueeze(-2).matmul(weights).squeeze(-2)
+        return output + biases
+
+
+class AGCRNCell(Module):
+    """GRU cell whose transforms are node-adaptive graph convolutions."""
+
+    def __init__(self, num_nodes: int, embedding_dim: int, input_dim: int, hidden_dim: int) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.gate_conv = NodeAdaptiveGraphConv(num_nodes, embedding_dim, input_dim + hidden_dim, 2 * hidden_dim)
+        self.candidate_conv = NodeAdaptiveGraphConv(num_nodes, embedding_dim, input_dim + hidden_dim, hidden_dim)
+
+    def forward(self, x: Tensor, hidden: Optional[Tensor] = None) -> Tensor:
+        """Update the hidden state for input ``(B, N, F)``."""
+        if hidden is None:
+            hidden = Tensor(np.zeros(x.shape[:-1] + (self.hidden_dim,)))
+        combined = ops.concatenate([x, hidden], axis=-1)
+        gates = self.gate_conv(combined).sigmoid()
+        reset, update = gates[..., : self.hidden_dim], gates[..., self.hidden_dim:]
+        candidate = self.candidate_conv(ops.concatenate([x, reset * hidden], axis=-1)).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+
+class AGCRN(Module):
+    """Adaptive Graph Convolutional Recurrent Network forecaster.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of sensors ``N``.
+    input_dim:
+        Raw feature dimension ``F``.
+    hidden_dim:
+        Recurrent hidden width.
+    embedding_dim:
+        Node embedding width.
+    horizon:
+        Forecast horizon ``T'``.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        input_dim: int = 1,
+        hidden_dim: int = 32,
+        embedding_dim: int = 8,
+        horizon: int = 12,
+    ) -> None:
+        super().__init__()
+        self.cell = AGCRNCell(num_nodes, embedding_dim, input_dim, hidden_dim)
+        self.head = Linear(hidden_dim, horizon)
+        self.horizon = horizon
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forecast from ``(B, T, N, F)`` to ``(B, T', N)``."""
+        steps = x.shape[1]
+        hidden = None
+        for step in range(steps):
+            hidden = self.cell(x[:, step], hidden)
+        return self.head(hidden).swapaxes(-1, -2)

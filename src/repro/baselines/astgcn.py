@@ -1,0 +1,120 @@
+"""ASTGCN(r) baseline (Guo et al., AAAI 2019).
+
+Attention-based Spatial-Temporal Graph Convolutional Network.  The model
+re-weights the spatial graph with a learned *spatial attention* matrix and
+re-weights the time axis with a *temporal attention* matrix before applying
+Chebyshev graph convolution and a temporal convolution.  Following the
+paper's Table III, only the "recent" component is reproduced (the (r)
+variant); the daily/weekly periodic branches require calendar-aligned
+inputs that the 12-step windows do not carry.
+
+The attention mechanism gives the model quadratic cost in both ``N`` and
+``T`` — exactly the cost the paper contrasts with DyHSL's linear complexity
+(Section IV-D), which makes it a useful scalability counterpoint in the
+Table IV style measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.adjacency import chebyshev_polynomials
+from ..nn import Linear, Module, Parameter
+from ..tensor import Tensor, init, ops
+
+__all__ = ["SpatialAttention", "TemporalAttention", "ASTGCN"]
+
+
+class SpatialAttention(Module):
+    """Spatial attention producing an ``(B, N, N)`` re-weighting matrix."""
+
+    def __init__(self, num_nodes: int, in_channels: int, num_steps: int) -> None:
+        super().__init__()
+        self.time_reduce = Parameter(init.xavier_uniform((num_steps, 1)), name="time_reduce")
+        self.feature_first = Parameter(init.xavier_uniform((in_channels, in_channels)), name="feature_first")
+        self.feature_second = Parameter(init.xavier_uniform((in_channels, 1)), name="feature_second")
+        self.bias = Parameter(init.zeros((num_nodes, num_nodes)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute attention from input ``(B, T, N, C)``."""
+        # Collapse time: (B, N, C)
+        batch, steps, nodes, channels = x.shape
+        collapsed = ops.tensordot_last(x.transpose(0, 2, 3, 1), self.time_reduce).squeeze(-1)  # (B, N, C)
+        left = ops.tensordot_last(collapsed, self.feature_first)          # (B, N, C)
+        right = ops.tensordot_last(collapsed, self.feature_second)        # (B, N, 1)
+        scores = left.matmul(collapsed.swapaxes(-1, -2)) + right + self.bias  # (B, N, N)
+        return scores.tanh().softmax(axis=-1)
+
+
+class TemporalAttention(Module):
+    """Temporal attention producing an ``(B, T, T)`` re-weighting matrix."""
+
+    def __init__(self, num_nodes: int, in_channels: int, num_steps: int) -> None:
+        super().__init__()
+        self.node_reduce = Parameter(init.xavier_uniform((num_nodes, 1)), name="node_reduce")
+        self.feature_first = Parameter(init.xavier_uniform((in_channels, in_channels)), name="feature_first")
+        self.feature_second = Parameter(init.xavier_uniform((in_channels, 1)), name="feature_second")
+        self.bias = Parameter(init.zeros((num_steps, num_steps)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute attention from input ``(B, T, N, C)``."""
+        collapsed = ops.tensordot_last(x.transpose(0, 1, 3, 2), self.node_reduce).squeeze(-1)  # (B, T, C)
+        left = ops.tensordot_last(collapsed, self.feature_first)
+        right = ops.tensordot_last(collapsed, self.feature_second)         # (B, T, 1)
+        scores = left.matmul(collapsed.swapaxes(-1, -2)) + right + self.bias
+        return scores.tanh().softmax(axis=-1)
+
+
+class ASTGCN(Module):
+    """Compact ASTGCN(r) forecaster.
+
+    Parameters
+    ----------
+    adjacency:
+        Road-network adjacency ``(N, N)``.
+    num_nodes:
+        Number of sensors ``N``.
+    input_dim / hidden_dim / horizon / input_length:
+        Usual model dimensions.
+    cheb_order:
+        Order of the Chebyshev graph convolution.
+    """
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        num_nodes: int,
+        input_dim: int = 1,
+        hidden_dim: int = 32,
+        horizon: int = 12,
+        input_length: int = 12,
+        cheb_order: int = 2,
+    ) -> None:
+        super().__init__()
+        self.spatial_attention = SpatialAttention(num_nodes, input_dim, input_length)
+        self.temporal_attention = TemporalAttention(num_nodes, input_dim, input_length)
+        polynomials = chebyshev_polynomials(adjacency, cheb_order)
+        self._polynomials = [Tensor(p) for p in polynomials]
+        self.cheb_weight = Parameter(
+            init.xavier_uniform((len(polynomials) * input_dim, hidden_dim)), name="cheb_weight"
+        )
+        self.head = Linear(input_length * hidden_dim, horizon)
+        self.horizon = horizon
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forecast from ``(B, T, N, F)`` to ``(B, T', N)``."""
+        batch, steps, nodes, channels = x.shape
+        # Temporal attention re-weights the time axis.
+        temporal = self.temporal_attention(x)                      # (B, T, T)
+        flattened = x.reshape(batch, steps, nodes * channels)
+        reweighted = temporal.matmul(flattened).reshape(batch, steps, nodes, channels)
+        # Spatial attention modulates the Chebyshev supports.
+        spatial = self.spatial_attention(reweighted)               # (B, N, N)
+        supports = []
+        for polynomial in self._polynomials:
+            modulated = polynomial.unsqueeze(0) * spatial          # (B, N, N)
+            supports.append(modulated.unsqueeze(1).matmul(reweighted))  # (B, T, N, C)
+        stacked = ops.concatenate(supports, axis=-1)
+        convolved = ops.tensordot_last(stacked, self.cheb_weight).relu()  # (B, T, N, H)
+        merged = convolved.transpose(0, 2, 1, 3).reshape(batch, nodes, -1)
+        return self.head(merged).swapaxes(-1, -2)

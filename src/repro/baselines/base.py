@@ -1,0 +1,117 @@
+"""Shared interfaces and helpers for the baseline models.
+
+Two families of baselines are reproduced, matching Table III of the paper:
+
+* **statistical baselines** (HA, ARIMA, VAR, SVR) subclass
+  :class:`StatisticalForecaster` and operate directly on raw flow values:
+  ``fit(signal)`` sees the chronological training portion as a ``(T, N)``
+  array, ``forecast(windows)`` maps raw input windows ``(samples, T, N)`` to
+  predictions ``(samples, T', N)``;
+* **neural baselines** are ordinary :class:`repro.nn.Module` subclasses with
+  the same input/output convention as DyHSL (normalised ``(B, T, N, F)`` in,
+  normalised ``(B, T', N)`` out) so they can reuse the same
+  :class:`repro.training.Trainer`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StatisticalForecaster", "build_lag_matrix"]
+
+
+class StatisticalForecaster:
+    """Base class for the classical (non-neural) baselines.
+
+    Parameters
+    ----------
+    horizon:
+        Number of future steps ``T'`` to predict.
+    """
+
+    def __init__(self, horizon: int = 12) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon = horizon
+        self._fitted = False
+
+    def fit(self, signal: np.ndarray) -> "StatisticalForecaster":
+        """Fit the model on the training portion of the raw signal ``(T, N)``."""
+        signal = self._validate_signal(signal)
+        self._fit(signal)
+        self._fitted = True
+        return self
+
+    def forecast(self, windows: np.ndarray) -> np.ndarray:
+        """Forecast ``horizon`` steps for every raw input window.
+
+        Parameters
+        ----------
+        windows:
+            Array of shape ``(samples, input_length, N)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Predictions of shape ``(samples, horizon, N)``.
+        """
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before forecasting")
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 3:
+            raise ValueError(f"windows must have shape (samples, T, N); got {windows.shape}")
+        return self._forecast(windows)
+
+    # Subclass hooks -----------------------------------------------------
+    def _fit(self, signal: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _forecast(self, windows: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # Helpers ------------------------------------------------------------
+    @staticmethod
+    def _validate_signal(signal: np.ndarray) -> np.ndarray:
+        signal = np.asarray(signal, dtype=float)
+        if signal.ndim != 2:
+            raise ValueError(f"signal must have shape (T, N); got {signal.shape}")
+        if signal.shape[0] < 2:
+            raise ValueError("signal must contain at least two time steps")
+        return signal
+
+
+def build_lag_matrix(signal: np.ndarray, order: int) -> tuple:
+    """Build a lagged design matrix for autoregressive fitting.
+
+    Parameters
+    ----------
+    signal:
+        Array of shape ``(T,)`` (single series) or ``(T, N)``.
+    order:
+        Number of lags ``p``.
+
+    Returns
+    -------
+    design:
+        Array of shape ``(T - p, p)`` or ``(T - p, p * N)`` with lag ``1``
+        first (most recent observation leftmost).
+    target:
+        Array of shape ``(T - p,)`` or ``(T - p, N)``.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if order <= 0:
+        raise ValueError("order must be positive")
+    if signal.shape[0] <= order:
+        raise ValueError(f"signal of length {signal.shape[0]} too short for order {order}")
+    steps = signal.shape[0]
+    rows = []
+    for lag in range(1, order + 1):
+        rows.append(signal[order - lag:steps - lag])
+    if signal.ndim == 1:
+        design = np.stack(rows, axis=1)
+    else:
+        design = np.concatenate(rows, axis=1)
+    target = signal[order:]
+    return design, target

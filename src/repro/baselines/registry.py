@@ -1,0 +1,139 @@
+"""Baseline registry.
+
+Maps the model names used in the paper's Table III to factory functions so
+the benchmark harness (and the examples) can instantiate every baseline with
+one call.  Each entry records the *family* the paper groups it under:
+``statistical``, ``sequence`` (no spatial graph) or ``graph``
+(spatio-temporal GNN), plus the proposed model itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core import DyHSL, DyHSLConfig
+from .agcrn import AGCRN
+from .astgcn import ASTGCN
+from .dcrnn import DCRNN
+from .graph_wavenet import GraphWaveNet
+from .hypergraph_models import DHGNNForecaster, HGCRNN
+from .sequence import FCLSTM, GRUEncoderDecoder, TCNForecaster
+from .statistical import ARIMAForecaster, HistoricalAverage, SVRForecaster, VARForecaster
+from .stgcn import STGCN
+from .stsgcn import STSGCN
+
+__all__ = ["BaselineSpec", "BASELINE_REGISTRY", "available_baselines", "create_baseline"]
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """Metadata and factory for one model.
+
+    Attributes
+    ----------
+    name:
+        Name as used in the paper's tables.
+    family:
+        ``statistical``, ``sequence``, ``graph`` or ``proposed``.
+    neural:
+        Whether the model is trained with the gradient-based
+        :class:`repro.training.Trainer` (otherwise it implements the
+        statistical ``fit``/``forecast`` interface).
+    factory:
+        Callable ``(adjacency, num_nodes, horizon, input_length, hidden) -> model``.
+    """
+
+    name: str
+    family: str
+    neural: bool
+    factory: Callable
+
+
+def _make_registry() -> Dict[str, BaselineSpec]:
+    registry: Dict[str, BaselineSpec] = {}
+
+    def register(name: str, family: str, neural: bool, factory: Callable) -> None:
+        registry[name] = BaselineSpec(name=name, family=family, neural=neural, factory=factory)
+
+    # Statistical models -------------------------------------------------
+    register("HA", "statistical", False, lambda adjacency, num_nodes, horizon, input_length, hidden: HistoricalAverage(horizon=horizon))
+    register("ARIMA", "statistical", False, lambda adjacency, num_nodes, horizon, input_length, hidden: ARIMAForecaster(horizon=horizon))
+    register("VAR", "statistical", False, lambda adjacency, num_nodes, horizon, input_length, hidden: VARForecaster(horizon=horizon))
+    register("SVR", "statistical", False, lambda adjacency, num_nodes, horizon, input_length, hidden: SVRForecaster(horizon=horizon, order=input_length))
+
+    # Sequence models (no spatial graph) ---------------------------------
+    register("FC-LSTM", "sequence", True, lambda adjacency, num_nodes, horizon, input_length, hidden: FCLSTM(hidden_dim=hidden, horizon=horizon))
+    register("TCN", "sequence", True, lambda adjacency, num_nodes, horizon, input_length, hidden: TCNForecaster(channels=hidden, horizon=horizon))
+    register("GRU-ED", "sequence", True, lambda adjacency, num_nodes, horizon, input_length, hidden: GRUEncoderDecoder(hidden_dim=hidden, horizon=horizon))
+
+    # Spatio-temporal graph models ---------------------------------------
+    register("STGCN", "graph", True, lambda adjacency, num_nodes, horizon, input_length, hidden: STGCN(adjacency, hidden_channels=hidden, horizon=horizon, input_length=input_length))
+    register("DCRNN", "graph", True, lambda adjacency, num_nodes, horizon, input_length, hidden: DCRNN(adjacency, hidden_dim=hidden, horizon=horizon))
+    register("GraphWaveNet", "graph", True, lambda adjacency, num_nodes, horizon, input_length, hidden: GraphWaveNet(adjacency, num_nodes, channels=hidden, horizon=horizon))
+    register("AGCRN", "graph", True, lambda adjacency, num_nodes, horizon, input_length, hidden: AGCRN(num_nodes, hidden_dim=hidden, horizon=horizon))
+    register("STSGCN", "graph", True, lambda adjacency, num_nodes, horizon, input_length, hidden: STSGCN(adjacency, num_nodes, hidden_dim=hidden, horizon=horizon))
+    register("ASTGCN", "graph", True, lambda adjacency, num_nodes, horizon, input_length, hidden: ASTGCN(adjacency, num_nodes, hidden_dim=hidden, horizon=horizon, input_length=input_length))
+    register("DHGNN", "graph", True, lambda adjacency, num_nodes, horizon, input_length, hidden: DHGNNForecaster(adjacency, hidden_dim=hidden, horizon=horizon))
+    register("HGC-RNN", "graph", True, lambda adjacency, num_nodes, horizon, input_length, hidden: HGCRNN(adjacency, hidden_dim=hidden, horizon=horizon))
+
+    # Proposed model ------------------------------------------------------
+    def dyhsl_factory(adjacency, num_nodes, horizon, input_length, hidden):
+        config = DyHSLConfig(
+            num_nodes=num_nodes,
+            input_length=input_length,
+            output_length=horizon,
+            hidden_dim=hidden,
+            prior_layers=2,
+            num_hyperedges=min(32, max(8, hidden // 2)),
+            window_sizes=tuple(size for size in (1, 2, 3, 4, 6, 12) if input_length % size == 0),
+            mhce_layers=2,
+        )
+        return DyHSL(config, adjacency)
+
+    register("DyHSL", "proposed", True, dyhsl_factory)
+    return registry
+
+
+#: Name -> specification of every reproducible model.
+BASELINE_REGISTRY: Dict[str, BaselineSpec] = _make_registry()
+
+
+def available_baselines(family: Optional[str] = None) -> List[str]:
+    """List registered model names, optionally filtered by family."""
+    names = [
+        name for name, spec in BASELINE_REGISTRY.items() if family is None or spec.family == family
+    ]
+    return names
+
+
+def create_baseline(
+    name: str,
+    adjacency: np.ndarray,
+    num_nodes: int,
+    horizon: int = 12,
+    input_length: int = 12,
+    hidden_dim: int = 32,
+):
+    """Instantiate a registered model by name.
+
+    Parameters
+    ----------
+    name:
+        Registered model name (see :func:`available_baselines`).
+    adjacency:
+        Road-network adjacency ``(N, N)``; ignored by models that do not use
+        the spatial graph.
+    num_nodes:
+        Number of sensors ``N``.
+    horizon / input_length:
+        Forecasting horizon ``T'`` and observation window ``T``.
+    hidden_dim:
+        Hidden width used by the neural models.
+    """
+    if name not in BASELINE_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(BASELINE_REGISTRY)}")
+    spec = BASELINE_REGISTRY[name]
+    return spec.factory(np.asarray(adjacency, dtype=float), num_nodes, horizon, input_length, hidden_dim)

@@ -1,0 +1,152 @@
+"""Sequence-only neural baselines: FC-LSTM, TCN and GRU-ED.
+
+These models ignore the road network entirely and treat every sensor as an
+independent univariate series with weights shared across sensors — the
+"neural network methods without the spatial graph" block of Table III.
+All three follow the library-wide convention: normalised input
+``(batch, T, N, F)``, normalised output ``(batch, T', N)``.
+"""
+
+from __future__ import annotations
+
+from ..nn import GRU, LSTM, CausalConv1d, Dropout, Linear, Module, ModuleList
+from ..tensor import Tensor, ops
+
+__all__ = ["FCLSTM", "TCNForecaster", "GRUEncoderDecoder"]
+
+
+def _merge_nodes(x: Tensor) -> Tensor:
+    """Reshape ``(B, T, N, F)`` to ``(B * N, T, F)`` for shared-weight models."""
+    batch, steps, nodes, features = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(batch * nodes, steps, features)
+
+
+def _split_nodes(x: Tensor, batch: int, nodes: int) -> Tensor:
+    """Reshape ``(B * N, T')`` back to ``(B, T', N)``."""
+    horizon = x.shape[-1]
+    return x.reshape(batch, nodes, horizon).transpose(0, 2, 1)
+
+
+class FCLSTM(Module):
+    """LSTM with fully-connected output head (FC-LSTM, Sutskever et al.).
+
+    Parameters
+    ----------
+    input_dim:
+        Raw feature dimension ``F``.
+    hidden_dim:
+        LSTM hidden width.
+    horizon:
+        Forecast horizon ``T'``.
+    num_layers:
+        Number of stacked LSTM layers.
+    """
+
+    def __init__(self, input_dim: int = 1, hidden_dim: int = 64, horizon: int = 12, num_layers: int = 2) -> None:
+        super().__init__()
+        self.lstm = LSTM(input_dim, hidden_dim, num_layers=num_layers)
+        self.head = Linear(hidden_dim, horizon)
+        self.horizon = horizon
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, _, nodes, _ = x.shape
+        merged = _merge_nodes(x)
+        sequence, _ = self.lstm(merged)
+        last_hidden = sequence[:, -1, :]
+        return _split_nodes(self.head(last_hidden), batch, nodes)
+
+
+class TCNForecaster(Module):
+    """Temporal Convolution Network (Bai et al., 2018).
+
+    A stack of dilated causal convolutions with exponentially growing
+    dilation and residual connections, applied per sensor with shared
+    weights, followed by a fully connected forecasting head.
+
+    Parameters
+    ----------
+    input_dim:
+        Raw feature dimension ``F``.
+    channels:
+        Hidden channel width of every convolution layer.
+    kernel_size:
+        Convolution kernel length.
+    num_layers:
+        Number of dilated layers (dilation ``2**layer``).
+    horizon:
+        Forecast horizon ``T'``.
+    """
+
+    def __init__(
+        self,
+        input_dim: int = 1,
+        channels: int = 32,
+        kernel_size: int = 3,
+        num_layers: int = 3,
+        horizon: int = 12,
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        layers = []
+        in_channels = input_dim
+        for layer in range(num_layers):
+            layers.append(
+                CausalConv1d(in_channels, channels, kernel_size=kernel_size, dilation=2 ** layer)
+            )
+            in_channels = channels
+        self.convolutions = ModuleList(layers)
+        self.dropout = Dropout(dropout)
+        self.head = Linear(channels, horizon)
+        self.horizon = horizon
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, _, nodes, _ = x.shape
+        merged = _merge_nodes(x).swapaxes(-1, -2)  # (B*N, F, T)
+        hidden = merged
+        for index, convolution in enumerate(self.convolutions):
+            output = convolution(hidden).relu()
+            output = self.dropout(output)
+            # Residual connection once the channel counts match.
+            hidden = output + hidden if index > 0 else output
+        last_step = hidden[:, :, -1]
+        return _split_nodes(self.head(last_step), batch, nodes)
+
+
+class GRUEncoderDecoder(Module):
+    """GRU encoder-decoder for multi-step forecasting (GRU-ED).
+
+    The encoder consumes the input window; the decoder is unrolled for
+    ``T'`` steps, feeding its previous prediction back as input.
+
+    Parameters
+    ----------
+    input_dim:
+        Raw feature dimension ``F``.
+    hidden_dim:
+        GRU hidden width.
+    horizon:
+        Forecast horizon ``T'``.
+    """
+
+    def __init__(self, input_dim: int = 1, hidden_dim: int = 64, horizon: int = 12) -> None:
+        super().__init__()
+        from ..nn import GRUCell
+
+        self.encoder = GRU(input_dim, hidden_dim)
+        self.decoder_cell = GRUCell(1, hidden_dim)
+        self.projection = Linear(hidden_dim, 1)
+        self.horizon = horizon
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, _, nodes, _ = x.shape
+        merged = _merge_nodes(x)
+        _, states = self.encoder(merged)
+        hidden = states[-1]
+        decoder_input = merged[:, -1, 0:1]  # last observed flow value
+        outputs = []
+        for _ in range(self.horizon):
+            hidden = self.decoder_cell(decoder_input, hidden)
+            decoder_input = self.projection(hidden)
+            outputs.append(decoder_input[:, 0])
+        stacked = ops.stack(outputs, axis=-1)  # (B*N, T')
+        return _split_nodes(stacked, batch, nodes)

@@ -1,0 +1,126 @@
+"""STGCN baseline (Yu, Yin & Zhu, IJCAI 2018).
+
+Spatio-Temporal Graph Convolutional Network: two ST-Conv blocks, each a
+"sandwich" of a gated temporal convolution, a Chebyshev spectral graph
+convolution and another gated temporal convolution, followed by an output
+layer that maps the remaining temporal dimension to the forecast horizon.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph.adjacency import chebyshev_polynomials
+from ..nn import Dropout, LayerNorm, Linear, Module, ModuleList, Parameter, TemporalConv
+from ..tensor import Tensor, init, ops
+
+__all__ = ["ChebGraphConv", "STConvBlock", "STGCN"]
+
+
+class ChebGraphConv(Module):
+    """Chebyshev polynomial spectral graph convolution.
+
+    Applies ``sum_k T_k(L̃) X W_k`` where ``T_k`` are Chebyshev polynomials
+    of the scaled Laplacian — the spatial operator of STGCN.
+    """
+
+    def __init__(self, adjacency: np.ndarray, in_channels: int, out_channels: int, order: int = 2) -> None:
+        super().__init__()
+        self.order = order
+        polynomials = chebyshev_polynomials(adjacency, order)
+        self._polynomials = [Tensor(p) for p in polynomials]
+        self.weight = Parameter(
+            init.xavier_uniform((len(polynomials) * in_channels, out_channels)), name="cheb_weight"
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="cheb_bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the graph convolution to ``(..., N, C)`` input."""
+        supports = [polynomial.matmul(x) for polynomial in self._polynomials]
+        stacked = ops.concatenate(supports, axis=-1)
+        return ops.tensordot_last(stacked, self.weight) + self.bias
+
+
+class STConvBlock(Module):
+    """One temporal-spatial-temporal "sandwich" block of STGCN."""
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        in_channels: int,
+        spatial_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        cheb_order: int = 2,
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        self.temporal_first = TemporalConv(in_channels, out_channels, kernel_size)
+        self.graph_conv = ChebGraphConv(adjacency, out_channels, spatial_channels, cheb_order)
+        self.temporal_second = TemporalConv(spatial_channels, out_channels, kernel_size)
+        self.norm = LayerNorm(out_channels)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Process ``(B, T, N, C)`` and return ``(B, T - 2*(k-1), N, C_out)``."""
+        batch, steps, nodes, channels = x.shape
+        # Temporal convolution operates on (B*N, C, T).
+        as_series = x.transpose(0, 2, 3, 1).reshape(batch * nodes, channels, steps)
+        out = self.temporal_first(as_series)
+        steps_after = out.shape[-1]
+        out = out.reshape(batch, nodes, -1, steps_after).transpose(0, 3, 1, 2)  # (B, T', N, C)
+        out = self.graph_conv(out).relu()
+        batch2, steps2, nodes2, channels2 = out.shape
+        as_series = out.transpose(0, 2, 3, 1).reshape(batch2 * nodes2, channels2, steps2)
+        out = self.temporal_second(as_series)
+        final_steps = out.shape[-1]
+        out = out.reshape(batch, nodes, -1, final_steps).transpose(0, 3, 1, 2)
+        return self.dropout(self.norm(out))
+
+
+class STGCN(Module):
+    """Full STGCN forecaster.
+
+    Parameters
+    ----------
+    adjacency:
+        Road-network adjacency ``(N, N)``.
+    input_dim:
+        Raw feature dimension ``F``.
+    hidden_channels:
+        Channel width of the ST-Conv blocks.
+    horizon:
+        Forecast horizon ``T'``.
+    input_length:
+        Observation window ``T`` (needed to size the output layer).
+    """
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        input_dim: int = 1,
+        hidden_channels: int = 32,
+        spatial_channels: int = 16,
+        horizon: int = 12,
+        input_length: int = 12,
+        kernel_size: int = 3,
+    ) -> None:
+        super().__init__()
+        self.block_first = STConvBlock(adjacency, input_dim, spatial_channels, hidden_channels, kernel_size)
+        self.block_second = STConvBlock(adjacency, hidden_channels, spatial_channels, hidden_channels, kernel_size)
+        remaining = input_length - 4 * (kernel_size - 1)
+        if remaining <= 0:
+            raise ValueError(
+                f"input_length={input_length} too short for two ST-Conv blocks with kernel_size={kernel_size}"
+            )
+        self.head = Linear(remaining * hidden_channels, horizon)
+        self.horizon = horizon
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.block_first(x)
+        out = self.block_second(out)
+        batch, steps, nodes, channels = out.shape
+        flattened = out.transpose(0, 2, 1, 3).reshape(batch, nodes, steps * channels)
+        return self.head(flattened).swapaxes(-1, -2)

@@ -1,0 +1,106 @@
+"""STSGCN baseline (Song et al., AAAI 2020).
+
+Spatial-Temporal Synchronous Graph Convolutional Network.  The key idea is a
+*localised spatio-temporal graph*: three consecutive time steps are stitched
+into one ``3N``-node graph (spatial edges inside each step, temporal edges
+connecting the same sensor across adjacent steps), and an ordinary graph
+convolution over this localised graph captures spatial and short-range
+temporal dependencies *synchronously*.  Sliding the 3-step window over the
+input sequence and aggregating with max pooling yields the sequence
+representation, which a per-horizon head turns into forecasts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph.adjacency import random_walk_normalize
+from ..graph.temporal_graph import build_temporal_adjacency
+from ..nn import Dropout, Linear, Module, ModuleList
+from ..tensor import Tensor, ops
+
+__all__ = ["SynchronousGraphConv", "STSGCN"]
+
+
+class SynchronousGraphConv(Module):
+    """Graph convolution over the localised 3-step spatio-temporal graph."""
+
+    def __init__(self, adjacency: np.ndarray, in_channels: int, out_channels: int, window: int = 3) -> None:
+        super().__init__()
+        self.window = window
+        localized = build_temporal_adjacency(adjacency, window)
+        self._support = Tensor(random_walk_normalize(localized, add_loops=False))
+        self.linear = Linear(in_channels, out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Convolve ``(B, window*N, C)`` over the localised graph."""
+        propagated = self._support.matmul(x)
+        return self.linear(propagated).relu()
+
+
+class STSGCN(Module):
+    """Compact STSGCN forecaster.
+
+    Parameters
+    ----------
+    adjacency:
+        Road-network adjacency ``(N, N)``.
+    num_nodes:
+        Number of sensors ``N``.
+    input_dim:
+        Raw feature dimension ``F``.
+    hidden_dim:
+        Channel width of the synchronous graph convolutions.
+    num_layers:
+        Number of stacked synchronous convolutions inside each local window.
+    horizon:
+        Forecast horizon ``T'``.
+    """
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        num_nodes: int,
+        input_dim: int = 1,
+        hidden_dim: int = 32,
+        num_layers: int = 2,
+        horizon: int = 12,
+        window: int = 3,
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.window = window
+        self.input_projection = Linear(input_dim, hidden_dim)
+        layers: List[Module] = []
+        for _ in range(num_layers):
+            layers.append(SynchronousGraphConv(adjacency, hidden_dim, hidden_dim, window))
+        self.layers = ModuleList(layers)
+        self.dropout = Dropout(dropout)
+        self.head = Linear(hidden_dim, horizon)
+        self.horizon = horizon
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forecast from ``(B, T, N, F)`` to ``(B, T', N)``."""
+        batch, steps, nodes, _ = x.shape
+        if steps < self.window:
+            raise ValueError(f"input length {steps} shorter than the local window {self.window}")
+        hidden = self.input_projection(x)  # (B, T, N, C)
+        window_outputs: List[Tensor] = []
+        for start in range(steps - self.window + 1):
+            # Stitch `window` steps into one localised graph (time-major order).
+            local = hidden[:, start:start + self.window]  # (B, w, N, C)
+            local = local.reshape(batch, self.window * nodes, hidden.shape[-1])
+            for layer in self.layers:
+                local = layer(local)
+                local = self.dropout(local)
+            # Keep the representation of the centre time step.
+            centre = self.window // 2
+            local = local.reshape(batch, self.window, nodes, -1)[:, centre]
+            window_outputs.append(local)
+        # Max pooling over the sliding windows gives the sequence embedding.
+        stacked = ops.stack(window_outputs, axis=1)  # (B, T - w + 1, N, C)
+        pooled = stacked.max(axis=1)
+        return self.head(pooled).swapaxes(-1, -2)

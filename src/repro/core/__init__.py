@@ -1,0 +1,36 @@
+"""DyHSL core: the paper's primary contribution.
+
+Modules
+-------
+* :class:`DyHSLConfig` — hyperparameters and ablation switches;
+* :class:`SpatioTemporalEmbedding` — initial observation features;
+* :class:`PriorGraphEncoder` — temporal-graph convolution (Eq. 4–5);
+* :class:`DynamicHypergraphBlock` — DHSL block (Eq. 6–8);
+* :class:`InteractiveGraphConvolution` — IGC block (Eq. 9–12);
+* :class:`MultiScaleExtractor` — MHCE module (Eq. 13–14);
+* :class:`DyHSL` — the assembled forecasting model.
+"""
+
+from .config import STRUCTURE_LEARNING_MODES, DyHSLConfig
+from .dhsl import DynamicHypergraphBlock, HypergraphConvolution, LowRankIncidence
+from .embeddings import SpatioTemporalEmbedding
+from .igc import InteractiveGraphConvolution
+from .mhce import MultiScaleExtractor, ScaleFusion, temporal_max_pool
+from .model import DyHSL
+from .prior_graph import PriorGraphEncoder, TemporalGraphConvolution
+
+__all__ = [
+    "DyHSLConfig",
+    "STRUCTURE_LEARNING_MODES",
+    "SpatioTemporalEmbedding",
+    "PriorGraphEncoder",
+    "TemporalGraphConvolution",
+    "LowRankIncidence",
+    "HypergraphConvolution",
+    "DynamicHypergraphBlock",
+    "InteractiveGraphConvolution",
+    "MultiScaleExtractor",
+    "ScaleFusion",
+    "temporal_max_pool",
+    "DyHSL",
+]

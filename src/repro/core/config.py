@@ -1,0 +1,121 @@
+"""DyHSL hyperparameter configuration.
+
+The defaults follow Section V-A4 of the paper: ``Lp = 6`` prior graph
+convolution layers, ``I = 32`` hyperedges, ``J = 6`` pooling window sizes
+``ε ∈ {1, 2, 3, 4, 6, 12}``, ``Ls = 2`` layers in the multi-scale module and
+``d = 64`` hidden dimensions, with 12-step inputs and outputs.
+
+The configuration also exposes the ablation switches studied in
+Tables V–VII:
+
+* ``structure_learning`` — ``"low_rank"`` is the proposed DHSL; ``"static"``
+  corresponds to the *NSL* row (no structure learning: a fixed, non-learned
+  incidence matrix); ``"from_scratch"`` to the *FS* row (a dense learnable
+  adjacency); ``"none"`` removes the hypergraph branch entirely.
+* ``use_igc`` — disables the interactive graph convolution block
+  (Table VI, "w/o" row).
+* ``window_sizes`` — controls the number of scales ``J`` (Table VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+__all__ = ["DyHSLConfig", "STRUCTURE_LEARNING_MODES"]
+
+#: Valid values of :attr:`DyHSLConfig.structure_learning`.
+STRUCTURE_LEARNING_MODES: Tuple[str, ...] = ("low_rank", "static", "from_scratch", "none")
+
+
+@dataclass
+class DyHSLConfig:
+    """Complete hyperparameter set of the DyHSL model.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of sensors ``N`` in the road network.
+    input_length / output_length:
+        Historical window ``T`` and forecasting horizon ``T'``.
+    input_dim:
+        Number of raw features per observation (flow only = 1).
+    hidden_dim:
+        Hidden feature width ``d``.
+    prior_layers:
+        Number of prior graph convolution layers ``Lp``.
+    num_hyperedges:
+        Number of hyperedges ``I`` of the learned temporal hypergraph.
+    hypergraph_layers:
+        Hypergraph convolution layers ``L_H`` inside one DHSL block call.
+    mhce_layers:
+        Iterations ``Ls`` of the multi-scale holistic correlation extraction.
+    window_sizes:
+        Temporal pooling window sizes ``ε_1 … ε_J``; every value must divide
+        ``input_length``.
+    dropout:
+        Dropout probability applied inside the blocks.
+    structure_learning:
+        Hypergraph structure learning mode (see module docstring).
+    use_igc:
+        Include the interactive graph convolution block.
+    use_prior_graph:
+        Include the prior graph encoder (set to ``False`` only for ablation
+        experiments).
+    """
+
+    num_nodes: int
+    input_length: int = 12
+    output_length: int = 12
+    input_dim: int = 1
+    hidden_dim: int = 64
+    prior_layers: int = 6
+    num_hyperedges: int = 32
+    hypergraph_layers: int = 1
+    mhce_layers: int = 2
+    window_sizes: Sequence[int] = (1, 2, 3, 4, 6, 12)
+    dropout: float = 0.1
+    structure_learning: str = "low_rank"
+    use_igc: bool = True
+    use_prior_graph: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.input_length <= 0 or self.output_length <= 0:
+            raise ValueError("input_length and output_length must be positive")
+        if self.hidden_dim <= 0 or self.input_dim <= 0:
+            raise ValueError("hidden_dim and input_dim must be positive")
+        if self.prior_layers < 0 or self.mhce_layers <= 0 or self.hypergraph_layers <= 0:
+            raise ValueError("layer counts must be positive (prior_layers may be zero)")
+        if self.num_hyperedges <= 0:
+            raise ValueError("num_hyperedges must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.structure_learning not in STRUCTURE_LEARNING_MODES:
+            raise ValueError(
+                f"structure_learning must be one of {STRUCTURE_LEARNING_MODES}; got {self.structure_learning!r}"
+            )
+        self.window_sizes = tuple(int(size) for size in self.window_sizes)
+        if not self.window_sizes:
+            raise ValueError("at least one window size is required")
+        for size in self.window_sizes:
+            if size <= 0 or self.input_length % size != 0:
+                raise ValueError(
+                    f"every window size must divide input_length={self.input_length}; got {size}"
+                )
+        if self.structure_learning == "none" and not self.use_igc:
+            raise ValueError("at least one of the DHSL and IGC branches must be enabled")
+
+    @property
+    def num_scales(self) -> int:
+        """Number of pooling scales ``J``."""
+        return len(self.window_sizes)
+
+    def replace(self, **overrides) -> "DyHSLConfig":
+        """Return a copy of the configuration with selected fields replaced."""
+        from dataclasses import asdict
+
+        params = asdict(self)
+        params.update(overrides)
+        return DyHSLConfig(**params)

@@ -1,0 +1,202 @@
+"""Dynamic Hypergraph Structure Learning block (Section IV-B, Eq. 6–8).
+
+The DHSL block is the paper's central contribution.  For the observations of
+one pooling scale (``M = N * T / ε`` temporal-graph nodes with state matrix
+``H ∈ R^{M x d}``) it:
+
+1. **learns** the incidence matrix of a temporal hypergraph in low-rank form,
+   ``Λ = H W`` with ``W ∈ R^{d x I}`` (Eq. 6) — the structure is therefore
+   *dynamic*: it depends on the current traffic state, not only on the road
+   network;
+2. builds hyperedge embeddings by aggregating member nodes and mixing
+   hyperedges through a learnable relation matrix ``U``:
+   ``E = φ(U Λᵀ H) + Λᵀ H`` (Eq. 7);
+3. redistributes hyperedge information back to the nodes, ``F = Λ E``
+   (Eq. 8).
+
+The block also implements the two ablation variants of Table V:
+
+* **NSL** ("no structure learning", ``mode="static"``) — the incidence
+  matrix is a fixed random projection of the node states, i.e. the same
+  computation with a frozen, non-learnable ``W``;
+* **FS** ("from scratch", ``mode="from_scratch"``) — instead of a low-rank
+  hypergraph, a dense ``N x N`` adjacency is learned directly and applied
+  per time step, the baseline the paper reports as unstable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Dropout, Module, ModuleList, Parameter
+from ..tensor import Tensor, init, ops
+
+__all__ = ["LowRankIncidence", "HypergraphConvolution", "DynamicHypergraphBlock"]
+
+
+class LowRankIncidence(Module):
+    """Learn the temporal-hypergraph incidence matrix ``Λ = H W`` (Eq. 6).
+
+    Parameters
+    ----------
+    hidden_dim:
+        State dimension ``d``.
+    num_hyperedges:
+        Number of hyperedges ``I``.
+    learnable:
+        When ``False`` the projection ``W`` is frozen at its random
+        initialisation — the *NSL* ablation of Table V.
+    """
+
+    def __init__(self, hidden_dim: int, num_hyperedges: int, learnable: bool = True) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.num_hyperedges = num_hyperedges
+        self.learnable = learnable
+        weight = init.xavier_uniform((hidden_dim, num_hyperedges))
+        if learnable:
+            self.weight = Parameter(weight, name="incidence_weight")
+        else:
+            # Register as a buffer so the frozen projection is checkpointed
+            # but never updated by the optimiser.
+            self.register_buffer("weight_buffer", weight)
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        """Compute ``Λ`` of shape ``(batch, M, I)`` from states ``(batch, M, d)``."""
+        if self.learnable:
+            return ops.tensordot_last(hidden, self.weight)
+        return ops.tensordot_last(hidden, Tensor(self._buffers["weight_buffer"]))
+
+
+class HypergraphConvolution(Module):
+    """One hypergraph convolution layer (Eq. 7 and Eq. 8).
+
+    Given node states ``H`` and an incidence matrix ``Λ``:
+
+    .. math::
+        E = φ(U Λ^T H) + Λ^T H  \\qquad  F = Λ E
+
+    ``U`` models implicit relations *between* hyperedges.
+    """
+
+    def __init__(self, hidden_dim: int, num_hyperedges: int, dropout: float = 0.1) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.num_hyperedges = num_hyperedges
+        self.hyperedge_relation = Parameter(
+            init.xavier_uniform((num_hyperedges, num_hyperedges)), name="hyperedge_relation"
+        )
+        self.dropout = Dropout(dropout)
+
+    def forward(self, hidden: Tensor, incidence: Tensor) -> Tensor:
+        """Propagate states through the hypergraph.
+
+        Parameters
+        ----------
+        hidden:
+            Node states of shape ``(batch, M, d)``.
+        incidence:
+            Incidence matrix ``Λ`` of shape ``(batch, M, I)``.
+
+        Returns
+        -------
+        Tensor
+            Updated node states ``F`` of shape ``(batch, M, d)``.
+        """
+        # Λᵀ H: aggregate node states into each hyperedge. (batch, I, d)
+        edge_states = incidence.swapaxes(-1, -2).matmul(hidden)
+        # φ(U Λᵀ H): mix information between hyperedges, then the residual
+        # keeps the raw aggregation (Eq. 7).
+        mixed = self.hyperedge_relation.matmul(edge_states).tanh()
+        hyperedge_embedding = mixed + edge_states
+        hyperedge_embedding = self.dropout(hyperedge_embedding)
+        # F = Λ E: redistribute hyperedge embeddings to member nodes (Eq. 8).
+        return incidence.matmul(hyperedge_embedding)
+
+
+class DynamicHypergraphBlock(Module):
+    """The full DHSL block ``BLOCK_H`` used inside the multi-scale module.
+
+    Parameters
+    ----------
+    hidden_dim:
+        State dimension ``d``.
+    num_hyperedges:
+        Number of hyperedges ``I``.
+    num_nodes:
+        Number of sensors ``N`` (needed only by the *from-scratch* ablation).
+    num_layers:
+        Number of stacked hypergraph convolutions ``L_H``.
+    mode:
+        ``"low_rank"`` (proposed), ``"static"`` (NSL) or ``"from_scratch"``
+        (FS), matching Table V.
+    dropout:
+        Dropout probability inside the block.
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_hyperedges: int,
+        num_nodes: int,
+        num_layers: int = 1,
+        mode: str = "low_rank",
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        if mode not in ("low_rank", "static", "from_scratch"):
+            raise ValueError(f"unsupported DHSL mode {mode!r}")
+        self.mode = mode
+        self.hidden_dim = hidden_dim
+        self.num_hyperedges = num_hyperedges
+        self.num_nodes = num_nodes
+        self.num_layers = num_layers
+        if mode == "from_scratch":
+            # Table V "FS": a dense learnable adjacency over the road
+            # network, applied independently at every time step.
+            self.scratch_adjacency = Parameter(
+                init.normal((num_nodes, num_nodes), std=0.05), name="scratch_adjacency"
+            )
+            self.dropout = Dropout(dropout)
+        else:
+            self.incidence = LowRankIncidence(hidden_dim, num_hyperedges, learnable=(mode == "low_rank"))
+            self.convolutions = ModuleList(
+                [HypergraphConvolution(hidden_dim, num_hyperedges, dropout) for _ in range(num_layers)]
+            )
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        """Update states ``(batch, M, d)`` where ``M`` is a multiple of ``N``."""
+        if self.mode == "from_scratch":
+            return self._from_scratch_forward(hidden)
+        incidence = self.incidence(hidden)
+        updated = hidden
+        for convolution in self.convolutions:
+            updated = convolution(updated, incidence)
+        return updated
+
+    def _from_scratch_forward(self, hidden: Tensor) -> Tensor:
+        batch, num_observations, dim = hidden.shape
+        if num_observations % self.num_nodes != 0:
+            raise ValueError(
+                f"observation count {num_observations} is not a multiple of num_nodes={self.num_nodes}"
+            )
+        steps = num_observations // self.num_nodes
+        adjacency = self.scratch_adjacency.softmax(axis=-1)
+        per_step = hidden.reshape(batch, steps, self.num_nodes, dim)
+        propagated = adjacency.matmul(per_step)
+        propagated = self.dropout(propagated.tanh())
+        return propagated.reshape(batch, num_observations, dim)
+
+    def last_incidence(self, hidden: Tensor) -> np.ndarray:
+        """Return the incidence matrix ``Λ`` for analysis (paper Fig. 7).
+
+        Runs the structure-learning step without recording gradients and
+        returns a plain array of shape ``(batch, M, I)``.
+        """
+        if self.mode == "from_scratch":
+            raise RuntimeError("the from-scratch ablation does not build an incidence matrix")
+        from ..tensor import no_grad
+
+        with no_grad():
+            incidence = self.incidence(hidden)
+        return incidence.data

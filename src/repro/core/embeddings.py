@@ -1,0 +1,67 @@
+"""Spatio-temporal observation embeddings.
+
+The prior graph encoder (Section IV-A) initialises each temporal-graph node
+feature by *adding a spatial embedding (location identity) and a temporal
+embedding (position in the observation window) to a projection of the raw
+traffic features*.  This module implements that initial feature construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Embedding, Linear, Module
+from ..tensor import Tensor
+
+__all__ = ["SpatioTemporalEmbedding"]
+
+
+class SpatioTemporalEmbedding(Module):
+    """Project raw observations and add node / time-step identity embeddings.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of sensors ``N``.
+    input_length:
+        Observation window length ``T``.
+    input_dim:
+        Raw feature dimension ``F``.
+    hidden_dim:
+        Output embedding width ``d``.
+    """
+
+    def __init__(self, num_nodes: int, input_length: int, input_dim: int, hidden_dim: int) -> None:
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.input_length = input_length
+        self.input_projection = Linear(input_dim, hidden_dim)
+        self.spatial_embedding = Embedding(num_nodes, hidden_dim)
+        self.temporal_embedding = Embedding(input_length, hidden_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Embed a batch of observation windows.
+
+        Parameters
+        ----------
+        x:
+            Tensor of shape ``(batch, T, N, F)``.
+
+        Returns
+        -------
+        Tensor
+            Initial temporal-graph node features of shape
+            ``(batch, T, N, hidden_dim)``.
+        """
+        if x.ndim != 4:
+            raise ValueError(f"expected input of shape (batch, T, N, F); got {x.shape}")
+        if x.shape[1] != self.input_length or x.shape[2] != self.num_nodes:
+            raise ValueError(
+                f"input window ({x.shape[1]}, {x.shape[2]}) does not match the configured "
+                f"({self.input_length}, {self.num_nodes})"
+            )
+        projected = self.input_projection(x)
+        spatial = self.spatial_embedding(np.arange(self.num_nodes))  # (N, d)
+        temporal = self.temporal_embedding(np.arange(self.input_length))  # (T, d)
+        # Broadcast: (B, T, N, d) + (N, d) + (T, 1, d)
+        return projected + spatial + temporal.unsqueeze(1)

@@ -1,0 +1,131 @@
+"""The full DyHSL forecasting model.
+
+Assembles the pipeline of Fig. 2 of the paper:
+
+1. :class:`~repro.core.embeddings.SpatioTemporalEmbedding` — project raw
+   observations and add node / time identities;
+2. :class:`~repro.core.prior_graph.PriorGraphEncoder` — prior graph
+   convolution over the Eq. 4 temporal graph;
+3. :class:`~repro.core.mhce.MultiScaleExtractor` — multi-scale holistic
+   correlation extraction combining the DHSL and IGC blocks;
+4. prediction head — the fused global embedding ``γ_i`` is concatenated
+   with the last-step local embedding ``h^T_i`` and mapped through a fully
+   connected layer to the ``T'`` future steps of every node.
+
+The model consumes normalised inputs of shape ``(batch, T, N, F)`` and
+produces predictions of shape ``(batch, T', N)`` on the same normalised
+scale; callers convert back to vehicles / 5 minutes with the data pipeline's
+scaler (see :class:`repro.data.ForecastingData`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Linear, Module
+from ..tensor import Tensor, ops
+from .config import DyHSLConfig
+from .embeddings import SpatioTemporalEmbedding
+from .mhce import MultiScaleExtractor
+from .prior_graph import PriorGraphEncoder
+
+__all__ = ["DyHSL"]
+
+
+class DyHSL(Module):
+    """Dynamic Hypergraph Structure Learning model for traffic forecasting.
+
+    Parameters
+    ----------
+    config:
+        Hyperparameter configuration (see :class:`DyHSLConfig`).
+    adjacency:
+        Road-network adjacency matrix ``A`` of shape ``(N, N)``.
+
+    Example
+    -------
+    >>> config = DyHSLConfig(num_nodes=20, hidden_dim=32)
+    >>> model = DyHSL(config, adjacency)
+    >>> predictions = model(Tensor(windows))   # (batch, 12, 20)
+    """
+
+    def __init__(self, config: DyHSLConfig, adjacency: np.ndarray) -> None:
+        super().__init__()
+        adjacency = np.asarray(adjacency, dtype=float)
+        if adjacency.shape != (config.num_nodes, config.num_nodes):
+            raise ValueError(
+                f"adjacency shape {adjacency.shape} does not match num_nodes={config.num_nodes}"
+            )
+        self.config = config
+        self.embedding = SpatioTemporalEmbedding(
+            num_nodes=config.num_nodes,
+            input_length=config.input_length,
+            input_dim=config.input_dim,
+            hidden_dim=config.hidden_dim,
+        )
+        if config.use_prior_graph and config.prior_layers > 0:
+            self.prior_encoder: Optional[PriorGraphEncoder] = PriorGraphEncoder(
+                adjacency=adjacency,
+                input_length=config.input_length,
+                hidden_dim=config.hidden_dim,
+                num_layers=config.prior_layers,
+                dropout=config.dropout,
+            )
+        else:
+            self.prior_encoder = None
+        self.extractor = MultiScaleExtractor(config, adjacency)
+        # Prediction head: concatenation of the global embedding γ_i and the
+        # last-step local embedding h^T_i, mapped to the T' future steps.
+        self.output_head = Linear(2 * config.hidden_dim, config.output_length)
+
+    # ------------------------------------------------------------------
+    def encode(self, x: Tensor) -> Tensor:
+        """Run the embedding and prior-graph stages, returning ``(B, T, N, d)``."""
+        features = self.embedding(x)
+        if self.prior_encoder is not None:
+            return self.prior_encoder(features)
+        return features
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forecast the next ``T'`` steps for every node.
+
+        Parameters
+        ----------
+        x:
+            Normalised observation windows of shape ``(batch, T, N, F)``.
+
+        Returns
+        -------
+        Tensor
+            Predictions of shape ``(batch, T', N)``.
+        """
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        states = self.encode(x)                       # (B, T, N, d)
+        global_embedding = self.extractor(states)     # (B, N, d)
+        last_step = states[:, -1, :, :]               # (B, N, d)
+        combined = ops.concatenate([global_embedding, last_step], axis=-1)
+        predictions = self.output_head(combined)      # (B, N, T')
+        return predictions.swapaxes(-1, -2)           # (B, T', N)
+
+    # ------------------------------------------------------------------
+    def incidence_matrices(self, x: Tensor, window: int = 1, layer: int = 0) -> np.ndarray:
+        """Extract the learned hypergraph incidence matrices for a batch.
+
+        Used by the Fig. 7 analysis: returns an array of shape
+        ``(batch, T/ε, N, I)`` describing how strongly each observation is
+        associated with each hyperedge.
+        """
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        from ..tensor import no_grad
+
+        with no_grad():
+            states = self.encode(x)
+        return self.extractor.incidence_matrices(states, window=window, layer=layer)
+
+    def scale_weights(self) -> np.ndarray:
+        """Learned softmax weights of the ``J`` pooling scales (Eq. 14)."""
+        return self.extractor.fusion.normalized_weights()

@@ -1,0 +1,37 @@
+"""Data substrate: synthetic PEMS-like traffic data, windows, scalers, loaders."""
+
+from .datasets import (
+    PEMS_SPECS,
+    DatasetSpec,
+    TrafficDataset,
+    dataset_summary_table,
+    load_dataset,
+)
+from .loaders import DataLoader, ForecastingData, ForecastingSplit
+from .scalers import MinMaxScaler, StandardScaler
+from .splits import SplitRatios, chronological_split, split_indices
+from .synthetic import STEPS_PER_DAY, TrafficIncident, TrafficSimulator, TrafficSimulatorConfig
+from .windows import WindowConfig, count_windows, sliding_windows
+
+__all__ = [
+    "DatasetSpec",
+    "TrafficDataset",
+    "PEMS_SPECS",
+    "dataset_summary_table",
+    "load_dataset",
+    "TrafficSimulator",
+    "TrafficSimulatorConfig",
+    "TrafficIncident",
+    "STEPS_PER_DAY",
+    "StandardScaler",
+    "MinMaxScaler",
+    "WindowConfig",
+    "sliding_windows",
+    "count_windows",
+    "SplitRatios",
+    "chronological_split",
+    "split_indices",
+    "DataLoader",
+    "ForecastingData",
+    "ForecastingSplit",
+]

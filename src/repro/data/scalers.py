@@ -1,0 +1,113 @@
+"""Feature scaling.
+
+Traffic models are trained on z-score normalised flow and evaluated on the
+original scale, so scalers must support an exact inverse transform.  The
+scaler is always fitted on the *training* portion only to avoid leaking
+statistics from the evaluation period — the standard protocol of the
+STSGCN/ASTGCN data pipeline the paper follows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Z-score normalisation ``(x - mean) / std``.
+
+    Parameters
+    ----------
+    epsilon:
+        Lower bound on the standard deviation to avoid division by zero for
+        constant signals.
+    """
+
+    def __init__(self, epsilon: float = 1e-8) -> None:
+        self.epsilon = epsilon
+        self.mean: Optional[float] = None
+        self.std: Optional[float] = None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        """Estimate mean and standard deviation from ``data``."""
+        data = np.asarray(data, dtype=float)
+        if data.size == 0:
+            raise ValueError("cannot fit a scaler on empty data")
+        self.mean = float(data.mean())
+        self.std = float(max(data.std(), self.epsilon))
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Normalise ``data`` using the fitted statistics."""
+        self._check_fitted()
+        return (np.asarray(data, dtype=float) - self.mean) / self.std
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its normalised version."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Map normalised values back to the original scale."""
+        self._check_fitted()
+        return np.asarray(data, dtype=float) * self.std + self.mean
+
+    def _check_fitted(self) -> None:
+        if self.mean is None or self.std is None:
+            raise RuntimeError("scaler must be fitted before use")
+
+    def __repr__(self) -> str:
+        if self.mean is None:
+            return "StandardScaler(unfitted)"
+        return f"StandardScaler(mean={self.mean:.4f}, std={self.std:.4f})"
+
+
+class MinMaxScaler:
+    """Scale data linearly into ``[feature_min, feature_max]``."""
+
+    def __init__(self, feature_min: float = 0.0, feature_max: float = 1.0, epsilon: float = 1e-8) -> None:
+        if feature_max <= feature_min:
+            raise ValueError("feature_max must exceed feature_min")
+        self.feature_min = feature_min
+        self.feature_max = feature_max
+        self.epsilon = epsilon
+        self.data_min: Optional[float] = None
+        self.data_max: Optional[float] = None
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        """Record the data minimum and maximum."""
+        data = np.asarray(data, dtype=float)
+        if data.size == 0:
+            raise ValueError("cannot fit a scaler on empty data")
+        self.data_min = float(data.min())
+        self.data_max = float(data.max())
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Scale ``data`` into the target range."""
+        self._check_fitted()
+        span = max(self.data_max - self.data_min, self.epsilon)
+        unit = (np.asarray(data, dtype=float) - self.data_min) / span
+        return unit * (self.feature_max - self.feature_min) + self.feature_min
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its scaled version."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original range."""
+        self._check_fitted()
+        span = max(self.data_max - self.data_min, self.epsilon)
+        unit = (np.asarray(data, dtype=float) - self.feature_min) / (self.feature_max - self.feature_min)
+        return unit * span + self.data_min
+
+    def _check_fitted(self) -> None:
+        if self.data_min is None or self.data_max is None:
+            raise RuntimeError("scaler must be fitted before use")
+
+    def __repr__(self) -> str:
+        if self.data_min is None:
+            return "MinMaxScaler(unfitted)"
+        return f"MinMaxScaler(data_min={self.data_min:.4f}, data_max={self.data_max:.4f})"

@@ -1,0 +1,53 @@
+"""Chronological train / validation / test splitting.
+
+The paper uses the standard 60% / 20% / 20% chronological split
+(Section V-A2).  Splitting is done on the raw signal *before* windowing so
+no sample straddles a split boundary and no future information leaks into
+training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["SplitRatios", "chronological_split", "split_indices"]
+
+
+@dataclass(frozen=True)
+class SplitRatios:
+    """Fractions of the time axis assigned to each split."""
+
+    train: float = 0.6
+    validation: float = 0.2
+    test: float = 0.2
+
+    def __post_init__(self) -> None:
+        total = self.train + self.validation + self.test
+        if not np.isclose(total, 1.0):
+            raise ValueError(f"split ratios must sum to 1; got {total}")
+        if min(self.train, self.validation, self.test) <= 0:
+            raise ValueError("every split ratio must be positive")
+
+
+def split_indices(num_steps: int, ratios: SplitRatios = SplitRatios()) -> Tuple[slice, slice, slice]:
+    """Return slices over the time axis for train / validation / test."""
+    if num_steps < 3:
+        raise ValueError("need at least 3 time steps to split")
+    train_end = int(num_steps * ratios.train)
+    validation_end = train_end + int(num_steps * ratios.validation)
+    train_end = max(1, train_end)
+    validation_end = max(train_end + 1, min(validation_end, num_steps - 1))
+    return slice(0, train_end), slice(train_end, validation_end), slice(validation_end, num_steps)
+
+
+def chronological_split(
+    signal: np.ndarray,
+    ratios: SplitRatios = SplitRatios(),
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split a ``(T, ...)`` array chronologically into three parts."""
+    signal = np.asarray(signal)
+    train_slice, validation_slice, test_slice = split_indices(signal.shape[0], ratios)
+    return signal[train_slice], signal[validation_slice], signal[test_slice]

@@ -1,0 +1,96 @@
+"""Sliding-window sample construction.
+
+The forecasting task maps 12 historical steps to the next 12 steps
+(Section V-A2 of the paper: 60 minutes in, 60 minutes out at 5-minute
+resolution).  This module slices a ``(T, N, F)`` signal tensor into
+overlapping (input, target) windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["WindowConfig", "sliding_windows", "count_windows"]
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Input / output horizon configuration.
+
+    Attributes
+    ----------
+    input_length:
+        Number of historical steps fed to the model (``T`` in the paper).
+    output_length:
+        Number of future steps to predict (``T'`` in the paper).
+    stride:
+        Offset between the starts of consecutive windows.
+    """
+
+    input_length: int = 12
+    output_length: int = 12
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.input_length <= 0 or self.output_length <= 0 or self.stride <= 0:
+            raise ValueError("window lengths and stride must be positive")
+
+
+def count_windows(num_steps: int, config: WindowConfig) -> int:
+    """Number of windows a signal of ``num_steps`` steps yields."""
+    usable = num_steps - config.input_length - config.output_length + 1
+    if usable <= 0:
+        return 0
+    return (usable + config.stride - 1) // config.stride
+
+
+def sliding_windows(
+    signal: np.ndarray,
+    config: Optional[WindowConfig] = None,
+    target_feature: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Slice a signal tensor into model-ready windows.
+
+    Parameters
+    ----------
+    signal:
+        Array of shape ``(T, N, F)``.
+    config:
+        Window configuration (defaults to 12-in / 12-out, stride 1).
+    target_feature:
+        Which feature channel to predict (flow = 0).
+
+    Returns
+    -------
+    inputs:
+        Array of shape ``(num_windows, input_length, N, F)``.
+    targets:
+        Array of shape ``(num_windows, output_length, N)`` containing the
+        selected target feature.
+    """
+    config = config or WindowConfig()
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 3:
+        raise ValueError(f"signal must have shape (T, N, F); got {signal.shape}")
+    num_steps = signal.shape[0]
+    total = count_windows(num_steps, config)
+    if total == 0:
+        raise ValueError(
+            f"signal with {num_steps} steps is too short for input_length={config.input_length}, "
+            f"output_length={config.output_length}"
+        )
+    if not 0 <= target_feature < signal.shape[2]:
+        raise IndexError("target_feature out of range")
+
+    inputs = np.empty((total, config.input_length) + signal.shape[1:], dtype=float)
+    targets = np.empty((total, config.output_length, signal.shape[1]), dtype=float)
+    for window_index in range(total):
+        start = window_index * config.stride
+        mid = start + config.input_length
+        end = mid + config.output_length
+        inputs[window_index] = signal[start:mid]
+        targets[window_index] = signal[mid:end, :, target_feature]
+    return inputs, targets

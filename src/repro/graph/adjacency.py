@@ -1,0 +1,140 @@
+"""Adjacency-matrix utilities shared by DyHSL and the graph baselines.
+
+All functions operate on dense NumPy arrays (the road networks used in the
+paper have at most ~900 nodes, so dense matrices stay small) and return new
+arrays; inputs are never modified in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = [
+    "validate_adjacency",
+    "add_self_loops",
+    "symmetric_normalize",
+    "random_walk_normalize",
+    "normalized_laplacian",
+    "scaled_laplacian",
+    "chebyshev_polynomials",
+    "gaussian_kernel_adjacency",
+    "binary_adjacency",
+]
+
+
+def validate_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Check that ``adjacency`` is a square 2-D matrix with finite entries."""
+    adjacency = np.asarray(adjacency, dtype=float)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError(f"adjacency must be square; got shape {adjacency.shape}")
+    if not np.all(np.isfinite(adjacency)):
+        raise ValueError("adjacency contains non-finite entries")
+    if np.any(adjacency < 0):
+        raise ValueError("adjacency weights must be non-negative")
+    return adjacency
+
+
+def add_self_loops(adjacency: np.ndarray, weight: float = 1.0) -> np.ndarray:
+    """Return ``A + weight * I``; existing self loops are overwritten."""
+    adjacency = validate_adjacency(adjacency)
+    result = adjacency.copy()
+    np.fill_diagonal(result, weight)
+    return result
+
+
+def symmetric_normalize(adjacency: np.ndarray, add_loops: bool = True) -> np.ndarray:
+    """Symmetric normalisation ``D^{-1/2} (A + I) D^{-1/2}`` (GCN style)."""
+    adjacency = validate_adjacency(adjacency)
+    if add_loops:
+        adjacency = add_self_loops(adjacency)
+    degree = adjacency.sum(axis=1)
+    inv_sqrt = np.zeros_like(degree)
+    nonzero = degree > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degree[nonzero])
+    return inv_sqrt[:, None] * adjacency * inv_sqrt[None, :]
+
+
+def random_walk_normalize(adjacency: np.ndarray, add_loops: bool = True) -> np.ndarray:
+    """Row-stochastic normalisation ``D^{-1} (A + I)``.
+
+    This is the normalisation assumed by Eq. 5 of the paper, where the
+    weights of each node's neighbourhood sum to one.
+    """
+    adjacency = validate_adjacency(adjacency)
+    if add_loops:
+        adjacency = add_self_loops(adjacency)
+    degree = adjacency.sum(axis=1)
+    inv = np.zeros_like(degree)
+    nonzero = degree > 0
+    inv[nonzero] = 1.0 / degree[nonzero]
+    return inv[:, None] * adjacency
+
+
+def normalized_laplacian(adjacency: np.ndarray) -> np.ndarray:
+    """Symmetric normalised Laplacian ``I - D^{-1/2} A D^{-1/2}``."""
+    adjacency = validate_adjacency(adjacency)
+    normalised = symmetric_normalize(adjacency, add_loops=False)
+    return np.eye(adjacency.shape[0]) - normalised
+
+
+def scaled_laplacian(adjacency: np.ndarray) -> np.ndarray:
+    """Laplacian rescaled to ``[-1, 1]`` for Chebyshev polynomial filters."""
+    laplacian = normalized_laplacian(adjacency)
+    try:
+        largest = float(np.linalg.eigvalsh(laplacian).max())
+    except np.linalg.LinAlgError:
+        largest = 2.0
+    largest = max(largest, 1e-6)
+    return 2.0 * laplacian / largest - np.eye(adjacency.shape[0])
+
+
+def chebyshev_polynomials(adjacency: np.ndarray, order: int) -> List[np.ndarray]:
+    """Chebyshev polynomial basis ``T_0 ... T_{order}`` of the scaled Laplacian.
+
+    Used by the STGCN and ASTGCN-style spectral graph convolutions.
+    """
+    if order < 0:
+        raise ValueError("order must be non-negative")
+    laplacian = scaled_laplacian(adjacency)
+    n = laplacian.shape[0]
+    polynomials = [np.eye(n)]
+    if order >= 1:
+        polynomials.append(laplacian.copy())
+    for _ in range(2, order + 1):
+        polynomials.append(2.0 * laplacian @ polynomials[-1] - polynomials[-2])
+    return polynomials
+
+
+def gaussian_kernel_adjacency(
+    distances: np.ndarray,
+    sigma: Optional[float] = None,
+    threshold: float = 0.1,
+) -> np.ndarray:
+    """Convert a pairwise distance matrix into a weighted adjacency matrix.
+
+    This replicates the construction used for the PEMS road graphs:
+    ``w_ij = exp(-d_ij^2 / sigma^2)`` with small weights thresholded to zero,
+    where ``sigma`` defaults to the standard deviation of the finite
+    distances.
+    """
+    distances = np.asarray(distances, dtype=float)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError("distances must be a square matrix")
+    finite = distances[np.isfinite(distances)]
+    if sigma is None:
+        sigma = float(finite.std()) if finite.size else 1.0
+    sigma = max(sigma, 1e-8)
+    with np.errstate(over="ignore"):
+        weights = np.exp(-np.square(distances / sigma))
+    weights[~np.isfinite(distances)] = 0.0
+    weights[weights < threshold] = 0.0
+    np.fill_diagonal(weights, 0.0)
+    return weights
+
+
+def binary_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Binarise a weighted adjacency matrix (1 where any edge exists)."""
+    adjacency = validate_adjacency(adjacency)
+    return (adjacency > 0).astype(float)

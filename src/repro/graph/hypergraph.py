@@ -1,0 +1,188 @@
+"""Hypergraph data structures and incidence-matrix utilities.
+
+A hypergraph ``G = (V, E)`` generalises a graph by letting each hyperedge
+connect an arbitrary set of nodes (Section III-B of the paper).  Its
+structure is captured by an incidence matrix ``Λ ∈ R^{|V| x |E|}`` whose
+entry ``Λ(v, e)`` is the (possibly weighted) membership of node ``v`` in
+hyperedge ``e``.
+
+DyHSL *learns* a weighted incidence matrix (Eq. 6); the utilities here cover
+the static-hypergraph machinery needed around it: building incidence
+matrices from explicit hyperedge lists, clique expansion (so hypergraphs can
+be compared against plain graphs), degree normalisation and the HGNN-style
+hypergraph convolution operator used by the DHGNN / HGC-RNN baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Hypergraph",
+    "incidence_from_hyperedges",
+    "hyperedges_from_incidence",
+    "clique_expansion",
+    "normalize_incidence",
+    "hypergraph_convolution_operator",
+    "knn_hypergraph",
+]
+
+
+def incidence_from_hyperedges(
+    hyperedges: Sequence[Iterable[int]],
+    num_nodes: int,
+    weights: Sequence[float] = None,
+) -> np.ndarray:
+    """Build a ``(num_nodes, num_hyperedges)`` incidence matrix.
+
+    Parameters
+    ----------
+    hyperedges:
+        One iterable of node indices per hyperedge.
+    num_nodes:
+        Total number of nodes ``|V|``.
+    weights:
+        Optional per-hyperedge membership weight (defaults to 1).
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    num_edges = len(hyperedges)
+    incidence = np.zeros((num_nodes, num_edges), dtype=float)
+    for edge_index, members in enumerate(hyperedges):
+        weight = 1.0 if weights is None else float(weights[edge_index])
+        for node in members:
+            if node < 0 or node >= num_nodes:
+                raise IndexError(f"node {node} out of range for {num_nodes} nodes")
+            incidence[node, edge_index] = weight
+    return incidence
+
+
+def hyperedges_from_incidence(incidence: np.ndarray, threshold: float = 0.0) -> List[List[int]]:
+    """Recover hyperedge membership lists from an incidence matrix."""
+    incidence = np.asarray(incidence, dtype=float)
+    if incidence.ndim != 2:
+        raise ValueError("incidence must be 2-D")
+    return [list(np.nonzero(incidence[:, e] > threshold)[0]) for e in range(incidence.shape[1])]
+
+
+def clique_expansion(incidence: np.ndarray) -> np.ndarray:
+    """Project a hypergraph onto a graph by connecting co-members.
+
+    The weight of edge ``(u, v)`` is the sum over hyperedges of the product
+    of the two membership weights — the standard clique-expansion
+    approximation, useful for comparing learned hypergraphs against pairwise
+    structures.
+    """
+    incidence = np.asarray(incidence, dtype=float)
+    expansion = incidence @ incidence.T
+    np.fill_diagonal(expansion, 0.0)
+    return expansion
+
+
+def normalize_incidence(incidence: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Degree-normalise an incidence matrix.
+
+    Returns ``D_v^{-1/2} Λ D_e^{-1/2}`` where ``D_v`` and ``D_e`` are node and
+    hyperedge degree matrices.  Rows or columns with zero degree are left
+    untouched.
+    """
+    incidence = np.asarray(incidence, dtype=float)
+    node_degree = np.abs(incidence).sum(axis=1)
+    edge_degree = np.abs(incidence).sum(axis=0)
+    node_scale = np.where(node_degree > eps, 1.0 / np.sqrt(node_degree + eps), 1.0)
+    edge_scale = np.where(edge_degree > eps, 1.0 / np.sqrt(edge_degree + eps), 1.0)
+    return node_scale[:, None] * incidence * edge_scale[None, :]
+
+
+def hypergraph_convolution_operator(incidence: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """HGNN propagation operator ``D_v^{-1/2} Λ D_e^{-1} Λ^T D_v^{-1/2}``.
+
+    This is the static-hypergraph message-passing matrix used by the
+    HGC-RNN-style baseline; DyHSL replaces it with the learned low-rank
+    incidence of Eq. 6.
+    """
+    incidence = np.asarray(incidence, dtype=float)
+    node_degree = np.abs(incidence).sum(axis=1)
+    edge_degree = np.abs(incidence).sum(axis=0)
+    inv_node = np.where(node_degree > eps, 1.0 / np.sqrt(node_degree + eps), 0.0)
+    inv_edge = np.where(edge_degree > eps, 1.0 / (edge_degree + eps), 0.0)
+    scaled = inv_node[:, None] * incidence * inv_edge[None, :]
+    return scaled @ (incidence.T * inv_node[None, :])
+
+
+def knn_hypergraph(features: np.ndarray, num_neighbors: int) -> np.ndarray:
+    """Build a kNN hypergraph: one hyperedge per node containing its neighbours.
+
+    This replicates the construction used by DHGNN (Jiang et al., 2019),
+    which the paper compares against: hyperedge ``i`` contains node ``i`` and
+    its ``num_neighbors`` nearest neighbours in feature space.
+
+    Returns the ``(N, N)`` incidence matrix (one hyperedge per node).
+    """
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise ValueError("features must be a 2-D (nodes, dims) matrix")
+    n = features.shape[0]
+    if not 0 < num_neighbors < n:
+        raise ValueError("num_neighbors must be in (0, num_nodes)")
+    squared = np.sum(features ** 2, axis=1)
+    distances = squared[:, None] + squared[None, :] - 2.0 * features @ features.T
+    np.fill_diagonal(distances, np.inf)
+    incidence = np.zeros((n, n), dtype=float)
+    for node in range(n):
+        neighbours = np.argpartition(distances[node], num_neighbors)[:num_neighbors]
+        incidence[neighbours, node] = 1.0
+        incidence[node, node] = 1.0
+    return incidence
+
+
+class Hypergraph:
+    """Convenience wrapper bundling an incidence matrix with basic queries."""
+
+    def __init__(self, incidence: np.ndarray) -> None:
+        incidence = np.asarray(incidence, dtype=float)
+        if incidence.ndim != 2:
+            raise ValueError("incidence must be a 2-D matrix")
+        self.incidence = incidence
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self.incidence.shape[0]
+
+    @property
+    def num_hyperedges(self) -> int:
+        """Number of hyperedges ``|E|``."""
+        return self.incidence.shape[1]
+
+    def node_degrees(self) -> np.ndarray:
+        """Weighted degree of each node (row sums of ``|Λ|``)."""
+        return np.abs(self.incidence).sum(axis=1)
+
+    def hyperedge_degrees(self) -> np.ndarray:
+        """Weighted degree of each hyperedge (column sums of ``|Λ|``)."""
+        return np.abs(self.incidence).sum(axis=0)
+
+    def hyperedge_members(self, edge: int, threshold: float = 0.0) -> List[int]:
+        """Indices of nodes belonging to ``edge`` above ``threshold``."""
+        if edge < 0 or edge >= self.num_hyperedges:
+            raise IndexError("hyperedge index out of range")
+        return list(np.nonzero(self.incidence[:, edge] > threshold)[0])
+
+    def strongest_hyperedge(self, node: int) -> int:
+        """Hyperedge with the largest membership weight for ``node``.
+
+        Mirrors the Fig. 7 analysis of which hyperedge a node is "closest" to.
+        """
+        if node < 0 or node >= self.num_nodes:
+            raise IndexError("node index out of range")
+        return int(np.argmax(self.incidence[node]))
+
+    def to_graph(self) -> np.ndarray:
+        """Clique-expand the hypergraph into a weighted adjacency matrix."""
+        return clique_expansion(self.incidence)
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(num_nodes={self.num_nodes}, num_hyperedges={self.num_hyperedges})"

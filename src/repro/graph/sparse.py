@@ -1,0 +1,118 @@
+"""Sparse matrix support for constant graph structures.
+
+The temporal-graph adjacency of Eq. 4 has ``(T*N)^2`` entries but only
+``O(T * (||A||_0 + N))`` of them are non-zero.  Storing it sparsely and
+multiplying it against activation tensors keeps both the memory footprint
+and the per-layer cost linear in the graph size, which is the complexity the
+paper claims for DyHSL (Section IV-D).
+
+Only *constant* (non-learnable) matrices are stored sparsely; gradients flow
+through the dense operand of :func:`sparse_matmul`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import sparse as sp
+
+from ..tensor import Tensor
+
+__all__ = ["SparseMatrix", "sparse_matmul"]
+
+
+class SparseMatrix:
+    """Immutable CSR wrapper around a constant sparse matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Dense array or any ``scipy.sparse`` matrix.  Dense input is
+        converted; explicitly stored zeros are pruned.
+    """
+
+    def __init__(self, matrix) -> None:
+        if sp.issparse(matrix):
+            csr = matrix.tocsr().astype(float)
+        else:
+            dense = np.asarray(matrix, dtype=float)
+            if dense.ndim != 2:
+                raise ValueError("SparseMatrix requires a 2-D matrix")
+            csr = sp.csr_matrix(dense)
+        csr.eliminate_zeros()
+        self._matrix = csr
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Shape of the matrix."""
+        return self._matrix.shape
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero entries (``||A||_0`` in the paper)."""
+        return int(self._matrix.nnz)
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero entries."""
+        rows, cols = self.shape
+        total = rows * cols
+        return self.nnz / total if total else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        """Return a dense copy of the matrix."""
+        return self._matrix.toarray()
+
+    def transpose(self) -> "SparseMatrix":
+        """Return the transposed matrix."""
+        return SparseMatrix(self._matrix.T)
+
+    def dot_array(self, array: np.ndarray) -> np.ndarray:
+        """Multiply against a plain NumPy array (no autograd)."""
+        return self._matrix @ array
+
+    def __repr__(self) -> str:
+        return f"SparseMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def sparse_matmul(matrix: SparseMatrix, dense: Tensor) -> Tensor:
+    """Compute ``matrix @ dense`` with gradients flowing into ``dense``.
+
+    Parameters
+    ----------
+    matrix:
+        Constant sparse matrix of shape ``(M, K)``.
+    dense:
+        Tensor of shape ``(K, F)`` or ``(B, K, F)``; batched input is handled
+        by multiplying each batch slice.
+
+    Returns
+    -------
+    Tensor
+        Result of shape ``(M, F)`` or ``(B, M, F)``.
+    """
+    if not isinstance(matrix, SparseMatrix):
+        raise TypeError("matrix must be a SparseMatrix")
+    if not isinstance(dense, Tensor):
+        dense = Tensor(dense)
+    k = matrix.shape[1]
+    if dense.ndim == 2:
+        if dense.shape[0] != k:
+            raise ValueError(f"dimension mismatch: sparse {matrix.shape} @ dense {dense.shape}")
+        data = matrix.dot_array(dense.data)
+        transposed = matrix.transpose()
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            return transposed.dot_array(g)
+
+        return Tensor._make(data, (dense,), (grad_fn,))
+    if dense.ndim == 3:
+        if dense.shape[1] != k:
+            raise ValueError(f"dimension mismatch: sparse {matrix.shape} @ dense {dense.shape}")
+        batch, _, features = dense.shape
+        # Flatten batches into the feature dimension: (K, B*F).
+        flattened = dense.transpose(1, 0, 2).reshape(k, batch * features)
+        result = sparse_matmul(matrix, flattened)
+        return result.reshape(matrix.shape[0], batch, features).transpose(1, 0, 2)
+    raise ValueError("sparse_matmul supports 2-D or 3-D dense operands")

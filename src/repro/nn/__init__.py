@@ -1,0 +1,66 @@
+"""Neural-network modules built on the :mod:`repro.tensor` autograd engine.
+
+Provides the layers, recurrent cells, convolutions and losses used by the
+DyHSL model (:mod:`repro.core`) and by every neural baseline
+(:mod:`repro.baselines`).
+"""
+
+from .conv import CausalConv1d, Conv1d, TemporalConv
+from .layers import (
+    MLP,
+    BatchNorm1d,
+    Dropout,
+    Embedding,
+    GELU,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .loss import (
+    HuberLoss,
+    MAELoss,
+    MaskedMAELoss,
+    MaskedMAPELoss,
+    MaskedMSELoss,
+    MSELoss,
+    RMSELoss,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .recurrent import GRU, GRUCell, LSTM, LSTMCell
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "BatchNorm1d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "GELU",
+    "Identity",
+    "MLP",
+    "Conv1d",
+    "CausalConv1d",
+    "TemporalConv",
+    "GRU",
+    "GRUCell",
+    "LSTM",
+    "LSTMCell",
+    "MAELoss",
+    "MSELoss",
+    "RMSELoss",
+    "HuberLoss",
+    "MaskedMAELoss",
+    "MaskedMSELoss",
+    "MaskedMAPELoss",
+]

@@ -1,0 +1,169 @@
+"""Temporal convolution layers.
+
+The sequence baselines (TCN, STGCN, Graph WaveNet) rely on 1-D convolutions
+along the time axis, optionally dilated and causal.  The implementation uses
+an explicit gather of the input windows (an "im2col" style expansion), which
+keeps the autograd graph simple and correct at the cost of some memory — an
+acceptable trade-off for the CPU-scale experiments in this reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from ..tensor import init
+from .module import Module, Parameter
+
+__all__ = ["Conv1d", "CausalConv1d", "TemporalConv"]
+
+
+class Conv1d(Module):
+    """1-D convolution over the last axis of a ``(..., channels, length)`` tensor.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Number of input / output channels.
+    kernel_size:
+        Length of the convolution kernel.
+    dilation:
+        Spacing between kernel taps (dilated convolution).
+    padding:
+        Symmetric zero padding added to both ends of the sequence.
+    bias:
+        Whether to add a learnable bias per output channel.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        dilation: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or dilation <= 0:
+            raise ValueError("kernel_size and dilation must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.padding = padding
+        # Weight layout: (kernel_size * in_channels, out_channels) so the
+        # forward pass is a single matrix multiplication of gathered windows.
+        self.weight = Parameter(
+            init.kaiming_uniform((kernel_size * in_channels, out_channels)), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def output_length(self, length: int) -> int:
+        """Length of the output sequence for an input of ``length`` steps."""
+        effective = (self.kernel_size - 1) * self.dilation + 1
+        return length + 2 * self.padding - effective + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-2] != self.in_channels:
+            raise ValueError(
+                f"Conv1d expected {self.in_channels} channels, got {x.shape[-2]}"
+            )
+        if self.padding > 0:
+            pad_width = [(0, 0)] * (x.ndim - 1) + [(self.padding, self.padding)]
+            x = ops.pad(x, pad_width)
+        length = x.shape[-1]
+        out_length = length - (self.kernel_size - 1) * self.dilation
+        if out_length <= 0:
+            raise ValueError(
+                f"input length {length} too short for kernel_size={self.kernel_size}, dilation={self.dilation}"
+            )
+        # Gather the kernel taps: list of (..., channels, out_length) slices.
+        taps = []
+        for k in range(self.kernel_size):
+            start = k * self.dilation
+            slicer = [slice(None)] * x.ndim
+            slicer[-1] = slice(start, start + out_length)
+            taps.append(x[tuple(slicer)])
+        # After stacking, axes are (..., K, C, L).  We want (..., L, K*C) with K
+        # as the slowest-varying factor to match the weight layout.
+        stacked = ops.stack(taps, axis=-3)
+        lead = stacked.shape[:-3]
+        k, c, length_out = stacked.shape[-3], stacked.shape[-2], stacked.shape[-1]
+        windows = stacked.transpose(*range(len(lead)), len(lead) + 2, len(lead), len(lead) + 1)
+        windows = windows.reshape(*lead, length_out, k * c)
+        out = ops.tensordot_last(windows, self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        # (..., out_length, out_channels) -> (..., out_channels, out_length)
+        return out.swapaxes(-1, -2)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv1d({self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"dilation={self.dilation}, padding={self.padding})"
+        )
+
+
+class CausalConv1d(Conv1d):
+    """Causal 1-D convolution: output at time ``t`` depends only on inputs ≤ t.
+
+    Implemented by left-padding the sequence by ``(kernel_size - 1) * dilation``
+    and trimming nothing from the right, the standard TCN construction.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        dilation: int = 1,
+        bias: bool = True,
+    ) -> None:
+        super().__init__(
+            in_channels,
+            out_channels,
+            kernel_size,
+            dilation=dilation,
+            padding=0,
+            bias=bias,
+        )
+        self.left_padding = (kernel_size - 1) * dilation
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.left_padding > 0:
+            pad_width = [(0, 0)] * (x.ndim - 1) + [(self.left_padding, 0)]
+            x = ops.pad(x, pad_width)
+        return super().forward(x)
+
+
+class TemporalConv(Module):
+    """Gated temporal convolution block (GLU over two parallel convolutions).
+
+    Used by the STGCN baseline: ``(P ) * sigmoid(Q)`` where ``P`` and ``Q``
+    are 1-D convolutions of the input sequence.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3) -> None:
+        super().__init__()
+        self.conv_p = Conv1d(in_channels, out_channels, kernel_size)
+        self.conv_q = Conv1d(in_channels, out_channels, kernel_size)
+        self.residual = (
+            Conv1d(in_channels, out_channels, kernel_size=1) if in_channels != out_channels else None
+        )
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        p = self.conv_p(x)
+        q = self.conv_q(x)
+        gated = p * q.sigmoid()
+        # Align the residual branch with the shortened output sequence.
+        residual_input = x if self.residual is None else self.residual(x)
+        trim = residual_input.shape[-1] - gated.shape[-1]
+        if trim > 0:
+            slicer = [slice(None)] * residual_input.ndim
+            slicer[-1] = slice(trim, None)
+            residual_input = residual_input[tuple(slicer)]
+        return (gated + residual_input).relu()

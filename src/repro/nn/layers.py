@@ -1,0 +1,254 @@
+"""Core feed-forward layers: Linear, Embedding, activations, Dropout, norms.
+
+These are the building blocks shared by the DyHSL model and every neural
+baseline.  All layers operate on the trailing feature dimension so they can
+be applied to tensors with arbitrary leading (batch / node / time) axes, the
+same convention PyTorch uses and the one the DyHSL equations assume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..tensor import Tensor, functional as F, init, ops
+from ..tensor.random import fork_rng
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "BatchNorm1d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "GELU",
+    "Identity",
+    "MLP",
+]
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b`` applied to the last axis.
+
+    Parameters
+    ----------
+    in_features:
+        Size of the input feature dimension.
+    out_features:
+        Size of the output feature dimension.
+    bias:
+        Whether to add a learnable bias.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear requires positive feature dimensions")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features)), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected input with {self.in_features} features, got {x.shape[-1]}"
+            )
+        out = ops.tensordot_last(x, self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in_features={self.in_features}, out_features={self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer indices to dense vectors.
+
+    DyHSL uses embeddings for node (spatial) and time-of-window (temporal)
+    identities that are added to the raw traffic features before the prior
+    graph convolution.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("Embedding requires positive sizes")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=0.1), name="weight")
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return self.weight[indices]
+
+    def __repr__(self) -> str:
+        return f"Embedding(num_embeddings={self.num_embeddings}, embedding_dim={self.embedding_dim})"
+
+
+class Dropout(Module):
+    """Inverted dropout.  Active only in training mode."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1); got {p}")
+        self.p = p
+        self._rng = fork_rng(offset=17)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, p=self.p, training=self.training, rng=self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature dimension(s)."""
+
+    def __init__(self, normalized_shape, eps: float = 1e-5) -> None:
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape = tuple(normalized_shape)
+        self.eps = eps
+        self.weight = Parameter(init.ones(self.normalized_shape), name="weight")
+        self.bias = Parameter(init.zeros(self.normalized_shape), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = tuple(range(x.ndim - len(self.normalized_shape), x.ndim))
+        mean = x.mean(axis=axes, keepdims=True)
+        variance = x.var(axis=axes, keepdims=True)
+        normalised = (x - mean) / (variance + self.eps).sqrt()
+        return normalised * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm(normalized_shape={self.normalized_shape}, eps={self.eps})"
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the first axis for ``(batch, features)`` input.
+
+    Running statistics are tracked as buffers so evaluation uses the training
+    population estimates, matching the standard deep-learning recipe.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)), name="weight")
+        self.bias = Parameter(init.zeros((num_features,)), name="bias")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d expected {self.num_features} features, got {x.shape[-1]}"
+            )
+        if self.training:
+            axes = tuple(range(x.ndim - 1))
+            batch_mean = x.data.mean(axis=axes)
+            batch_var = x.data.var(axis=axes)
+            self._buffers["running_mean"] = (
+                (1 - self.momentum) * self._buffers["running_mean"] + self.momentum * batch_mean
+            )
+            self._buffers["running_var"] = (
+                (1 - self.momentum) * self._buffers["running_var"] + self.momentum * batch_var
+            )
+            mean = x.mean(axis=axes, keepdims=True)
+            variance = x.var(axis=axes, keepdims=True)
+        else:
+            mean = Tensor(self._buffers["running_mean"])
+            variance = Tensor(self._buffers["running_var"])
+        normalised = (x - mean) / (variance + self.eps).sqrt()
+        return normalised * self.weight + self.bias
+
+
+class ReLU(Module):
+    """Module wrapper around :func:`repro.tensor.functional.relu`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    """Module wrapper around the leaky ReLU activation."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Sigmoid(Module):
+    """Module wrapper around the sigmoid activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    """Module wrapper around the tanh activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class GELU(Module):
+    """Module wrapper around the GELU activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Identity(Module):
+    """Pass the input through unchanged (useful for optional blocks)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations and optional dropout.
+
+    Parameters
+    ----------
+    dims:
+        Sequence of layer widths, e.g. ``[64, 128, 12]`` builds two linear
+        layers ``64 -> 128 -> 12`` with a ReLU in between.
+    dropout:
+        Dropout probability applied after each hidden activation.
+    """
+
+    def __init__(self, dims: Sequence[int], dropout: float = 0.0) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP requires at least an input and an output dimension")
+        self.dims = tuple(dims)
+        from .module import ModuleList
+
+        self.layers = ModuleList([Linear(dims[i], dims[i + 1]) for i in range(len(dims) - 1)])
+        self.dropout = Dropout(dropout) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        num_layers = len(self.layers)
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index < num_layers - 1:
+                x = x.relu()
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x

@@ -1,0 +1,244 @@
+"""Module and parameter system.
+
+Mirrors the ``torch.nn.Module`` design: a :class:`Module` owns
+:class:`Parameter` leaves and child modules, exposes recursive parameter
+iteration, training/evaluation switching and a flat ``state_dict`` for
+checkpointing.  Everything in :mod:`repro.core` and :mod:`repro.baselines`
+derives from this class.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a learnable model parameter.
+
+    Parameters always require gradients and are discovered automatically by
+    :meth:`Module.parameters` when assigned as attributes of a module.
+    """
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+    def __repr__(self) -> str:
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Parameter(shape={self.shape}{label})"
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses define parameters and child modules as attributes inside
+    ``__init__`` and implement :meth:`forward`.  Calling the module invokes
+    ``forward``.
+
+    Example
+    -------
+    >>> class TwoLayer(Module):
+    ...     def __init__(self):
+    ...         super().__init__()
+    ...         self.first = Linear(4, 8)
+    ...         self.second = Linear(8, 1)
+    ...     def forward(self, x):
+    ...         return self.second(self.first(x).relu())
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable array that should still be checkpointed."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Register a child module under an explicit name."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Parameter iteration
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """Return all parameters of this module and its descendants."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs recursively."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs recursively, including self."""
+        yield prefix.rstrip("."), self
+        for module_name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{module_name}.")
+
+    def children(self) -> Iterator["Module"]:
+        """Yield immediate child modules."""
+        yield from self._modules.values()
+
+    def num_parameters(self) -> int:
+        """Total number of learnable scalar parameters (Table IV metric)."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode switching and gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set the module (and descendants) to training mode."""
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set the module (and descendants) to evaluation mode."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of parameter/buffer names to arrays."""
+        state: Dict[str, np.ndarray] = {}
+        for name, parameter in self.named_parameters():
+            state[name] = parameter.data.copy()
+        for module_name, module in self.named_modules():
+            for buffer_name, buffer in module._buffers.items():
+                key = f"{module_name}.{buffer_name}" if module_name else buffer_name
+                state[key] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameters and buffers from a :meth:`state_dict` mapping."""
+        own_parameters = dict(self.named_parameters())
+        own_buffers: Dict[str, Tuple[Module, str]] = {}
+        for module_name, module in self.named_modules():
+            for buffer_name in module._buffers:
+                key = f"{module_name}.{buffer_name}" if module_name else buffer_name
+                own_buffers[key] = (module, buffer_name)
+
+        missing = set(own_parameters) | set(own_buffers)
+        for key, value in state.items():
+            if key in own_parameters:
+                parameter = own_parameters[key]
+                value = np.asarray(value, dtype=parameter.data.dtype)
+                if value.shape != parameter.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key!r}: checkpoint {value.shape} vs model {parameter.data.shape}"
+                    )
+                parameter.data[...] = value
+                missing.discard(key)
+            elif key in own_buffers:
+                module, buffer_name = own_buffers[key]
+                module.register_buffer(buffer_name, np.asarray(value))
+                missing.discard(key)
+            elif strict:
+                raise KeyError(f"unexpected key in state_dict: {key!r}")
+        if strict and missing:
+            raise KeyError(f"missing keys in state_dict: {sorted(missing)}")
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        """Compute the module output.  Must be overridden by subclasses."""
+        raise NotImplementedError(f"{type(self).__name__} does not implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_lines = []
+        for name, module in self._modules.items():
+            child_repr = repr(module).replace("\n", "\n  ")
+            child_lines.append(f"  ({name}): {child_repr}")
+        body = "\n".join(child_lines)
+        if body:
+            return f"{type(self).__name__}(\n{body}\n)"
+        return f"{type(self).__name__}()"
+
+
+class Sequential(Module):
+    """Chain modules and apply them in order.
+
+    Example
+    -------
+    >>> mlp = Sequential(Linear(16, 32), ReLU(), Linear(32, 1))
+    """
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+
+class ModuleList(Module):
+    """Hold an ordered list of modules so their parameters are registered."""
+
+    def __init__(self, modules: Optional[List[Module]] = None) -> None:
+        super().__init__()
+        self._length = 0
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        """Append a module to the list."""
+        self.add_module(str(self._length), module)
+        self._length += 1
+        return self
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        if index < 0:
+            index += self._length
+        return self._modules[str(index)]
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError("ModuleList is a container and cannot be called directly")

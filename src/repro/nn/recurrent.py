@@ -1,0 +1,158 @@
+"""Recurrent layers: GRU and LSTM cells and multi-step wrappers.
+
+The FC-LSTM, GRU-ED, DCRNN and AGCRN baselines all need recurrent state
+updates.  Cells operate on ``(batch, features)`` tensors; the layer wrappers
+iterate over the time axis of ``(batch, time, features)`` input.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor, init, ops
+from .module import Module, Parameter
+
+__all__ = ["GRUCell", "LSTMCell", "GRU", "LSTM"]
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell.
+
+    Implements the standard update
+
+    .. math::
+        z = \\sigma(x W_{xz} + h W_{hz} + b_z) \\qquad
+        r = \\sigma(x W_{xr} + h W_{hr} + b_r)
+
+        \\tilde h = \\tanh(x W_{xn} + (r \\odot h) W_{hn} + b_n) \\qquad
+        h' = (1 - z) \\odot \\tilde h + z \\odot h
+    """
+
+    def __init__(self, input_size: int, hidden_size: int) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((input_size, 3 * hidden_size)), name="weight_ih")
+        self.weight_hh = Parameter(init.orthogonal((hidden_size, 3 * hidden_size)), name="weight_hh")
+        self.bias = Parameter(init.zeros((3 * hidden_size,)), name="bias")
+
+    def forward(self, x: Tensor, hidden: Optional[Tensor] = None) -> Tensor:
+        if hidden is None:
+            hidden = Tensor(np.zeros(x.shape[:-1] + (self.hidden_size,)))
+        gates_x = ops.tensordot_last(x, self.weight_ih) + self.bias
+        gates_h = ops.tensordot_last(hidden, self.weight_hh)
+        h = self.hidden_size
+        update = (gates_x[..., :h] + gates_h[..., :h]).sigmoid()
+        reset = (gates_x[..., h:2 * h] + gates_h[..., h:2 * h]).sigmoid()
+        candidate = (gates_x[..., 2 * h:] + reset * gates_h[..., 2 * h:]).tanh()
+        return (1.0 - update) * candidate + update * hidden
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell with input, forget, cell and output gates."""
+
+    def __init__(self, input_size: int, hidden_size: int) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((input_size, 4 * hidden_size)), name="weight_ih")
+        self.weight_hh = Parameter(init.orthogonal((hidden_size, 4 * hidden_size)), name="weight_hh")
+        # Forget-gate bias initialised to 1 for stable early training.
+        bias = init.zeros((4 * hidden_size,))
+        bias[hidden_size:2 * hidden_size] = 1.0
+        self.bias = Parameter(bias, name="bias")
+
+    def forward(
+        self,
+        x: Tensor,
+        state: Optional[Tuple[Tensor, Tensor]] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        if state is None:
+            shape = x.shape[:-1] + (self.hidden_size,)
+            state = (Tensor(np.zeros(shape)), Tensor(np.zeros(shape)))
+        hidden, cell = state
+        gates = (
+            ops.tensordot_last(x, self.weight_ih)
+            + ops.tensordot_last(hidden, self.weight_hh)
+            + self.bias
+        )
+        h = self.hidden_size
+        input_gate = gates[..., :h].sigmoid()
+        forget_gate = gates[..., h:2 * h].sigmoid()
+        cell_candidate = gates[..., 2 * h:3 * h].tanh()
+        output_gate = gates[..., 3 * h:].sigmoid()
+        new_cell = forget_gate * cell + input_gate * cell_candidate
+        new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+
+class GRU(Module):
+    """Multi-step GRU over ``(batch, time, features)`` input.
+
+    Returns the full hidden sequence and the final hidden state.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1) -> None:
+        super().__init__()
+        from .module import ModuleList
+
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        cells = []
+        for layer in range(num_layers):
+            cells.append(GRUCell(input_size if layer == 0 else hidden_size, hidden_size))
+        self.cells = ModuleList(cells)
+
+    def forward(self, x: Tensor, hidden: Optional[List[Tensor]] = None) -> Tuple[Tensor, List[Tensor]]:
+        steps = x.shape[-2]
+        layer_input_steps = [x[..., t, :] for t in range(steps)]
+        states = list(hidden) if hidden is not None else [None] * self.num_layers
+        for layer, cell in enumerate(self.cells):
+            outputs = []
+            state = states[layer]
+            for step_input in layer_input_steps:
+                state = cell(step_input, state)
+                outputs.append(state)
+            states[layer] = state
+            layer_input_steps = outputs
+        sequence = ops.stack(layer_input_steps, axis=-2)
+        return sequence, states
+
+
+class LSTM(Module):
+    """Multi-step LSTM over ``(batch, time, features)`` input."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1) -> None:
+        super().__init__()
+        from .module import ModuleList
+
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        cells = []
+        for layer in range(num_layers):
+            cells.append(LSTMCell(input_size if layer == 0 else hidden_size, hidden_size))
+        self.cells = ModuleList(cells)
+
+    def forward(
+        self,
+        x: Tensor,
+        state: Optional[List[Tuple[Tensor, Tensor]]] = None,
+    ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        steps = x.shape[-2]
+        layer_input_steps = [x[..., t, :] for t in range(steps)]
+        states = list(state) if state is not None else [None] * self.num_layers
+        for layer, cell in enumerate(self.cells):
+            outputs = []
+            current = states[layer]
+            for step_input in layer_input_steps:
+                hidden, cell_state = cell(step_input, current)
+                current = (hidden, cell_state)
+                outputs.append(hidden)
+            states[layer] = current
+            layer_input_steps = outputs
+        sequence = ops.stack(layer_input_steps, axis=-2)
+        return sequence, states

@@ -1,0 +1,25 @@
+"""Optimizers and learning-rate schedulers."""
+
+from .adam import Adam
+from .lr_scheduler import (
+    CosineAnnealingLR,
+    ExponentialLR,
+    LRScheduler,
+    ReduceLROnPlateau,
+    StepLR,
+)
+from .optimizer import Optimizer, clip_grad_norm, clip_grad_value
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "clip_grad_value",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "ReduceLROnPlateau",
+]

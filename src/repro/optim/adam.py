@@ -1,0 +1,70 @@
+"""Adam optimizer (Kingma & Ba, 2014), the optimiser used by the paper."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adaptive moment estimation.
+
+    The paper trains DyHSL with Adam, learning rate ``1e-3`` and batch size
+    32 for 100 epochs (Section V-A4); those are also this class's defaults.
+
+    Parameters
+    ----------
+    parameters:
+        Parameters to optimise.
+    lr:
+        Learning rate.
+    betas:
+        Exponential decay rates of the first and second moment estimates.
+    eps:
+        Numerical stabiliser added to the denominator.
+    weight_decay:
+        L2 penalty coefficient.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Update every parameter with bias-corrected moment estimates."""
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for parameter, moment1, moment2 in zip(
+            self.parameters, self._first_moment, self._second_moment
+        ):
+            grad = self._gradient(parameter)
+            moment1 *= self.beta1
+            moment1 += (1.0 - self.beta1) * grad
+            moment2 *= self.beta2
+            moment2 += (1.0 - self.beta2) * grad * grad
+            corrected1 = moment1 / bias1
+            corrected2 = moment2 / bias2
+            parameter.data -= self.lr * corrected1 / (np.sqrt(corrected2) + self.eps)

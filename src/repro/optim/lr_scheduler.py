@@ -1,0 +1,114 @@
+"""Learning-rate schedulers.
+
+Lightweight schedulers that mutate the learning rate of an
+:class:`repro.optim.Optimizer` in place.  ``step()`` is called once per
+epoch by the trainer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .optimizer import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR", "ReduceLROnPlateau"]
+
+
+class LRScheduler:
+    """Base class that tracks the initial learning rate and epoch counter."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        """Return the learning rate for the current epoch."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.last_epoch += 1
+        new_lr = self.get_lr()
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class StepLR(LRScheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.last_epoch // self.step_size))
+
+
+class ExponentialLR(LRScheduler):
+    """Decay the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** self.last_epoch)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base learning rate down to ``eta_min``."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))
+
+
+class ReduceLROnPlateau:
+    """Halve the learning rate when a monitored metric stops improving.
+
+    Unlike the epoch-indexed schedulers this one is driven by a metric value
+    (typically the validation MAE), so ``step(metric)`` must be called with
+    the latest measurement.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 5,
+        min_lr: float = 1e-6,
+    ) -> None:
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.best = math.inf
+        self.bad_epochs = 0
+        self.history: List[float] = []
+
+    def step(self, metric: float) -> float:
+        """Record ``metric`` and reduce the learning rate if it plateaued."""
+        self.history.append(float(metric))
+        if metric < self.best - 1e-12:
+            self.best = float(metric)
+            self.bad_epochs = 0
+        else:
+            self.bad_epochs += 1
+            if self.bad_epochs > self.patience:
+                self.optimizer.lr = max(self.optimizer.lr * self.factor, self.min_lr)
+                self.bad_epochs = 0
+        return self.optimizer.lr

@@ -1,0 +1,95 @@
+"""Optimizer base class and gradient utilities.
+
+Optimizers operate on the flat list of :class:`repro.nn.Parameter` objects
+returned by ``model.parameters()``.  The interface mirrors PyTorch:
+``zero_grad()`` before the backward pass, ``step()`` after it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer", "clip_grad_norm", "clip_grad_value"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and common bookkeeping.
+
+    Parameters
+    ----------
+    parameters:
+        Iterable of :class:`Parameter` objects to optimise.
+    lr:
+        Learning rate; concrete optimisers may adapt it per step.
+    weight_decay:
+        L2 penalty coefficient applied as a gradient addition (decoupled
+        weight decay is not needed for this reproduction).
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive; got {lr}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def _gradient(self, parameter: Parameter) -> np.ndarray:
+        """Return the parameter gradient, including weight decay."""
+        grad = parameter.grad
+        if grad is None:
+            grad = np.zeros_like(parameter.data)
+        if self.weight_decay:
+            grad = grad + self.weight_decay * parameter.data
+        return grad
+
+    def step(self) -> None:
+        """Apply one optimisation step.  Implemented by subclasses."""
+        raise NotImplementedError
+
+    @property
+    def step_count(self) -> int:
+        """Number of ``step()`` calls performed so far."""
+        return self._step_count
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Clip the global L2 norm of all gradients to ``max_norm``.
+
+    Returns the pre-clipping norm so callers can log it.  Parameters without
+    gradients are skipped.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g ** 2).sum()) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / (total + 1e-12)
+        for parameter in parameters:
+            if parameter.grad is not None:
+                parameter.grad = parameter.grad * scale
+    return total
+
+
+def clip_grad_value(parameters: Sequence[Parameter], clip_value: float) -> None:
+    """Clamp every gradient element into ``[-clip_value, clip_value]``."""
+    if clip_value <= 0:
+        raise ValueError("clip_value must be positive")
+    for parameter in parameters:
+        if parameter.grad is not None:
+            np.clip(parameter.grad, -clip_value, clip_value, out=parameter.grad)

@@ -1,0 +1,61 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """Plain SGD, optionally with (Nesterov) momentum.
+
+    Parameters
+    ----------
+    parameters:
+        Parameters to optimise.
+    lr:
+        Learning rate.
+    momentum:
+        Momentum coefficient; 0 disables the velocity buffer.
+    nesterov:
+        Use Nesterov's accelerated update instead of classical momentum.
+    weight_decay:
+        L2 penalty coefficient.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Update every parameter in-place from its accumulated gradient."""
+        self._step_count += 1
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            grad = self._gradient(parameter)
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                if self.nesterov:
+                    grad = grad + self.momentum * velocity
+                else:
+                    grad = velocity
+            parameter.data -= self.lr * grad

@@ -1,0 +1,36 @@
+"""NumPy-based autograd substrate used by every model in the library.
+
+The subpackage replaces the PyTorch dependency of the original DyHSL
+implementation with a small reverse-mode automatic-differentiation engine:
+
+* :class:`repro.tensor.Tensor` — array wrapper with gradient tracking.
+* :mod:`repro.tensor.ops` — structural operations (concatenate, stack, pad…).
+* :mod:`repro.tensor.functional` — activations, dropout and loss primitives.
+* :mod:`repro.tensor.init` — weight initialisers.
+* :mod:`repro.tensor.random` — seed management for reproducible runs.
+"""
+
+from . import functional, init, ops, random
+from .ops import concatenate, one_hot, pad, split, stack, unfold_windows, where
+from .random import fork_rng, get_rng, seed
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "split",
+    "pad",
+    "where",
+    "one_hot",
+    "unfold_windows",
+    "seed",
+    "get_rng",
+    "fork_rng",
+    "functional",
+    "ops",
+    "init",
+    "random",
+]

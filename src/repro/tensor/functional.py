@@ -1,0 +1,134 @@
+"""Functional interface to common neural-network operations.
+
+Thin wrappers around :class:`repro.tensor.Tensor` methods plus a handful of
+stateless operations (dropout, GLU, Huber) that the module classes in
+:mod:`repro.nn` are built from.  Keeping them here lets models mix the
+object-oriented and functional styles just like PyTorch code does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "elu",
+    "gelu",
+    "softplus",
+    "dropout",
+    "glu",
+    "mae",
+    "mse",
+    "huber",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit ``max(x, 0)``."""
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky rectified linear unit."""
+    return x.leaky_relu(negative_slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    return x.log_softmax(axis=axis)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
+    positive = x.relu()
+    negative = ((-x).relu() * -1.0).exp() - 1.0
+    mask = Tensor((x.data <= 0).astype(float))
+    return positive + mask * negative * alpha
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    inner = (x + (x * x * x) * 0.044715) * 0.7978845608028654
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Softplus ``log(1 + exp(x))`` computed in a numerically stable way."""
+    return x.relu() + ((-x.abs()).exp() + 1.0).log()
+
+
+def dropout(x: Tensor, p: float = 0.5, training: bool = True,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Randomly zero elements of ``x`` with probability ``p``.
+
+    The surviving activations are rescaled by ``1 / (1 - p)`` so that the
+    expected value is preserved (inverted dropout).  At evaluation time or
+    with ``p == 0`` the input passes through unchanged.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1); got {p}")
+    if not training or p == 0.0 or not is_grad_enabled():
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(float) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def glu(x: Tensor, axis: int = -1) -> Tensor:
+    """Gated linear unit: split ``x`` in two along ``axis`` and gate.
+
+    Used by the STGCN baseline's temporal convolution blocks.
+    """
+    size = x.shape[axis]
+    if size % 2 != 0:
+        raise ValueError("glu() requires an even dimension along the gating axis")
+    half = size // 2
+    slicer_a = [slice(None)] * x.ndim
+    slicer_b = [slice(None)] * x.ndim
+    slicer_a[axis] = slice(0, half)
+    slicer_b[axis] = slice(half, size)
+    return x[tuple(slicer_a)] * x[tuple(slicer_b)].sigmoid()
+
+
+def mae(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    return (prediction - target).abs().mean()
+
+
+def mse(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def huber(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss, quadratic below ``delta`` and linear above."""
+    diff = prediction - target
+    abs_diff = diff.abs()
+    quadratic = abs_diff.minimum(Tensor(np.array(delta)))
+    linear = abs_diff - quadratic
+    return (quadratic * quadratic * 0.5 + linear * delta).mean()

@@ -1,0 +1,121 @@
+"""Weight initialisation schemes.
+
+Provides the initialisers used by the DyHSL model and the baselines.  All
+functions return plain NumPy arrays; the module layer wraps them into
+parameters.  A module-level random generator (see :mod:`repro.tensor.random`)
+keeps initialisation reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .random import get_rng
+
+__all__ = [
+    "zeros",
+    "ones",
+    "constant",
+    "uniform",
+    "normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "kaiming_normal",
+    "orthogonal",
+]
+
+
+def _fan_in_fan_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for a weight of the given shape.
+
+    For linear weights ``(in, out)`` the fans are the two dimensions; for
+    convolutional weights the receptive-field size multiplies both.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) < 1:
+        raise ValueError("initialisation requires at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive_field = int(np.prod(shape[2:]))
+    fan_in = shape[1] * receptive_field
+    fan_out = shape[0] * receptive_field
+    return fan_in, fan_out
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Sequence[int]) -> np.ndarray:
+    """All-one initialisation (normalisation scales)."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def constant(shape: Sequence[int], value: float) -> np.ndarray:
+    """Constant initialisation."""
+    return np.full(shape, value, dtype=np.float64)
+
+
+def uniform(shape: Sequence[int], low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Uniform initialisation in ``[low, high)``."""
+    return get_rng().uniform(low, high, size=shape)
+
+
+def normal(shape: Sequence[int], mean: float = 0.0, std: float = 0.01) -> np.ndarray:
+    """Gaussian initialisation."""
+    return get_rng().normal(mean, std, size=shape)
+
+
+def xavier_uniform(shape: Sequence[int], gain: float = 1.0) -> np.ndarray:
+    """Glorot / Xavier uniform initialisation.
+
+    Keeps the variance of activations roughly constant across layers for
+    tanh/sigmoid-style non-linearities, which DyHSL uses in its hypergraph
+    and interactive convolutions.
+    """
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return get_rng().uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Sequence[int], gain: float = 1.0) -> np.ndarray:
+    """Glorot / Xavier normal initialisation."""
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return get_rng().normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Sequence[int]) -> np.ndarray:
+    """He / Kaiming uniform initialisation for ReLU networks."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return get_rng().uniform(-limit, limit, size=shape)
+
+
+def kaiming_normal(shape: Sequence[int]) -> np.ndarray:
+    """He / Kaiming normal initialisation for ReLU networks."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return get_rng().normal(0.0, std, size=shape)
+
+
+def orthogonal(shape: Sequence[int], gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation, recommended for recurrent weight matrices."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal initialisation requires a 2-D shape")
+    rows, cols = shape
+    # QR of a tall matrix gives orthonormal columns; transpose afterwards if
+    # the requested shape is wide.
+    flat = get_rng().normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    # Make the decomposition unique so results are deterministic.
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]

@@ -1,0 +1,656 @@
+"""Reverse-mode automatic differentiation on top of NumPy.
+
+This module provides the :class:`Tensor` class, the foundation of the
+``repro`` neural-network substrate.  The original DyHSL implementation is
+built on PyTorch; this environment has no PyTorch, so the library ships its
+own small but complete autograd engine.  A ``Tensor`` wraps a
+``numpy.ndarray`` and records the operations applied to it so that
+:meth:`Tensor.backward` can propagate gradients back to every leaf tensor
+that has ``requires_grad=True``.
+
+The engine supports broadcasting (gradients are automatically reduced back to
+the operand's shape), slicing, matrix multiplication with batched operands,
+reductions with ``axis``/``keepdims``, and the element-wise functions needed
+by DyHSL and the baseline models.
+
+Example
+-------
+>>> from repro.tensor import Tensor
+>>> x = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+>>> y = (x * x).sum()
+>>> y.backward()
+>>> x.grad
+array([[2., 4.],
+       [6., 8.]])
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+# Scalars and anything numpy can coerce are accepted wherever a Tensor is
+# expected in arithmetic.
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_DEFAULT_DTYPE = np.float64
+
+# Global autograd switch, toggled by the ``no_grad`` context manager.
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient tracking.
+
+    Mirrors ``torch.no_grad``: operations executed inside the block do not
+    build a computation graph, which makes inference cheaper and prevents
+    training-time state from leaking into evaluation code.
+
+    Example
+    -------
+    >>> with no_grad():
+    ...     y = model(x)
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations record gradient information."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    NumPy broadcasting expands operands during the forward pass; the gradient
+    of a broadcast operand is the sum of the output gradient over the
+    broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=_DEFAULT_DTYPE) -> np.ndarray:
+    """Coerce ``value`` into a NumPy array of the engine's default dtype."""
+    if isinstance(value, Tensor):
+        return value.data
+    array = np.asarray(value, dtype=dtype)
+    return array
+
+
+class Tensor:
+    """A NumPy-backed array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts (nested lists, scalars, arrays or
+        another :class:`Tensor`, whose buffer is then shared).
+    requires_grad:
+        When ``True`` the tensor participates in the autograd graph and
+        accumulates gradients into :attr:`grad` when :meth:`backward` is
+        called on a downstream scalar.
+    name:
+        Optional human-readable label used in error messages and parameter
+        listings.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_grad_fns", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            self.data = data.data
+        else:
+            self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self._grad_fns: Tuple[Callable[[np.ndarray], np.ndarray], ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        """Return a tensor of zeros with the given shape."""
+        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        """Return a tensor of ones with the given shape."""
+        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def full(shape: Sequence[int], fill_value: float, requires_grad: bool = False) -> "Tensor":
+        """Return a tensor filled with ``fill_value``."""
+        return Tensor(np.full(shape, fill_value, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def eye(n: int, requires_grad: bool = False) -> "Tensor":
+        """Return the ``n`` x ``n`` identity matrix."""
+        return Tensor(np.eye(n, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def from_numpy(array: np.ndarray, requires_grad: bool = False) -> "Tensor":
+        """Wrap an existing NumPy array (copying to the default dtype)."""
+        return Tensor(array, requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Data type of the underlying array."""
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        """Transpose of a 2-D tensor (alias of :meth:`transpose`)."""
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying NumPy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing the same data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a new tensor with copied data, detached from the graph."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Autograd plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        grad_fns: Sequence[Callable[[np.ndarray], np.ndarray]],
+    ) -> "Tensor":
+        """Create an output tensor wired to its parents.
+
+        ``grad_fns[i]`` maps the gradient of the output to the gradient
+        contribution of ``parents[i]``.  Parents that do not require
+        gradients are dropped so the graph stays minimal.
+        """
+        requires_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires_grad)
+        if requires_grad:
+            kept_parents: List[Tensor] = []
+            kept_fns: List[Callable[[np.ndarray], np.ndarray]] = []
+            for parent, fn in zip(parents, grad_fns):
+                if parent.requires_grad:
+                    kept_parents.append(parent)
+                    kept_fns.append(fn)
+            out._parents = tuple(kept_parents)
+            out._grad_fns = tuple(kept_fns)
+        return out
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate gradients from this tensor to all graph leaves.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some scalar objective with respect to this tensor.
+            Defaults to ``1`` which is only valid for scalar tensors (the
+            usual case: a loss value).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient is only supported "
+                    f"for scalar tensors; got shape {self.shape}"
+                )
+            grad_array = np.ones_like(self.data)
+        else:
+            grad_array = _as_array(grad)
+            if grad_array.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad_array.shape} does not match tensor shape {self.shape}"
+                )
+
+        # Topologically order the graph so every node's gradient is complete
+        # before it is propagated to its parents.
+        topo_order: List[Tensor] = []
+        visited: set = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo_order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict = {id(self): grad_array}
+        for node in reversed(topo_order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._parents:
+                for parent, grad_fn in zip(node._parents, node._grad_fns):
+                    contribution = grad_fn(node_grad)
+                    if contribution is None:
+                        continue
+                    existing = grads.get(id(parent))
+                    if existing is None:
+                        grads[id(parent)] = contribution
+                    else:
+                        grads[id(parent)] = existing + contribution
+            else:
+                # Leaf tensor: accumulate into .grad like PyTorch does.
+                if node.grad is None:
+                    node.grad = np.array(node_grad, dtype=_DEFAULT_DTYPE, copy=True)
+                else:
+                    node.grad = node.grad + node_grad
+        # The root may itself be a leaf (e.g. loss = parameter.sum() on a leaf).
+        if not self._parents and self.grad is None:
+            self.grad = grad_array
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: ArrayLike) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+        return Tensor._make(
+            data,
+            (self, other),
+            (
+                lambda g: _unbroadcast(g, self.shape),
+                lambda g: _unbroadcast(g, other.shape),
+            ),
+        )
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data - other.data
+        return Tensor._make(
+            data,
+            (self, other),
+            (
+                lambda g: _unbroadcast(g, self.shape),
+                lambda g: _unbroadcast(-g, other.shape),
+            ),
+        )
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+        return Tensor._make(
+            data,
+            (self, other),
+            (
+                lambda g: _unbroadcast(g * other.data, self.shape),
+                lambda g: _unbroadcast(g * self.data, other.shape),
+            ),
+        )
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+        return Tensor._make(
+            data,
+            (self, other),
+            (
+                lambda g: _unbroadcast(g / other.data, self.shape),
+                lambda g: _unbroadcast(-g * self.data / (other.data ** 2), other.shape),
+            ),
+        )
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), (lambda g: -g,))
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log instead")
+        exponent = float(exponent)
+        data = self.data ** exponent
+        base = self.data
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            return g * exponent * np.power(base, exponent - 1)
+
+        return Tensor._make(data, (self,), (grad_fn,))
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def __rmatmul__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).matmul(self)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix product supporting 1-D, 2-D and batched operands."""
+        other = self._coerce(other)
+        a, b = self.data, other.data
+        data = a @ b
+
+        def grad_a(g: np.ndarray) -> np.ndarray:
+            if b.ndim == 1 and a.ndim == 1:
+                return g * b
+            if b.ndim == 1:
+                grad = np.expand_dims(g, -1) * b
+            elif a.ndim == 1:
+                grad = (g[..., None, :] * b).sum(axis=-1)
+            else:
+                grad = g @ np.swapaxes(b, -1, -2)
+            return _unbroadcast(grad, a.shape)
+
+        def grad_b(g: np.ndarray) -> np.ndarray:
+            if a.ndim == 1 and b.ndim == 1:
+                return g * a
+            if a.ndim == 1:
+                grad = np.expand_dims(a, -1) * np.expand_dims(g, -2)
+                return _unbroadcast(grad, b.shape)
+            if b.ndim == 1:
+                grad = (np.swapaxes(a, -1, -2) @ np.expand_dims(g, -1))[..., 0]
+                return _unbroadcast(grad, b.shape)
+            grad = np.swapaxes(a, -1, -2) @ g
+            return _unbroadcast(grad, b.shape)
+
+        return Tensor._make(data, (self, other), (grad_a, grad_b))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        """Return a tensor with the same data and a new shape."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+        data = self.data.reshape(shape)
+        return Tensor._make(data, (self,), (lambda g: g.reshape(original_shape),))
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute the axes of the tensor.
+
+        Without arguments this reverses the axes (matrix transpose for 2-D
+        tensors).  With arguments it behaves like ``numpy.transpose``.
+        """
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        data = self.data.transpose(axes)
+        return Tensor._make(data, (self,), (lambda g: g.transpose(inverse),))
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Swap two axes of the tensor."""
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        """Remove axes of length one."""
+        original_shape = self.shape
+        data = self.data.squeeze() if axis is None else self.data.squeeze(axis)
+        return Tensor._make(data, (self,), (lambda g: g.reshape(original_shape),))
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        """Insert a new axis of length one at ``axis``."""
+        original_shape = self.shape
+        data = np.expand_dims(self.data, axis)
+        return Tensor._make(data, (self,), (lambda g: g.reshape(original_shape),))
+
+    def expand(self, *shape: int) -> "Tensor":
+        """Broadcast the tensor to ``shape`` (read-only expansion)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+        data = np.broadcast_to(self.data, shape).copy()
+        return Tensor._make(data, (self,), (lambda g: _unbroadcast(g, original_shape),))
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        original_shape = self.shape
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            full = np.zeros(original_shape, dtype=_DEFAULT_DTYPE)
+            np.add.at(full, index, g)
+            return full
+
+        return Tensor._make(data, (self,), (grad_fn,))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum of elements over the given axis (or all elements)."""
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        original_shape = self.shape
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            if axis is None:
+                return np.broadcast_to(g, original_shape).copy() if not keepdims else np.broadcast_to(g, original_shape).copy()
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            return np.broadcast_to(g_expanded, original_shape).copy()
+
+        return Tensor._make(data, (self,), (grad_fn,))
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over the given axis (or all elements)."""
+        data = self.data.mean(axis=axis, keepdims=keepdims)
+        original_shape = self.shape
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for ax in axes:
+                count *= original_shape[ax]
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            if axis is None:
+                return np.broadcast_to(g / count, original_shape).copy()
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            return np.broadcast_to(g_expanded / count, original_shape).copy()
+
+        return Tensor._make(data, (self,), (grad_fn,))
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Biased variance over the given axis (population variance)."""
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        squared = centered * centered
+        return squared.mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over the given axis; gradients flow to the arg-max entries."""
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        original = self.data
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            if axis is None:
+                mask = (original == original.max()).astype(_DEFAULT_DTYPE)
+                mask /= mask.sum()
+                return mask * g
+            expanded_max = original.max(axis=axis, keepdims=True)
+            mask = (original == expanded_max).astype(_DEFAULT_DTYPE)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            return mask * g_expanded
+
+        return Tensor._make(data, (self,), (grad_fn,))
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Minimum over the given axis; gradients flow to the arg-min entries."""
+        return (-(-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Element-wise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Element-wise exponential."""
+        data = np.exp(self.data)
+        return Tensor._make(data, (self,), (lambda g: g * data,))
+
+    def log(self) -> "Tensor":
+        """Element-wise natural logarithm."""
+        data = np.log(self.data)
+        source = self.data
+        return Tensor._make(data, (self,), (lambda g: g / source,))
+
+    def sqrt(self) -> "Tensor":
+        """Element-wise square root."""
+        data = np.sqrt(self.data)
+        return Tensor._make(data, (self,), (lambda g: g * 0.5 / data,))
+
+    def abs(self) -> "Tensor":
+        """Element-wise absolute value (sub-gradient 0 at zero)."""
+        data = np.abs(self.data)
+        sign = np.sign(self.data)
+        return Tensor._make(data, (self,), (lambda g: g * sign,))
+
+    def tanh(self) -> "Tensor":
+        """Element-wise hyperbolic tangent."""
+        data = np.tanh(self.data)
+        return Tensor._make(data, (self,), (lambda g: g * (1.0 - data ** 2),))
+
+    def sigmoid(self) -> "Tensor":
+        """Element-wise logistic sigmoid."""
+        data = 1.0 / (1.0 + np.exp(-self.data))
+        return Tensor._make(data, (self,), (lambda g: g * data * (1.0 - data),))
+
+    def relu(self) -> "Tensor":
+        """Element-wise rectified linear unit."""
+        mask = (self.data > 0).astype(_DEFAULT_DTYPE)
+        data = self.data * mask
+        return Tensor._make(data, (self,), (lambda g: g * mask,))
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        """Element-wise leaky ReLU."""
+        mask = np.where(self.data > 0, 1.0, negative_slope)
+        data = self.data * mask
+        return Tensor._make(data, (self,), (lambda g: g * mask,))
+
+    def clip(self, minimum: Optional[float] = None, maximum: Optional[float] = None) -> "Tensor":
+        """Clamp values into ``[minimum, maximum]``; gradient is zero outside."""
+        data = np.clip(self.data, minimum, maximum)
+        lower = -np.inf if minimum is None else minimum
+        upper = np.inf if maximum is None else maximum
+        mask = ((self.data >= lower) & (self.data <= upper)).astype(_DEFAULT_DTYPE)
+        return Tensor._make(data, (self,), (lambda g: g * mask,))
+
+    def maximum(self, other: ArrayLike) -> "Tensor":
+        """Element-wise maximum with ties splitting the gradient equally."""
+        other = self._coerce(other)
+        data = np.maximum(self.data, other.data)
+        self_mask = (self.data > other.data).astype(_DEFAULT_DTYPE)
+        tie_mask = (self.data == other.data).astype(_DEFAULT_DTYPE) * 0.5
+        other_mask = (other.data > self.data).astype(_DEFAULT_DTYPE)
+        return Tensor._make(
+            data,
+            (self, other),
+            (
+                lambda g: _unbroadcast(g * (self_mask + tie_mask), self.shape),
+                lambda g: _unbroadcast(g * (other_mask + tie_mask), other.shape),
+            ),
+        )
+
+    def minimum(self, other: ArrayLike) -> "Tensor":
+        """Element-wise minimum with ties splitting the gradient equally."""
+        other = self._coerce(other)
+        return -((-self).maximum(-other))
+
+    # ------------------------------------------------------------------
+    # Softmax-style helpers used throughout the models
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax along ``axis``."""
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        exps = shifted.exp()
+        return exps / exps.sum(axis=axis, keepdims=True)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Logarithm of the softmax along ``axis``."""
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def _ensure_tensor(value: ArrayLike) -> Tensor:
+    """Module-level coercion helper shared with :mod:`repro.tensor.ops`."""
+    return value if isinstance(value, Tensor) else Tensor(value)

@@ -1,0 +1,33 @@
+"""Training, evaluation and experiment orchestration."""
+
+from .checkpoints import InMemoryCheckpoint, load_checkpoint, save_checkpoint
+from .early_stopping import EarlyStopping
+from .experiment import ExperimentResult, run_neural_experiment, run_statistical_experiment
+from .metrics import (
+    ForecastMetrics,
+    evaluate_forecast,
+    horizon_metrics,
+    masked_mae,
+    masked_mape,
+    masked_rmse,
+)
+from .trainer import Trainer, TrainerConfig, TrainingHistory
+
+__all__ = [
+    "ForecastMetrics",
+    "masked_mae",
+    "masked_rmse",
+    "masked_mape",
+    "evaluate_forecast",
+    "horizon_metrics",
+    "EarlyStopping",
+    "InMemoryCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "ExperimentResult",
+    "run_neural_experiment",
+    "run_statistical_experiment",
+]

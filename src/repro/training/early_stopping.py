@@ -1,0 +1,62 @@
+"""Early stopping on a monitored validation metric."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+__all__ = ["EarlyStopping"]
+
+
+class EarlyStopping:
+    """Stop training when the validation metric stops improving.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving epochs tolerated before
+        signalling a stop.
+    min_delta:
+        Minimum decrease of the metric that counts as an improvement.
+    """
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: float = math.inf
+        self.best_epoch: Optional[int] = None
+        self.bad_epochs = 0
+        self.history: List[float] = []
+
+    def update(self, metric: float) -> bool:
+        """Record ``metric`` for the current epoch.
+
+        Returns
+        -------
+        bool
+            ``True`` when the metric improved (callers typically checkpoint
+            the model weights on improvement).
+        """
+        self.history.append(float(metric))
+        epoch = len(self.history)
+        if metric < self.best - self.min_delta:
+            self.best = float(metric)
+            self.best_epoch = epoch
+            self.bad_epochs = 0
+            return True
+        self.bad_epochs += 1
+        return False
+
+    @property
+    def should_stop(self) -> bool:
+        """Whether the patience budget has been exhausted."""
+        return self.bad_epochs >= self.patience
+
+    def __repr__(self) -> str:
+        return (
+            f"EarlyStopping(best={self.best:.4f}, bad_epochs={self.bad_epochs}, patience={self.patience})"
+        )

@@ -1,0 +1,133 @@
+"""Experiment orchestration used by the benchmark harness.
+
+:func:`run_neural_experiment` wraps the full train → evaluate cycle for a
+neural model and records everything the paper's tables report: the three
+test metrics (Table III), the parameter count, the mean training time per
+epoch and the test-time inference latency (Table IV).
+
+:func:`run_statistical_experiment` does the same for the classical
+baselines (HA, ARIMA, VAR, SVR), which implement a simple
+``fit(signal) / forecast(windows)`` interface instead of gradient training.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..data.loaders import ForecastingData
+from ..nn import Module
+from .metrics import ForecastMetrics, evaluate_forecast
+from .trainer import Trainer, TrainerConfig
+
+__all__ = ["ExperimentResult", "run_neural_experiment", "run_statistical_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a benchmark needs to print one table row.
+
+    Attributes
+    ----------
+    name:
+        Model name as it appears in the paper's tables.
+    metrics:
+        Test-set MAE / RMSE / MAPE on the original scale.
+    num_parameters:
+        Learnable parameter count (0 for statistical baselines).
+    train_seconds_per_epoch:
+        Mean wall-clock training time per epoch (0 when not applicable).
+    test_seconds:
+        Wall-clock time of the full test-set prediction pass.
+    epochs_trained:
+        Number of epochs actually run (early stopping may cut training short).
+    extra:
+        Free-form auxiliary values (e.g. validation curve).
+    """
+
+    name: str
+    metrics: ForecastMetrics
+    num_parameters: int = 0
+    train_seconds_per_epoch: float = 0.0
+    test_seconds: float = 0.0
+    epochs_trained: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, float]:
+        """Flatten into a printable dictionary."""
+        return {
+            "model": self.name,
+            "MAE": round(self.metrics.mae, 2),
+            "RMSE": round(self.metrics.rmse, 2),
+            "MAPE": round(self.metrics.mape, 2),
+            "parameters": self.num_parameters,
+            "train_s_per_epoch": round(self.train_seconds_per_epoch, 2),
+            "test_s": round(self.test_seconds, 2),
+        }
+
+
+def run_neural_experiment(
+    name: str,
+    model: Module,
+    data: ForecastingData,
+    trainer_config: Optional[TrainerConfig] = None,
+) -> ExperimentResult:
+    """Train ``model`` on ``data`` and measure test metrics and costs."""
+    trainer = Trainer(model, data, trainer_config)
+    history = trainer.fit()
+
+    started = time.perf_counter()
+    predictions = trainer.predict(data.test.inputs)
+    test_seconds = time.perf_counter() - started
+    metrics = evaluate_forecast(predictions, data.test.targets, null_value=trainer.config.null_value)
+
+    return ExperimentResult(
+        name=name,
+        metrics=metrics,
+        num_parameters=model.num_parameters(),
+        train_seconds_per_epoch=history.mean_epoch_seconds,
+        test_seconds=test_seconds,
+        epochs_trained=history.num_epochs,
+        extra={"best_epoch": float(history.best_epoch or 0)},
+    )
+
+
+def run_statistical_experiment(
+    name: str,
+    model,
+    data: ForecastingData,
+    null_value: Optional[float] = 0.0,
+) -> ExperimentResult:
+    """Fit a statistical baseline and measure its test metrics and costs.
+
+    ``model`` must implement ``fit(signal)`` over the raw training signal
+    (shape ``(T, N)``) and ``forecast(windows)`` mapping raw input windows
+    ``(samples, T, N)`` to predictions ``(samples, T', N)``.
+    """
+    train_signal = data.dataset.signal[..., 0]
+    # Statistical baselines are fitted on the chronological training portion only.
+    from ..data.splits import chronological_split
+
+    train_part, _, _ = chronological_split(train_signal, data.ratios)
+
+    started = time.perf_counter()
+    model.fit(train_part)
+    fit_seconds = time.perf_counter() - started
+
+    raw_inputs = data.scaler.inverse_transform(data.test.inputs[..., 0])
+    started = time.perf_counter()
+    predictions = model.forecast(raw_inputs)
+    test_seconds = time.perf_counter() - started
+    metrics = evaluate_forecast(predictions, data.test.targets, null_value=null_value)
+
+    return ExperimentResult(
+        name=name,
+        metrics=metrics,
+        num_parameters=0,
+        train_seconds_per_epoch=fit_seconds,
+        test_seconds=test_seconds,
+        epochs_trained=1,
+    )

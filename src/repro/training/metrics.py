@@ -1,0 +1,120 @@
+"""Evaluation metrics: MAE, RMSE and MAPE with null-value masking.
+
+The paper evaluates with Mean Absolute Error, Root Mean Squared Error and
+Mean Absolute Percentage Error (Section V-A2).  Following the standard
+protocol of the STSGCN data release, entries whose ground truth equals the
+null marker (0 for PEMS flow) are excluded from every metric, and MAPE
+additionally excludes near-zero targets to stay well defined.
+
+All functions operate on plain NumPy arrays on the *original* (vehicles per
+5 minutes) scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["ForecastMetrics", "masked_mae", "masked_rmse", "masked_mape", "evaluate_forecast", "horizon_metrics"]
+
+
+def _mask(target: np.ndarray, null_value: Optional[float]) -> np.ndarray:
+    """Boolean mask of entries that participate in the metric."""
+    if null_value is None:
+        return np.ones_like(target, dtype=bool)
+    if np.isnan(null_value):
+        return ~np.isnan(target)
+    return ~np.isclose(target, null_value)
+
+
+def masked_mae(prediction: np.ndarray, target: np.ndarray, null_value: Optional[float] = 0.0) -> float:
+    """Mean absolute error over non-null target entries."""
+    prediction = np.asarray(prediction, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: prediction {prediction.shape} vs target {target.shape}")
+    mask = _mask(target, null_value)
+    if not mask.any():
+        return 0.0
+    return float(np.abs(prediction[mask] - target[mask]).mean())
+
+
+def masked_rmse(prediction: np.ndarray, target: np.ndarray, null_value: Optional[float] = 0.0) -> float:
+    """Root mean squared error over non-null target entries."""
+    prediction = np.asarray(prediction, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: prediction {prediction.shape} vs target {target.shape}")
+    mask = _mask(target, null_value)
+    if not mask.any():
+        return 0.0
+    return float(np.sqrt(np.square(prediction[mask] - target[mask]).mean()))
+
+
+def masked_mape(
+    prediction: np.ndarray,
+    target: np.ndarray,
+    null_value: Optional[float] = 0.0,
+    epsilon: float = 1e-5,
+) -> float:
+    """Mean absolute percentage error (in %) over non-null, non-zero targets."""
+    prediction = np.asarray(prediction, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: prediction {prediction.shape} vs target {target.shape}")
+    mask = _mask(target, null_value) & (np.abs(target) > epsilon)
+    if not mask.any():
+        return 0.0
+    ratio = np.abs(prediction[mask] - target[mask]) / np.abs(target[mask])
+    return float(ratio.mean() * 100.0)
+
+
+@dataclass(frozen=True)
+class ForecastMetrics:
+    """Bundle of the three headline metrics used throughout the paper."""
+
+    mae: float
+    rmse: float
+    mape: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the metrics as a plain dictionary."""
+        return {"MAE": self.mae, "RMSE": self.rmse, "MAPE": self.mape}
+
+    def __str__(self) -> str:
+        return f"MAE={self.mae:.2f}  RMSE={self.rmse:.2f}  MAPE={self.mape:.2f}%"
+
+
+def evaluate_forecast(
+    prediction: np.ndarray,
+    target: np.ndarray,
+    null_value: Optional[float] = 0.0,
+) -> ForecastMetrics:
+    """Compute MAE, RMSE and MAPE in one call."""
+    return ForecastMetrics(
+        mae=masked_mae(prediction, target, null_value),
+        rmse=masked_rmse(prediction, target, null_value),
+        mape=masked_mape(prediction, target, null_value),
+    )
+
+
+def horizon_metrics(
+    prediction: np.ndarray,
+    target: np.ndarray,
+    null_value: Optional[float] = 0.0,
+) -> Dict[int, ForecastMetrics]:
+    """Per-horizon metrics for ``(samples, horizon, nodes)`` arrays.
+
+    Returns a mapping ``{horizon_step (1-based): ForecastMetrics}`` so the
+    15/30/60-minute breakdown common in the literature can be reported.
+    """
+    prediction = np.asarray(prediction, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if prediction.ndim != 3 or prediction.shape != target.shape:
+        raise ValueError("horizon_metrics expects matching (samples, horizon, nodes) arrays")
+    return {
+        step + 1: evaluate_forecast(prediction[:, step], target[:, step], null_value)
+        for step in range(prediction.shape[1])
+    }

@@ -1,0 +1,131 @@
+"""Tests for the analysis utilities (complexity, sensitivity, case study, incidence)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_incidence,
+    ascii_sparkline,
+    count_parameters,
+    extract_sensor_traces,
+    measure_complexity,
+    parameter_breakdown,
+    render_case_study,
+    render_incidence_matrix,
+    sensitivity_sweep,
+)
+from repro.baselines import FCLSTM
+from repro.core import DyHSL, DyHSLConfig
+from repro.training import TrainerConfig
+
+
+def tiny_config(num_nodes, **overrides):
+    params = dict(
+        num_nodes=num_nodes,
+        hidden_dim=8,
+        prior_layers=1,
+        num_hyperedges=4,
+        window_sizes=(1, 12),
+        mhce_layers=1,
+        dropout=0.0,
+    )
+    params.update(overrides)
+    return DyHSLConfig(**params)
+
+
+class TestComplexity:
+    def test_count_and_breakdown(self, forecasting_data):
+        model = DyHSL(tiny_config(forecasting_data.num_nodes), forecasting_data.adjacency)
+        total = count_parameters(model)
+        breakdown = parameter_breakdown(model)
+        assert total == sum(breakdown.values())
+        assert "extractor" in breakdown and "embedding" in breakdown
+
+    def test_measure_complexity_report(self, forecasting_data):
+        model = FCLSTM(hidden_dim=8)
+        report = measure_complexity("FC-LSTM", model, forecasting_data,
+                                    TrainerConfig(max_epochs=5, batch_size=32))
+        assert report.num_parameters == model.num_parameters()
+        assert report.train_seconds_per_epoch > 0
+        assert report.test_seconds > 0
+        assert report.row()["model"] == "FC-LSTM"
+
+
+class TestSensitivity:
+    def test_sweep_over_hyperedges(self, forecasting_data):
+        base = tiny_config(forecasting_data.num_nodes)
+        result = sensitivity_sweep(
+            "num_hyperedges",
+            (2, 4),
+            forecasting_data,
+            base,
+            TrainerConfig(max_epochs=1, batch_size=32),
+        )
+        assert len(result.points) == 2
+        assert result.points[0].value == 2.0
+        assert result.best().metrics.mae <= result.points[0].metrics.mae + 1e-9
+        assert result.spread() >= 0
+        assert result.points[1].num_parameters > result.points[0].num_parameters
+
+    def test_unknown_parameter_raises(self, forecasting_data):
+        with pytest.raises(AttributeError):
+            sensitivity_sweep("bogus", (1,), forecasting_data, tiny_config(forecasting_data.num_nodes))
+
+
+class TestCaseStudy:
+    def test_extract_traces_and_metrics(self):
+        rng = np.random.default_rng(0)
+        targets = rng.uniform(50, 150, size=(40, 12, 5))
+        predictions = targets + rng.normal(0, 5, size=targets.shape)
+        traces = extract_sensor_traces(predictions, targets, sensors=[0, 3], horizon_step=2)
+        assert len(traces) == 2
+        assert traces[0].length == 40
+        assert traces[0].metrics.mae < 10
+
+    def test_extract_validation(self):
+        data = np.zeros((10, 12, 3))
+        with pytest.raises(IndexError):
+            extract_sensor_traces(data, data, sensors=[5])
+        with pytest.raises(IndexError):
+            extract_sensor_traces(data, data, sensors=[0], horizon_step=20)
+        with pytest.raises(ValueError):
+            extract_sensor_traces(np.zeros((10, 12)), np.zeros((10, 12)), sensors=[0])
+
+    def test_sparkline_length_and_characters(self):
+        line = ascii_sparkline(np.sin(np.linspace(0, 6, 300)), width=50)
+        assert len(line) == 50
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+        assert ascii_sparkline(np.array([])) == ""
+
+    def test_render_case_study_contains_sensors(self):
+        targets = np.random.default_rng(1).uniform(10, 50, size=(20, 12, 4))
+        traces = extract_sensor_traces(targets, targets, sensors=[1, 2])
+        report = render_case_study(traces)
+        assert "Sensor 1" in report and "Sensor 2" in report
+        assert "prediction" in report
+
+
+class TestIncidenceAnalysis:
+    def test_analysis_summary(self, forecasting_data):
+        model = DyHSL(tiny_config(forecasting_data.num_nodes), forecasting_data.adjacency)
+        inputs = forecasting_data.test.inputs[:1]
+        analysis = analyze_incidence(model, inputs, time_steps=(0, 5, 11), max_nodes=6)
+        assert len(analysis.snapshots) == 3
+        assert analysis.snapshots[0].matrix.shape == (6, 4)
+        assert analysis.node_hyperedge_entropy >= 0
+        assert 0.0 <= analysis.temporal_shift_fraction <= 1.0
+        summary = analysis.summary()
+        assert summary["active_hyperedges"] >= 1
+        assert analysis.snapshots[0].closest_hyperedges().shape == (6,)
+
+    def test_render_incidence_matrix(self, forecasting_data):
+        model = DyHSL(tiny_config(forecasting_data.num_nodes), forecasting_data.adjacency)
+        analysis = analyze_incidence(model, forecasting_data.test.inputs[:1], max_nodes=4)
+        text = render_incidence_matrix(analysis.snapshots[0])
+        assert "time step" in text
+        assert len(text.splitlines()) == 2 + 4
+
+    def test_input_validation(self, forecasting_data):
+        model = DyHSL(tiny_config(forecasting_data.num_nodes), forecasting_data.adjacency)
+        with pytest.raises(ValueError):
+            analyze_incidence(model, forecasting_data.test.inputs[0])

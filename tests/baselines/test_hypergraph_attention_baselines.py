@@ -1,0 +1,113 @@
+"""Tests for the hypergraph-based (DHGNN, HGC-RNN) and attention (ASTGCN) baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ASTGCN,
+    DHGNNForecaster,
+    HGCRNN,
+    StaticHypergraphConv,
+    create_baseline,
+    neighbourhood_hypergraph,
+)
+from repro.nn import MaskedMAELoss
+from repro.optim import Adam
+from repro.tensor import Tensor
+
+
+@pytest.fixture()
+def adjacency():
+    n = 7
+    matrix = np.zeros((n, n))
+    for i in range(n - 1):
+        matrix[i, i + 1] = matrix[i + 1, i] = 1.0
+    matrix[0, 4] = matrix[4, 0] = 0.8
+    return matrix
+
+
+def batch(batch_size=3, steps=12, nodes=7):
+    return Tensor(np.random.default_rng(0).normal(size=(batch_size, steps, nodes, 1)))
+
+
+class TestNeighbourhoodHypergraph:
+    def test_one_hyperedge_per_node_with_closed_neighbourhood(self, adjacency):
+        incidence = neighbourhood_hypergraph(adjacency)
+        assert incidence.shape == (7, 7)
+        assert np.allclose(np.diag(incidence), 1.0)
+        # Hyperedge 0 contains node 0, its chain neighbour 1 and the extra link to 4.
+        assert incidence[1, 0] == 1.0 and incidence[4, 0] == 1.0
+        assert incidence[3, 0] == 0.0
+
+    def test_static_hypergraph_conv_shapes_and_gradients(self, adjacency):
+        conv = StaticHypergraphConv(neighbourhood_hypergraph(adjacency), in_channels=3, out_channels=5)
+        x = Tensor(np.random.randn(2, 7, 3), requires_grad=True)
+        out = conv(x)
+        assert out.shape == (2, 7, 5)
+        out.sum().backward()
+        assert x.grad is not None and conv.linear.weight.grad is not None
+
+
+class TestHypergraphForecasters:
+    @pytest.mark.parametrize("factory", [
+        lambda adj: DHGNNForecaster(adj, hidden_dim=8),
+        lambda adj: HGCRNN(adj, hidden_dim=8),
+    ])
+    def test_forward_shape_and_gradients(self, factory, adjacency):
+        model = factory(adjacency)
+        out = model(batch())
+        assert out.shape == (3, 12, 7)
+        loss = MaskedMAELoss(null_value=None)(out, Tensor(np.random.randn(3, 12, 7)))
+        loss.backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_dhgnn_with_coordinates(self, adjacency):
+        coordinates = np.random.default_rng(1).normal(size=(7, 2))
+        model = DHGNNForecaster(adjacency, coordinates=coordinates, hidden_dim=8, num_neighbors=2)
+        assert model(batch()).shape == (3, 12, 7)
+
+    def test_hgcrnn_training_step_reduces_loss(self, adjacency):
+        model = HGCRNN(adjacency, hidden_dim=8)
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        loss_fn = MaskedMAELoss(null_value=None)
+        inputs = batch()
+        targets = Tensor(np.random.default_rng(2).normal(size=(3, 12, 7)) * 0.1)
+        losses = []
+        for _ in range(6):
+            optimizer.zero_grad()
+            loss = loss_fn(model(inputs), targets)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestASTGCN:
+    def test_forward_shape(self, adjacency):
+        model = ASTGCN(adjacency, num_nodes=7, hidden_dim=8)
+        assert model(batch()).shape == (3, 12, 7)
+
+    def test_attention_matrices_are_row_stochastic(self, adjacency):
+        model = ASTGCN(adjacency, num_nodes=7, hidden_dim=8)
+        x = batch()
+        spatial = model.spatial_attention(x).numpy()
+        temporal = model.temporal_attention(x).numpy()
+        assert spatial.shape == (3, 7, 7)
+        assert temporal.shape == (3, 12, 12)
+        assert np.allclose(spatial.sum(axis=-1), 1.0)
+        assert np.allclose(temporal.sum(axis=-1), 1.0)
+
+    def test_gradients_reach_attention_parameters(self, adjacency):
+        model = ASTGCN(adjacency, num_nodes=7, hidden_dim=8)
+        loss = MaskedMAELoss(null_value=None)(model(batch()), Tensor(np.random.randn(3, 12, 7)))
+        loss.backward()
+        assert model.spatial_attention.feature_first.grad is not None
+        assert model.temporal_attention.feature_first.grad is not None
+        assert model.cheb_weight.grad is not None
+
+
+class TestRegistryIntegration:
+    @pytest.mark.parametrize("name", ["DHGNN", "HGC-RNN", "ASTGCN"])
+    def test_creatable_from_registry(self, name, adjacency):
+        model = create_baseline(name, adjacency, num_nodes=7, hidden_dim=8)
+        assert model(batch()).shape == (3, 12, 7)

@@ -1,0 +1,148 @@
+"""Tests for the neural baselines and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro import baselines
+from repro.baselines import (
+    AGCRN,
+    BASELINE_REGISTRY,
+    DCRNN,
+    FCLSTM,
+    GRUEncoderDecoder,
+    GraphWaveNet,
+    STGCN,
+    STSGCN,
+    TCNForecaster,
+    available_baselines,
+    create_baseline,
+)
+from repro.nn import MaskedMAELoss
+from repro.optim import Adam
+from repro.tensor import Tensor
+
+
+@pytest.fixture()
+def adjacency():
+    n = 7
+    matrix = np.zeros((n, n))
+    for i in range(n - 1):
+        matrix[i, i + 1] = matrix[i + 1, i] = 1.0
+    matrix[0, 3] = matrix[3, 0] = 0.5
+    return matrix
+
+
+def batch(num_nodes=7, batch_size=3, steps=12):
+    return Tensor(np.random.default_rng(0).normal(size=(batch_size, steps, num_nodes, 1)))
+
+
+NEURAL_FACTORIES = {
+    "FC-LSTM": lambda adj: FCLSTM(hidden_dim=8),
+    "TCN": lambda adj: TCNForecaster(channels=8),
+    "GRU-ED": lambda adj: GRUEncoderDecoder(hidden_dim=8),
+    "STGCN": lambda adj: STGCN(adj, hidden_channels=8, spatial_channels=4),
+    "DCRNN": lambda adj: DCRNN(adj, hidden_dim=8),
+    "GraphWaveNet": lambda adj: GraphWaveNet(adj, num_nodes=7, channels=8, skip_channels=16),
+    "AGCRN": lambda adj: AGCRN(num_nodes=7, hidden_dim=8, embedding_dim=4),
+    "STSGCN": lambda adj: STSGCN(adj, num_nodes=7, hidden_dim=8),
+}
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("name", sorted(NEURAL_FACTORIES))
+    def test_output_shape(self, name, adjacency):
+        model = NEURAL_FACTORIES[name](adjacency)
+        out = model(batch())
+        assert out.shape == (3, 12, 7), f"{name} produced {out.shape}"
+
+    @pytest.mark.parametrize("name", sorted(NEURAL_FACTORIES))
+    def test_gradients_reach_every_parameter(self, name, adjacency):
+        model = NEURAL_FACTORIES[name](adjacency)
+        loss = MaskedMAELoss(null_value=None)(model(batch()), Tensor(np.random.randn(3, 12, 7)))
+        loss.backward()
+        missing = [pname for pname, p in model.named_parameters() if p.grad is None]
+        assert missing == [], f"{name}: no gradient for {missing}"
+
+    @pytest.mark.parametrize("name", ["FC-LSTM", "DCRNN", "AGCRN"])
+    def test_one_training_step_reduces_loss(self, name, adjacency):
+        model = NEURAL_FACTORIES[name](adjacency)
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        loss_fn = MaskedMAELoss(null_value=None)
+        inputs = batch()
+        targets = Tensor(np.random.default_rng(1).normal(size=(3, 12, 7)) * 0.1)
+        losses = []
+        for _ in range(6):
+            optimizer.zero_grad()
+            loss = loss_fn(model(inputs), targets)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestModelSpecifics:
+    def test_stgcn_requires_long_enough_window(self, adjacency):
+        with pytest.raises(ValueError):
+            STGCN(adjacency, input_length=6, kernel_size=3)
+
+    def test_stsgcn_requires_window_of_at_least_three(self, adjacency):
+        model = STSGCN(adjacency, num_nodes=7, hidden_dim=8)
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((1, 2, 7, 1))))
+
+    def test_graph_wavenet_adaptive_adjacency_is_stochastic(self, adjacency):
+        model = GraphWaveNet(adjacency, num_nodes=7, channels=8)
+        adaptive = model.graph_convs[0].adaptive_adjacency().numpy()
+        assert adaptive.shape == (7, 7)
+        assert np.allclose(adaptive.sum(axis=-1), 1.0)
+
+    def test_agcrn_adaptive_adjacency_is_stochastic(self):
+        from repro.baselines import NodeAdaptiveGraphConv
+
+        conv = NodeAdaptiveGraphConv(num_nodes=5, embedding_dim=3, in_channels=4, out_channels=4)
+        adaptive = conv.adaptive_adjacency().numpy()
+        assert np.allclose(adaptive.sum(axis=-1), 1.0)
+
+    def test_dcrnn_diffusion_supports_count(self, adjacency):
+        from repro.baselines import DiffusionConv
+
+        conv = DiffusionConv(adjacency, in_channels=2, out_channels=4, max_diffusion_step=3)
+        # identity + 3 forward powers + 3 backward powers
+        assert len(conv._supports) == 7
+        with pytest.raises(ValueError):
+            DiffusionConv(adjacency, 2, 4, max_diffusion_step=0)
+
+    def test_fclstm_and_tcn_ignore_the_graph(self, adjacency):
+        """Sequence models must be invariant to node permutations applied consistently."""
+        model = FCLSTM(hidden_dim=8)
+        model.eval()
+        inputs = np.random.default_rng(3).normal(size=(1, 12, 7, 1))
+        permutation = np.random.default_rng(4).permutation(7)
+        out = model(Tensor(inputs)).numpy()
+        out_permuted = model(Tensor(inputs[:, :, permutation])).numpy()
+        assert np.allclose(out[:, :, permutation], out_permuted, atol=1e-8)
+
+
+class TestRegistry:
+    def test_every_table3_family_is_represented(self):
+        families = {spec.family for spec in BASELINE_REGISTRY.values()}
+        assert families == {"statistical", "sequence", "graph", "proposed"}
+
+    def test_available_baselines_filtering(self):
+        assert "HA" in available_baselines("statistical")
+        assert "DyHSL" in available_baselines("proposed")
+        assert "STGCN" not in available_baselines("sequence")
+        assert len(available_baselines()) == len(BASELINE_REGISTRY)
+
+    def test_create_baseline_unknown_name(self, adjacency):
+        with pytest.raises(KeyError):
+            create_baseline("Transformer", adjacency, 7)
+
+    @pytest.mark.parametrize("name", ["HA", "VAR", "TCN", "STSGCN", "DyHSL"])
+    def test_create_baseline_instantiates(self, name, adjacency):
+        model = create_baseline(name, adjacency, num_nodes=7, hidden_dim=8)
+        spec = BASELINE_REGISTRY[name]
+        if spec.neural:
+            assert model(batch()).shape == (3, 12, 7)
+        else:
+            assert hasattr(model, "fit") and hasattr(model, "forecast")

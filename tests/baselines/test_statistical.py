@@ -1,0 +1,155 @@
+"""Tests for the classical baselines (HA, ARIMA, VAR, SVR)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ARIMAForecaster,
+    HistoricalAverage,
+    SVRForecaster,
+    VARForecaster,
+    build_lag_matrix,
+)
+
+
+def seasonal_signal(num_steps=600, num_nodes=4, noise=1.0, seed=0):
+    """A smooth multi-node signal with a strong periodic component."""
+    rng = np.random.default_rng(seed)
+    steps = np.arange(num_steps)
+    base = 100 + 40 * np.sin(2 * np.pi * steps / 48)[:, None]
+    offsets = rng.uniform(-10, 10, size=num_nodes)[None, :]
+    return base + offsets + rng.normal(0, noise, size=(num_steps, num_nodes))
+
+
+class TestLagMatrix:
+    def test_univariate_alignment(self):
+        series = np.arange(10, dtype=float)
+        design, target = build_lag_matrix(series, order=3)
+        assert design.shape == (7, 3)
+        assert target.shape == (7,)
+        # First row: lags of target=3 are [2, 1, 0] (most recent first).
+        assert np.allclose(design[0], [2.0, 1.0, 0.0])
+        assert target[0] == 3.0
+
+    def test_multivariate_shapes(self):
+        signal = np.random.randn(20, 3)
+        design, target = build_lag_matrix(signal, order=2)
+        assert design.shape == (18, 6)
+        assert target.shape == (18, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_lag_matrix(np.arange(5.0), order=0)
+        with pytest.raises(ValueError):
+            build_lag_matrix(np.arange(3.0), order=5)
+
+
+class TestHistoricalAverage:
+    def test_prediction_is_window_mean(self):
+        model = HistoricalAverage(horizon=3).fit(np.ones((50, 2)))
+        windows = np.stack([np.full((12, 2), 7.0), np.full((12, 2), 3.0)])
+        forecast = model.forecast(windows)
+        assert forecast.shape == (2, 3, 2)
+        assert np.allclose(forecast[0], 7.0)
+        assert np.allclose(forecast[1], 3.0)
+
+    def test_requires_fit_before_forecast(self):
+        with pytest.raises(RuntimeError):
+            HistoricalAverage().forecast(np.zeros((1, 12, 2)))
+
+    def test_input_validation(self):
+        model = HistoricalAverage().fit(np.ones((20, 2)))
+        with pytest.raises(ValueError):
+            model.forecast(np.zeros((12, 2)))
+        with pytest.raises(ValueError):
+            HistoricalAverage(horizon=0)
+
+
+class TestARIMA:
+    def test_beats_historical_average_on_trending_series(self):
+        signal = seasonal_signal()
+        train, test = signal[:500], signal[500:]
+        windows = np.stack([test[i:i + 12] for i in range(20)])
+        futures = np.stack([test[i + 12:i + 24] for i in range(20)])
+        arima = ARIMAForecaster(order=4, horizon=12).fit(train)
+        ha = HistoricalAverage(horizon=12).fit(train)
+        arima_error = np.abs(arima.forecast(windows) - futures).mean()
+        ha_error = np.abs(ha.forecast(windows) - futures).mean()
+        assert arima_error < ha_error
+
+    def test_learns_an_ar1_process_accurately(self):
+        rng = np.random.default_rng(1)
+        series = np.zeros((800, 1))
+        for t in range(1, 800):
+            series[t] = 0.9 * series[t - 1] + rng.normal(0, 0.1)
+        series += 50
+        model = ARIMAForecaster(order=2, difference=0, horizon=1).fit(series[:600])
+        windows = np.stack([series[600 + i:612 + i] for i in range(30)])
+        futures = np.stack([series[612 + i:613 + i] for i in range(30)])
+        error = np.abs(model.forecast(windows) - futures).mean()
+        assert error < 1.0
+
+    def test_predictions_are_non_negative(self):
+        model = ARIMAForecaster(horizon=6).fit(np.abs(seasonal_signal()))
+        forecast = model.forecast(np.zeros((2, 12, 4)))
+        assert (forecast >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ARIMAForecaster(order=0)
+        with pytest.raises(ValueError):
+            ARIMAForecaster(difference=2)
+        model = ARIMAForecaster(order=11, horizon=3).fit(seasonal_signal())
+        with pytest.raises(ValueError):
+            model.forecast(np.zeros((1, 12, 4)))
+
+
+class TestVAR:
+    def test_captures_cross_node_dependence(self):
+        """Node 1 follows node 0 with one step of lag; VAR should exploit that."""
+        rng = np.random.default_rng(2)
+        num_steps = 800
+        signal = np.zeros((num_steps, 2))
+        driver = 100 + 30 * np.sin(2 * np.pi * np.arange(num_steps) / 60) + rng.normal(0, 1, num_steps)
+        signal[:, 0] = driver
+        signal[1:, 1] = driver[:-1]
+        signal[0, 1] = driver[0]
+        model = VARForecaster(order=3, horizon=1).fit(signal[:600])
+        windows = np.stack([signal[600 + i:612 + i] for i in range(50)])
+        futures = np.stack([signal[612 + i:613 + i] for i in range(50)])
+        error = np.abs(model.forecast(windows) - futures).mean()
+        assert error < 3.0
+
+    def test_forecast_shape(self):
+        model = VARForecaster(order=2, horizon=5).fit(seasonal_signal(num_nodes=3))
+        forecast = model.forecast(np.random.rand(4, 12, 3) * 100)
+        assert forecast.shape == (4, 5, 3)
+
+    def test_window_shorter_than_order_raises(self):
+        model = VARForecaster(order=5, horizon=2).fit(seasonal_signal())
+        with pytest.raises(ValueError):
+            model.forecast(np.zeros((1, 3, 4)))
+
+
+class TestSVR:
+    def test_forecast_shape_and_scale(self):
+        signal = seasonal_signal(num_steps=400)
+        model = SVRForecaster(horizon=12, order=12, iterations=30).fit(signal)
+        windows = np.stack([signal[i:i + 12] for i in range(5)])
+        forecast = model.forecast(windows)
+        assert forecast.shape == (5, 12, 4)
+        assert forecast.mean() == pytest.approx(signal.mean(), rel=0.5)
+
+    def test_beats_a_zero_predictor(self):
+        signal = seasonal_signal(num_steps=400)
+        train, test = signal[:300], signal[300:]
+        model = SVRForecaster(horizon=12, order=12, iterations=50).fit(train)
+        windows = np.stack([test[i:i + 12] for i in range(10)])
+        futures = np.stack([test[i + 12:i + 24] for i in range(10)])
+        svr_error = np.abs(model.forecast(windows) - futures).mean()
+        zero_error = np.abs(futures).mean()
+        assert svr_error < zero_error
+
+    def test_too_short_training_signal_raises(self):
+        with pytest.raises(ValueError):
+            SVRForecaster(order=12, horizon=12).fit(np.zeros((20, 2)))

@@ -1,0 +1,186 @@
+"""Tests for the prior graph encoder, DHSL block and IGC block."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DynamicHypergraphBlock,
+    HypergraphConvolution,
+    InteractiveGraphConvolution,
+    LowRankIncidence,
+    PriorGraphEncoder,
+    TemporalGraphConvolution,
+)
+from repro.graph import SparseMatrix, normalized_temporal_adjacency
+from repro.tensor import Tensor
+
+
+@pytest.fixture()
+def tiny_adjacency():
+    adjacency = np.zeros((5, 5))
+    for i in range(4):
+        adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+    return adjacency
+
+
+class TestPriorGraphEncoder:
+    def test_output_shape(self, tiny_adjacency):
+        encoder = PriorGraphEncoder(tiny_adjacency, input_length=4, hidden_dim=8, num_layers=3)
+        out = encoder(Tensor(np.random.randn(2, 4, 5, 8)))
+        assert out.shape == (2, 4, 5, 8)
+
+    def test_rejects_mismatched_input(self, tiny_adjacency):
+        encoder = PriorGraphEncoder(tiny_adjacency, input_length=4, hidden_dim=8)
+        with pytest.raises(ValueError):
+            encoder(Tensor(np.zeros((1, 3, 5, 8))))
+
+    def test_information_propagates_across_time(self, tiny_adjacency):
+        """A perturbation at t=0 must influence states at later time steps."""
+        encoder = PriorGraphEncoder(tiny_adjacency, input_length=4, hidden_dim=8, num_layers=3, dropout=0.0)
+        encoder.eval()
+        base = np.zeros((1, 4, 5, 8))
+        perturbed = base.copy()
+        perturbed[0, 0, 2, :] = 5.0
+        out_base = encoder(Tensor(base)).numpy()
+        out_perturbed = encoder(Tensor(perturbed)).numpy()
+        assert not np.allclose(out_base[0, 3], out_perturbed[0, 3])
+
+    def test_single_layer_no_residual(self, tiny_adjacency):
+        convolution = TemporalGraphConvolution(hidden_dim=4, use_residual=False)
+        adjacency = SparseMatrix(normalized_temporal_adjacency(tiny_adjacency, 2))
+        out = convolution(Tensor(np.random.randn(1, 10, 4)), adjacency)
+        assert out.shape == (1, 10, 4)
+        assert (out.numpy() >= 0).all()  # plain ReLU output without residual
+
+    def test_parameter_count_scales_with_layers(self, tiny_adjacency):
+        shallow = PriorGraphEncoder(tiny_adjacency, 4, hidden_dim=8, num_layers=1)
+        deep = PriorGraphEncoder(tiny_adjacency, 4, hidden_dim=8, num_layers=4)
+        assert deep.num_parameters() == 4 * shallow.num_parameters()
+
+
+class TestLowRankIncidence:
+    def test_shape_and_low_rank_property(self):
+        incidence_module = LowRankIncidence(hidden_dim=8, num_hyperedges=6)
+        hidden = Tensor(np.random.randn(2, 20, 8))
+        incidence = incidence_module(hidden)
+        assert incidence.shape == (2, 20, 6)
+        # Rank of H W is bounded by d (here 6 < 8 anyway) — verify numerically.
+        rank = np.linalg.matrix_rank(incidence.numpy()[0])
+        assert rank <= 6
+
+    def test_static_mode_has_no_learnable_parameters(self):
+        learned = LowRankIncidence(8, 6, learnable=True)
+        frozen = LowRankIncidence(8, 6, learnable=False)
+        assert len(learned.parameters()) == 1
+        assert len(frozen.parameters()) == 0
+        out = frozen(Tensor(np.random.randn(1, 5, 8)))
+        assert out.shape == (1, 5, 6)
+
+    def test_incidence_depends_on_state(self):
+        """The learned structure must be dynamic: different states, different Λ."""
+        module = LowRankIncidence(8, 4)
+        first = module(Tensor(np.random.randn(1, 6, 8))).numpy()
+        second = module(Tensor(np.random.randn(1, 6, 8))).numpy()
+        assert not np.allclose(first, second)
+
+
+class TestHypergraphConvolution:
+    def test_output_shape(self):
+        convolution = HypergraphConvolution(hidden_dim=8, num_hyperedges=4, dropout=0.0)
+        hidden = Tensor(np.random.randn(2, 10, 8))
+        incidence = Tensor(np.random.randn(2, 10, 4))
+        assert convolution(hidden, incidence).shape == (2, 10, 8)
+
+    def test_zero_incidence_gives_zero_output(self):
+        convolution = HypergraphConvolution(hidden_dim=8, num_hyperedges=4, dropout=0.0)
+        hidden = Tensor(np.random.randn(1, 6, 8))
+        incidence = Tensor(np.zeros((1, 6, 4)))
+        assert np.allclose(convolution(hidden, incidence).numpy(), 0.0)
+
+    def test_gradients_flow_to_relation_matrix(self):
+        convolution = HypergraphConvolution(hidden_dim=8, num_hyperedges=4, dropout=0.0)
+        hidden = Tensor(np.random.randn(1, 6, 8), requires_grad=True)
+        incidence = Tensor(np.random.randn(1, 6, 4))
+        convolution(hidden, incidence).sum().backward()
+        assert convolution.hyperedge_relation.grad is not None
+        assert hidden.grad is not None
+
+
+class TestDynamicHypergraphBlock:
+    def test_low_rank_mode_shapes(self):
+        block = DynamicHypergraphBlock(hidden_dim=8, num_hyperedges=4, num_nodes=5, mode="low_rank", dropout=0.0)
+        out = block(Tensor(np.random.randn(2, 15, 8)))
+        assert out.shape == (2, 15, 8)
+
+    def test_static_mode_has_fewer_parameters(self):
+        learned = DynamicHypergraphBlock(8, 4, 5, mode="low_rank")
+        static = DynamicHypergraphBlock(8, 4, 5, mode="static")
+        assert static.num_parameters() < learned.num_parameters()
+
+    def test_from_scratch_mode(self):
+        block = DynamicHypergraphBlock(hidden_dim=8, num_hyperedges=4, num_nodes=5, mode="from_scratch", dropout=0.0)
+        out = block(Tensor(np.random.randn(2, 15, 8)))
+        assert out.shape == (2, 15, 8)
+        # The FS ablation learns a dense N x N adjacency.
+        assert block.scratch_adjacency.shape == (5, 5)
+
+    def test_from_scratch_requires_multiple_of_nodes(self):
+        block = DynamicHypergraphBlock(8, 4, num_nodes=5, mode="from_scratch")
+        with pytest.raises(ValueError):
+            block(Tensor(np.random.randn(1, 12, 8)))
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            DynamicHypergraphBlock(8, 4, 5, mode="bogus")
+
+    def test_last_incidence_extraction(self):
+        block = DynamicHypergraphBlock(8, 4, 5, mode="low_rank")
+        incidence = block.last_incidence(Tensor(np.random.randn(1, 10, 8)))
+        assert incidence.shape == (1, 10, 4)
+
+    def test_last_incidence_unavailable_for_from_scratch(self):
+        block = DynamicHypergraphBlock(8, 4, 5, mode="from_scratch")
+        with pytest.raises(RuntimeError):
+            block.last_incidence(Tensor(np.random.randn(1, 10, 8)))
+
+    def test_multiple_hypergraph_layers(self):
+        block = DynamicHypergraphBlock(8, 4, 5, num_layers=3, dropout=0.0)
+        assert len(list(block.convolutions)) == 3
+        assert block(Tensor(np.random.randn(1, 10, 8))).shape == (1, 10, 8)
+
+
+class TestInteractiveGraphConvolution:
+    def _adjacency(self, tiny_adjacency, steps=2):
+        return SparseMatrix(normalized_temporal_adjacency(tiny_adjacency, steps))
+
+    def test_output_shape(self, tiny_adjacency):
+        block = InteractiveGraphConvolution(hidden_dim=8, dropout=0.0)
+        adjacency = self._adjacency(tiny_adjacency)
+        out = block(Tensor(np.random.randn(3, 10, 8)), adjacency)
+        assert out.shape == (3, 10, 8)
+
+    def test_shape_validation(self, tiny_adjacency):
+        block = InteractiveGraphConvolution(hidden_dim=8)
+        adjacency = self._adjacency(tiny_adjacency)
+        with pytest.raises(ValueError):
+            block(Tensor(np.random.randn(10, 8)), adjacency)
+        with pytest.raises(ValueError):
+            block(Tensor(np.random.randn(1, 7, 8)), adjacency)
+
+    def test_interaction_is_nonlinear_in_input_scale(self, tiny_adjacency):
+        """Doubling the input must not simply double the interactive output."""
+        block = InteractiveGraphConvolution(hidden_dim=8, dropout=0.0)
+        block.eval()
+        adjacency = self._adjacency(tiny_adjacency)
+        base = np.random.default_rng(0).normal(size=(1, 10, 8)) * 0.1
+        out_single = block(Tensor(base), adjacency).numpy()
+        out_double = block(Tensor(2 * base), adjacency).numpy()
+        assert not np.allclose(out_double, 2 * out_single, atol=1e-3)
+
+    def test_gradients_flow(self, tiny_adjacency):
+        block = InteractiveGraphConvolution(hidden_dim=8, dropout=0.0)
+        adjacency = self._adjacency(tiny_adjacency)
+        hidden = Tensor(np.random.randn(1, 10, 8), requires_grad=True)
+        block(hidden, adjacency).sum().backward()
+        assert hidden.grad is not None
+        assert block.projection_first.weight.grad is not None

@@ -1,0 +1,87 @@
+"""Tests for DyHSLConfig validation and the spatio-temporal embedding."""
+
+import numpy as np
+import pytest
+
+from repro.core import DyHSLConfig, SpatioTemporalEmbedding
+from repro.tensor import Tensor
+
+
+class TestConfig:
+    def test_defaults_follow_the_paper(self):
+        config = DyHSLConfig(num_nodes=100)
+        assert config.prior_layers == 6
+        assert config.num_hyperedges == 32
+        assert config.window_sizes == (1, 2, 3, 4, 6, 12)
+        assert config.mhce_layers == 2
+        assert config.hidden_dim == 64
+        assert config.num_scales == 6
+
+    def test_window_sizes_must_divide_input_length(self):
+        with pytest.raises(ValueError):
+            DyHSLConfig(num_nodes=10, input_length=12, window_sizes=(1, 5))
+
+    def test_structure_learning_mode_validation(self):
+        with pytest.raises(ValueError):
+            DyHSLConfig(num_nodes=10, structure_learning="attention")
+
+    def test_cannot_disable_both_branches(self):
+        with pytest.raises(ValueError):
+            DyHSLConfig(num_nodes=10, structure_learning="none", use_igc=False)
+
+    def test_positive_dimensions_required(self):
+        with pytest.raises(ValueError):
+            DyHSLConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            DyHSLConfig(num_nodes=5, hidden_dim=0)
+        with pytest.raises(ValueError):
+            DyHSLConfig(num_nodes=5, dropout=1.0)
+        with pytest.raises(ValueError):
+            DyHSLConfig(num_nodes=5, num_hyperedges=0)
+        with pytest.raises(ValueError):
+            DyHSLConfig(num_nodes=5, window_sizes=())
+
+    def test_replace_creates_modified_copy(self):
+        config = DyHSLConfig(num_nodes=10)
+        other = config.replace(hidden_dim=16, num_hyperedges=8)
+        assert other.hidden_dim == 16 and other.num_hyperedges == 8
+        assert config.hidden_dim == 64  # original untouched
+
+    def test_ablation_switches(self):
+        nsl = DyHSLConfig(num_nodes=10, structure_learning="static")
+        assert nsl.structure_learning == "static"
+        no_igc = DyHSLConfig(num_nodes=10, use_igc=False)
+        assert not no_igc.use_igc
+
+
+class TestSpatioTemporalEmbedding:
+    def test_output_shape(self):
+        embedding = SpatioTemporalEmbedding(num_nodes=6, input_length=12, input_dim=1, hidden_dim=16)
+        out = embedding(Tensor(np.random.randn(3, 12, 6, 1)))
+        assert out.shape == (3, 12, 6, 16)
+
+    def test_spatial_identity_differs_across_nodes(self):
+        embedding = SpatioTemporalEmbedding(num_nodes=4, input_length=3, input_dim=1, hidden_dim=8)
+        out = embedding(Tensor(np.zeros((1, 3, 4, 1)))).numpy()
+        # With identical zero inputs, differences come purely from the embeddings.
+        assert not np.allclose(out[0, 0, 0], out[0, 0, 1])
+
+    def test_temporal_identity_differs_across_steps(self):
+        embedding = SpatioTemporalEmbedding(num_nodes=4, input_length=3, input_dim=1, hidden_dim=8)
+        out = embedding(Tensor(np.zeros((1, 3, 4, 1)))).numpy()
+        assert not np.allclose(out[0, 0, 0], out[0, 1, 0])
+
+    def test_shape_validation(self):
+        embedding = SpatioTemporalEmbedding(num_nodes=4, input_length=3, input_dim=1, hidden_dim=8)
+        with pytest.raises(ValueError):
+            embedding(Tensor(np.zeros((1, 5, 4, 1))))
+        with pytest.raises(ValueError):
+            embedding(Tensor(np.zeros((3, 4, 1))))
+
+    def test_gradients_reach_embedding_tables(self):
+        embedding = SpatioTemporalEmbedding(num_nodes=4, input_length=3, input_dim=2, hidden_dim=8)
+        out = embedding(Tensor(np.random.randn(2, 3, 4, 2)))
+        out.sum().backward()
+        assert embedding.spatial_embedding.weight.grad is not None
+        assert embedding.temporal_embedding.weight.grad is not None
+        assert embedding.input_projection.weight.grad is not None

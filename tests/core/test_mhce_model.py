@@ -1,0 +1,186 @@
+"""Tests for the multi-scale extraction module and the assembled DyHSL model."""
+
+import numpy as np
+import pytest
+
+from repro.core import DyHSL, DyHSLConfig, MultiScaleExtractor, ScaleFusion, temporal_max_pool
+from repro.nn import MaskedMAELoss
+from repro.optim import Adam
+from repro.tensor import Tensor
+
+
+@pytest.fixture()
+def tiny_adjacency():
+    adjacency = np.zeros((6, 6))
+    for i in range(5):
+        adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+    return adjacency
+
+
+def tiny_config(**overrides):
+    params = dict(
+        num_nodes=6,
+        input_length=12,
+        output_length=12,
+        hidden_dim=8,
+        prior_layers=2,
+        num_hyperedges=4,
+        window_sizes=(1, 3, 12),
+        mhce_layers=1,
+        dropout=0.0,
+    )
+    params.update(overrides)
+    return DyHSLConfig(**params)
+
+
+class TestTemporalMaxPool:
+    def test_window_one_is_identity(self):
+        states = Tensor(np.random.randn(2, 12, 3, 4))
+        assert temporal_max_pool(states, 1) is states
+
+    def test_pooled_shape_and_values(self):
+        values = np.arange(12, dtype=float).reshape(1, 12, 1, 1)
+        pooled = temporal_max_pool(Tensor(values), 4)
+        assert pooled.shape == (1, 3, 1, 1)
+        assert np.allclose(pooled.numpy().reshape(-1), [3.0, 7.0, 11.0])
+
+    def test_indivisible_window_raises(self):
+        with pytest.raises(ValueError):
+            temporal_max_pool(Tensor(np.zeros((1, 10, 2, 2))), 3)
+
+
+class TestScaleFusion:
+    def test_weights_sum_to_one(self):
+        fusion = ScaleFusion(4)
+        assert np.allclose(fusion.normalized_weights().sum(), 1.0)
+
+    def test_uniform_initialisation_averages(self):
+        fusion = ScaleFusion(3)
+        embeddings = [Tensor(np.full((2, 5), float(i))) for i in range(3)]
+        fused = fusion(embeddings).numpy()
+        assert np.allclose(fused, 1.0)  # (0 + 1 + 2) / 3
+
+    def test_wrong_number_of_scales_raises(self):
+        fusion = ScaleFusion(2)
+        with pytest.raises(ValueError):
+            fusion([Tensor(np.zeros((1, 2)))])
+
+    def test_requires_positive_scales(self):
+        with pytest.raises(ValueError):
+            ScaleFusion(0)
+
+
+class TestMultiScaleExtractor:
+    def test_output_shape(self, tiny_adjacency):
+        extractor = MultiScaleExtractor(tiny_config(), tiny_adjacency)
+        states = Tensor(np.random.randn(2, 12, 6, 8))
+        assert extractor(states).shape == (2, 6, 8)
+
+    def test_disabling_igc_still_works(self, tiny_adjacency):
+        extractor = MultiScaleExtractor(tiny_config(use_igc=False), tiny_adjacency)
+        assert extractor(Tensor(np.random.randn(1, 12, 6, 8))).shape == (1, 6, 8)
+
+    def test_disabling_hypergraph_still_works(self, tiny_adjacency):
+        extractor = MultiScaleExtractor(tiny_config(structure_learning="none"), tiny_adjacency)
+        assert extractor(Tensor(np.random.randn(1, 12, 6, 8))).shape == (1, 6, 8)
+
+    def test_incidence_matrix_extraction(self, tiny_adjacency):
+        extractor = MultiScaleExtractor(tiny_config(), tiny_adjacency)
+        states = Tensor(np.random.randn(1, 12, 6, 8))
+        incidence = extractor.incidence_matrices(states, window=3)
+        assert incidence.shape == (1, 4, 6, 4)
+        with pytest.raises(ValueError):
+            extractor.incidence_matrices(states, window=5)
+
+    def test_incidence_unavailable_when_disabled(self, tiny_adjacency):
+        extractor = MultiScaleExtractor(tiny_config(structure_learning="none"), tiny_adjacency)
+        with pytest.raises(RuntimeError):
+            extractor.incidence_matrices(Tensor(np.random.randn(1, 12, 6, 8)), window=1)
+
+
+class TestDyHSLModel:
+    def test_forward_shape(self, tiny_adjacency):
+        model = DyHSL(tiny_config(), tiny_adjacency)
+        out = model(Tensor(np.random.randn(3, 12, 6, 1)))
+        assert out.shape == (3, 12, 6)
+
+    def test_accepts_numpy_input(self, tiny_adjacency):
+        model = DyHSL(tiny_config(), tiny_adjacency)
+        assert model(np.random.randn(2, 12, 6, 1)).shape == (2, 12, 6)
+
+    def test_adjacency_shape_validation(self, tiny_adjacency):
+        with pytest.raises(ValueError):
+            DyHSL(tiny_config(num_nodes=7), tiny_adjacency)
+
+    def test_all_parameters_receive_gradients(self, tiny_adjacency):
+        model = DyHSL(tiny_config(), tiny_adjacency)
+        predictions = model(Tensor(np.random.randn(2, 12, 6, 1)))
+        loss = MaskedMAELoss(null_value=None)(predictions, Tensor(np.random.randn(2, 12, 6)))
+        loss.backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_one_optimisation_step_reduces_loss(self, tiny_adjacency):
+        model = DyHSL(tiny_config(), tiny_adjacency)
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        loss_fn = MaskedMAELoss(null_value=None)
+        inputs = Tensor(np.random.randn(4, 12, 6, 1))
+        targets = Tensor(np.random.randn(4, 12, 6) * 0.1)
+        losses = []
+        for _ in range(8):
+            optimizer.zero_grad()
+            loss = loss_fn(model(inputs), targets)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_ablation_variants_forward(self, tiny_adjacency):
+        for overrides in (
+            {"structure_learning": "static"},
+            {"structure_learning": "from_scratch"},
+            {"structure_learning": "none"},
+            {"use_igc": False},
+            {"window_sizes": (1,)},
+            {"use_prior_graph": False},
+        ):
+            model = DyHSL(tiny_config(**overrides), tiny_adjacency)
+            assert model(Tensor(np.random.randn(1, 12, 6, 1))).shape == (1, 12, 6)
+
+    def test_parameter_count_grows_with_hyperedges(self, tiny_adjacency):
+        small = DyHSL(tiny_config(num_hyperedges=4), tiny_adjacency)
+        large = DyHSL(tiny_config(num_hyperedges=16), tiny_adjacency)
+        assert large.num_parameters() > small.num_parameters()
+
+    def test_low_rank_keeps_parameters_independent_of_node_count(self):
+        """Eq. 6: the incidence matrix adds O(I*d) parameters, not O(N*T*I)."""
+        def build(num_nodes):
+            adjacency = np.zeros((num_nodes, num_nodes))
+            for i in range(num_nodes - 1):
+                adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+            config = tiny_config(num_nodes=num_nodes)
+            return DyHSL(config, adjacency)
+
+        small, large = build(6), build(12)
+        # Only the spatial embedding table grows with N; the DHSL block does not.
+        difference = large.num_parameters() - small.num_parameters()
+        assert difference == 6 * 8  # six extra nodes x hidden_dim embedding rows
+
+    def test_incidence_matrices_and_scale_weights(self, tiny_adjacency):
+        model = DyHSL(tiny_config(), tiny_adjacency)
+        incidence = model.incidence_matrices(Tensor(np.random.randn(1, 12, 6, 1)), window=1)
+        assert incidence.shape == (1, 12, 6, 4)
+        weights = model.scale_weights()
+        assert weights.shape == (3,)
+        assert np.allclose(weights.sum(), 1.0)
+
+    def test_state_dict_roundtrip(self, tiny_adjacency):
+        model = DyHSL(tiny_config(), tiny_adjacency)
+        inputs = Tensor(np.random.randn(1, 12, 6, 1))
+        model.eval()
+        before = model(inputs).numpy()
+        state = model.state_dict()
+        clone = DyHSL(tiny_config(), tiny_adjacency)
+        clone.load_state_dict(state)
+        clone.eval()
+        assert np.allclose(clone(inputs).numpy(), before)

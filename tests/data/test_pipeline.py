@@ -1,0 +1,180 @@
+"""Tests for scalers, windowing, splits and the data loading pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data import (
+    DataLoader,
+    ForecastingData,
+    MinMaxScaler,
+    SplitRatios,
+    StandardScaler,
+    WindowConfig,
+    chronological_split,
+    count_windows,
+    sliding_windows,
+    split_indices,
+)
+
+
+class TestScalers:
+    def test_standard_scaler_statistics(self):
+        data = np.random.default_rng(0).normal(10.0, 4.0, size=(500,))
+        scaler = StandardScaler().fit(data)
+        transformed = scaler.transform(data)
+        assert transformed.mean() == pytest.approx(0.0, abs=1e-9)
+        assert transformed.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_standard_scaler_roundtrip(self):
+        data = np.random.default_rng(1).normal(size=(20, 4))
+        scaler = StandardScaler().fit(data)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros(3))
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().inverse_transform(np.zeros(3))
+
+    def test_constant_data_does_not_divide_by_zero(self):
+        scaler = StandardScaler().fit(np.full(10, 5.0))
+        assert np.isfinite(scaler.transform(np.full(10, 5.0))).all()
+
+    def test_minmax_range(self):
+        data = np.random.default_rng(2).uniform(-5, 20, size=100)
+        scaler = MinMaxScaler(0.0, 1.0).fit(data)
+        scaled = scaler.transform(data)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+        assert np.allclose(scaler.inverse_transform(scaled), data)
+
+    def test_minmax_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(1.0, 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=2, max_value=50),
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False),
+        )
+    )
+    def test_standard_scaler_roundtrip_property(self, data):
+        scaler = StandardScaler().fit(data)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data, atol=1e-6)
+
+
+class TestWindows:
+    def test_count_windows(self):
+        config = WindowConfig(input_length=12, output_length=12, stride=1)
+        assert count_windows(100, config) == 77
+        assert count_windows(23, config) == 0
+        assert count_windows(24, config) == 1
+
+    def test_window_alignment(self):
+        signal = np.arange(30, dtype=float).reshape(30, 1, 1) * np.ones((30, 2, 1))
+        inputs, targets = sliding_windows(signal, WindowConfig(input_length=3, output_length=2))
+        assert inputs.shape == (26, 3, 2, 1)
+        assert targets.shape == (26, 2, 2)
+        # The first target window starts right after the first input window.
+        assert np.allclose(inputs[0, :, 0, 0], [0, 1, 2])
+        assert np.allclose(targets[0, :, 0], [3, 4])
+        assert np.allclose(inputs[5, :, 0, 0], [5, 6, 7])
+
+    def test_stride(self):
+        signal = np.zeros((40, 3, 1))
+        inputs, _ = sliding_windows(signal, WindowConfig(input_length=6, output_length=6, stride=4))
+        assert inputs.shape[0] == count_windows(40, WindowConfig(6, 6, 4))
+
+    def test_too_short_signal_raises(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros((10, 2, 1)), WindowConfig(input_length=12, output_length=12))
+
+    def test_bad_target_feature(self):
+        with pytest.raises(IndexError):
+            sliding_windows(np.zeros((40, 2, 1)), WindowConfig(3, 3), target_feature=2)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            WindowConfig(input_length=0)
+
+
+class TestSplits:
+    def test_ratios_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            SplitRatios(0.5, 0.2, 0.2)
+
+    def test_default_60_20_20(self):
+        train, validation, test = chronological_split(np.arange(100))
+        assert len(train) == 60 and len(validation) == 20 and len(test) == 20
+        # Chronological: no shuffling.
+        assert train[-1] < validation[0] < test[0]
+
+    def test_slices_cover_everything_disjointly(self):
+        train_slice, validation_slice, test_slice = split_indices(97)
+        covered = list(range(97))
+        assert covered[train_slice] + covered[validation_slice] + covered[test_slice] == covered
+
+    def test_minimum_length(self):
+        with pytest.raises(ValueError):
+            split_indices(2)
+
+
+class TestDataLoader:
+    def test_batching_and_length(self):
+        inputs = np.zeros((10, 3, 2, 1))
+        targets = np.zeros((10, 3, 2))
+        loader = DataLoader(inputs, targets, batch_size=4)
+        assert len(loader) == 3
+        sizes = [batch[0].shape[0] for batch in loader]
+        assert sizes == [4, 4, 2]
+
+    def test_drop_last(self):
+        loader = DataLoader(np.zeros((10, 1, 1, 1)), np.zeros((10, 1, 1)), batch_size=4, drop_last=True)
+        assert len(loader) == 2
+        assert sum(batch[0].shape[0] for batch in loader) == 8
+
+    def test_shuffle_covers_all_samples(self):
+        inputs = np.arange(20, dtype=float).reshape(20, 1, 1, 1)
+        targets = np.arange(20, dtype=float).reshape(20, 1, 1)
+        loader = DataLoader(inputs, targets, batch_size=6, shuffle=True)
+        seen = np.concatenate([batch[1].reshape(-1) for batch in loader])
+        assert sorted(seen.tolist()) == list(range(20))
+
+    def test_mismatched_sizes_raise(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((5, 1, 1, 1)), np.zeros((4, 1, 1)))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((5, 1, 1, 1)), np.zeros((5, 1, 1)), batch_size=0)
+
+
+class TestForecastingData:
+    def test_pipeline_shapes(self, forecasting_data, small_dataset):
+        nodes = small_dataset.num_nodes
+        assert forecasting_data.num_nodes == nodes
+        assert forecasting_data.train.inputs.shape[2] == nodes
+        assert forecasting_data.train.inputs.shape[1] == 12
+        assert forecasting_data.train.targets.shape[1] == 12
+        assert forecasting_data.validation.num_samples > 0
+        assert forecasting_data.test.num_samples > 0
+
+    def test_inputs_are_normalised_targets_are_raw(self, forecasting_data):
+        assert abs(forecasting_data.train.inputs[..., 0].mean()) < 0.5
+        assert forecasting_data.train.targets.mean() > 10.0
+
+    def test_scaler_fitted_on_training_portion_only(self, forecasting_data, small_dataset):
+        train_part, _, _ = chronological_split(small_dataset.signal[..., 0], forecasting_data.ratios)
+        assert forecasting_data.scaler.mean == pytest.approx(train_part.mean())
+
+    def test_inverse_transform_roundtrip(self, forecasting_data):
+        raw = forecasting_data.inverse_transform(forecasting_data.train.inputs[..., 0])
+        assert raw.mean() > 10.0
+
+    def test_loader_shapes(self, forecasting_data):
+        inputs, targets = next(iter(forecasting_data.train.loader(batch_size=8, shuffle=True)))
+        assert inputs.shape[0] == 8 and targets.shape[0] == 8

@@ -1,0 +1,141 @@
+"""Tests for the traffic simulator and the PEMS dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PEMS_SPECS,
+    STEPS_PER_DAY,
+    TrafficSimulator,
+    TrafficSimulatorConfig,
+    dataset_summary_table,
+    load_dataset,
+)
+from repro.graph import corridor_road_network
+
+
+class TestSimulator:
+    def _simulate(self, num_steps=2 * STEPS_PER_DAY, seed=0, **overrides):
+        network = corridor_road_network(12, seed=seed)
+        config = TrafficSimulatorConfig(num_steps=num_steps, seed=seed, **overrides)
+        return TrafficSimulator(network, config).generate()
+
+    def test_output_shapes_and_metadata(self):
+        flow, metadata = self._simulate()
+        assert flow.shape == (2 * STEPS_PER_DAY, 12, 1)
+        assert metadata["time_of_day"].shape == (2 * STEPS_PER_DAY,)
+        assert metadata["day_of_week"].shape == (2 * STEPS_PER_DAY,)
+        assert metadata["regional_mixture"].shape[0] == 12
+
+    def test_flow_is_non_negative(self):
+        flow, _ = self._simulate()
+        assert (flow >= 0).all()
+
+    def test_daily_periodicity(self):
+        """Flow on day 1 should correlate strongly with flow on day 2."""
+        flow, _ = self._simulate(noise_std=5.0, missing_rate=0.0, incident_rate_per_day=0.0)
+        day_one = flow[:STEPS_PER_DAY, :, 0].mean(axis=1)
+        day_two = flow[STEPS_PER_DAY:2 * STEPS_PER_DAY, :, 0].mean(axis=1)
+        correlation = np.corrcoef(day_one, day_two)[0, 1]
+        assert correlation > 0.9
+
+    def test_rush_hour_peaks_exceed_night(self):
+        flow, _ = self._simulate(noise_std=0.0, missing_rate=0.0, incident_rate_per_day=0.0)
+        per_step = flow[:STEPS_PER_DAY, :, 0].mean(axis=1)
+        morning_peak = per_step[int(7.5 / 24 * STEPS_PER_DAY): int(9 / 24 * STEPS_PER_DAY)].max()
+        night = per_step[int(2 / 24 * STEPS_PER_DAY): int(4 / 24 * STEPS_PER_DAY)].mean()
+        assert morning_peak > 2.0 * night
+
+    def test_spatial_correlation_of_neighbours(self):
+        """Adjacent sensors should be more correlated than distant ones on average."""
+        network = corridor_road_network(16, num_corridors=2, cross_links=2, seed=1)
+        config = TrafficSimulatorConfig(num_steps=STEPS_PER_DAY, seed=1, noise_std=5.0,
+                                        missing_rate=0.0, incident_rate_per_day=0.0)
+        flow, _ = TrafficSimulator(network, config).generate()
+        series = flow[:, :, 0]
+        correlations = np.corrcoef(series.T)
+        adjacency = network.adjacency > 0
+        neighbour_corr = correlations[adjacency].mean()
+        non_neighbour = correlations[(~adjacency) & ~np.eye(16, dtype=bool)].mean()
+        assert neighbour_corr >= non_neighbour - 0.05
+
+    def test_missing_rate_honoured(self):
+        flow, _ = self._simulate(missing_rate=0.05, noise_std=0.0)
+        missing_fraction = (flow == 0).mean()
+        assert 0.02 < missing_fraction < 0.12
+
+    def test_weekend_flow_lower_than_weekday(self):
+        flow, metadata = self._simulate(num_steps=7 * STEPS_PER_DAY, noise_std=0.0,
+                                        missing_rate=0.0, incident_rate_per_day=0.0)
+        weekday = flow[metadata["day_of_week"] < 5].mean()
+        weekend = flow[metadata["day_of_week"] >= 5].mean()
+        assert weekend < weekday
+
+    def test_incidents_reduce_local_flow(self):
+        network = corridor_road_network(10, seed=2)
+        config = TrafficSimulatorConfig(num_steps=STEPS_PER_DAY, seed=2, noise_std=0.0,
+                                        missing_rate=0.0, incident_rate_per_day=0.0)
+        baseline, _ = TrafficSimulator(network, config).generate()
+        config_incident = TrafficSimulatorConfig(num_steps=STEPS_PER_DAY, seed=2, noise_std=0.0,
+                                                 missing_rate=0.0, incident_rate_per_day=20.0)
+        with_incidents, metadata = TrafficSimulator(network, config_incident).generate()
+        assert len(metadata["incidents"]) > 0
+        assert with_incidents.sum() < baseline.sum()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSimulatorConfig(num_steps=0)
+        with pytest.raises(ValueError):
+            TrafficSimulatorConfig(missing_rate=1.5)
+        with pytest.raises(ValueError):
+            TrafficSimulatorConfig(incident_max_severity=1.0)
+
+    def test_seed_reproducibility(self):
+        first, _ = self._simulate(seed=42)
+        second, _ = self._simulate(seed=42)
+        assert np.allclose(first, second)
+
+
+class TestDatasetRegistry:
+    def test_table2_statistics(self):
+        """The registry must reproduce the exact numbers of the paper's Table II."""
+        assert PEMS_SPECS["PEMS03"].num_nodes == 358
+        assert PEMS_SPECS["PEMS03"].num_edges == 547
+        assert PEMS_SPECS["PEMS03"].num_steps == 26208
+        assert PEMS_SPECS["PEMS04"].num_nodes == 307
+        assert PEMS_SPECS["PEMS04"].num_edges == 340
+        assert PEMS_SPECS["PEMS04"].num_steps == 16992
+        assert PEMS_SPECS["PEMS07"].num_nodes == 883
+        assert PEMS_SPECS["PEMS07"].num_edges == 866
+        assert PEMS_SPECS["PEMS07"].num_steps == 28224
+        assert PEMS_SPECS["PEMS08"].num_nodes == 170
+        assert PEMS_SPECS["PEMS08"].num_edges == 295
+        assert PEMS_SPECS["PEMS08"].num_steps == 17856
+
+    def test_summary_table_rows(self):
+        rows = dataset_summary_table()
+        assert len(rows) == 4
+        assert rows[0][0] == "PEMS03"
+
+    def test_num_days_property(self):
+        assert PEMS_SPECS["PEMS08"].num_days == pytest.approx(62.0)
+
+    def test_load_dataset_scaling(self):
+        dataset = load_dataset("PEMS04", node_scale=0.05, step_scale=0.02, seed=0)
+        assert dataset.num_nodes == max(8, round(307 * 0.05))
+        assert dataset.num_steps >= 288
+        assert dataset.signal.shape == (dataset.num_steps, dataset.num_nodes, 1)
+
+    def test_load_dataset_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("METR-LA")
+
+    def test_load_dataset_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("PEMS08", node_scale=0.0)
+
+    def test_describe_contains_expected_keys(self):
+        dataset = load_dataset("PEMS08", node_scale=0.06, step_scale=0.02, seed=1)
+        description = dataset.describe()
+        assert set(description) >= {"num_nodes", "mean_flow", "std_flow", "missing_fraction"}
+        assert description["mean_flow"] > 0

@@ -1,0 +1,129 @@
+"""Tests for adjacency normalisation and spectral utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    add_self_loops,
+    binary_adjacency,
+    chebyshev_polynomials,
+    gaussian_kernel_adjacency,
+    normalized_laplacian,
+    random_walk_normalize,
+    scaled_laplacian,
+    symmetric_normalize,
+    validate_adjacency,
+)
+
+
+def ring_adjacency(n=6):
+    adjacency = np.zeros((n, n))
+    for i in range(n):
+        adjacency[i, (i + 1) % n] = 1.0
+        adjacency[(i + 1) % n, i] = 1.0
+    return adjacency
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            validate_adjacency(np.zeros((2, 3)))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            validate_adjacency(np.array([[0.0, -1.0], [0.0, 0.0]]))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            validate_adjacency(np.array([[0.0, np.inf], [0.0, 0.0]]))
+
+
+class TestNormalisation:
+    def test_self_loops_fill_diagonal(self):
+        adjacency = ring_adjacency()
+        looped = add_self_loops(adjacency, weight=2.0)
+        assert np.allclose(np.diag(looped), 2.0)
+        assert np.allclose(looped - np.diag(np.diag(looped)), adjacency)
+
+    def test_random_walk_rows_sum_to_one(self):
+        normalised = random_walk_normalize(ring_adjacency())
+        assert np.allclose(normalised.sum(axis=1), 1.0)
+
+    def test_random_walk_handles_isolated_nodes(self):
+        adjacency = np.zeros((3, 3))
+        normalised = random_walk_normalize(adjacency, add_loops=False)
+        assert np.allclose(normalised, 0.0)
+
+    def test_symmetric_normalisation_is_symmetric(self):
+        normalised = symmetric_normalize(ring_adjacency())
+        assert np.allclose(normalised, normalised.T)
+
+    def test_laplacian_eigenvalues_in_range(self):
+        laplacian = normalized_laplacian(ring_adjacency())
+        eigenvalues = np.linalg.eigvalsh(laplacian)
+        assert eigenvalues.min() >= -1e-8
+        assert eigenvalues.max() <= 2.0 + 1e-8
+
+    def test_scaled_laplacian_spectrum_bounded_by_one(self):
+        scaled = scaled_laplacian(ring_adjacency())
+        eigenvalues = np.linalg.eigvalsh(scaled)
+        assert eigenvalues.max() <= 1.0 + 1e-6
+        assert eigenvalues.min() >= -1.0 - 1e-6
+
+    def test_binary_adjacency(self):
+        weighted = ring_adjacency() * 0.37
+        assert np.allclose(binary_adjacency(weighted), ring_adjacency())
+
+
+class TestChebyshev:
+    def test_polynomial_count_and_base_cases(self):
+        adjacency = ring_adjacency()
+        polynomials = chebyshev_polynomials(adjacency, order=3)
+        assert len(polynomials) == 4
+        assert np.allclose(polynomials[0], np.eye(6))
+        assert np.allclose(polynomials[1], scaled_laplacian(adjacency))
+
+    def test_recurrence_relation(self):
+        adjacency = ring_adjacency()
+        polynomials = chebyshev_polynomials(adjacency, order=3)
+        laplacian = scaled_laplacian(adjacency)
+        assert np.allclose(polynomials[3], 2 * laplacian @ polynomials[2] - polynomials[1])
+
+    def test_negative_order_raises(self):
+        with pytest.raises(ValueError):
+            chebyshev_polynomials(ring_adjacency(), order=-1)
+
+
+class TestGaussianKernel:
+    def test_weights_decay_with_distance(self):
+        distances = np.array([[0.0, 1.0, 5.0], [1.0, 0.0, 2.0], [5.0, 2.0, 0.0]])
+        weights = gaussian_kernel_adjacency(distances, sigma=2.0, threshold=0.0)
+        assert weights[0, 1] > weights[0, 2]
+        assert np.allclose(np.diag(weights), 0.0)
+
+    def test_infinite_distance_means_no_edge(self):
+        distances = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        weights = gaussian_kernel_adjacency(distances)
+        assert np.allclose(weights, 0.0)
+
+    def test_threshold_prunes_weak_edges(self):
+        distances = np.array([[0.0, 10.0], [10.0, 0.0]])
+        weights = gaussian_kernel_adjacency(distances, sigma=1.0, threshold=0.5)
+        assert np.allclose(weights, 0.0)
+
+    def test_requires_square_matrix(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_adjacency(np.zeros((2, 3)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=1000))
+def test_random_walk_normalisation_row_sum_property(n, seed_value):
+    """Property: every non-empty row of a random-walk normalised matrix sums to 1."""
+    rng = np.random.default_rng(seed_value)
+    adjacency = (rng.random((n, n)) < 0.4).astype(float)
+    adjacency = np.triu(adjacency, 1)
+    adjacency = adjacency + adjacency.T
+    normalised = random_walk_normalize(adjacency, add_loops=True)
+    assert np.allclose(normalised.sum(axis=1), 1.0)

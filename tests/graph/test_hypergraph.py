@@ -1,0 +1,105 @@
+"""Tests for the hypergraph utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Hypergraph,
+    clique_expansion,
+    hyperedges_from_incidence,
+    hypergraph_convolution_operator,
+    incidence_from_hyperedges,
+    knn_hypergraph,
+    normalize_incidence,
+)
+
+
+class TestIncidenceConstruction:
+    def test_membership_matrix(self):
+        incidence = incidence_from_hyperedges([[0, 1], [1, 2, 3]], num_nodes=4)
+        assert incidence.shape == (4, 2)
+        assert incidence[1, 0] == 1.0 and incidence[1, 1] == 1.0
+        assert incidence[0, 1] == 0.0
+
+    def test_weighted_hyperedges(self):
+        incidence = incidence_from_hyperedges([[0], [1]], num_nodes=2, weights=[0.5, 2.0])
+        assert incidence[0, 0] == 0.5 and incidence[1, 1] == 2.0
+
+    def test_out_of_range_node_raises(self):
+        with pytest.raises(IndexError):
+            incidence_from_hyperedges([[5]], num_nodes=3)
+
+    def test_roundtrip_with_membership_lists(self):
+        hyperedges = [[0, 2], [1], [0, 1, 3]]
+        incidence = incidence_from_hyperedges(hyperedges, num_nodes=4)
+        assert hyperedges_from_incidence(incidence) == [sorted(edge) for edge in hyperedges]
+
+
+class TestTransformations:
+    def test_clique_expansion_connects_comembers(self):
+        incidence = incidence_from_hyperedges([[0, 1, 2]], num_nodes=4)
+        expansion = clique_expansion(incidence)
+        assert expansion[0, 1] == 1.0 and expansion[1, 2] == 1.0
+        assert expansion[0, 3] == 0.0
+        assert np.allclose(np.diag(expansion), 0.0)
+
+    def test_normalize_incidence_bounded(self):
+        incidence = incidence_from_hyperedges([[0, 1], [1, 2], [0, 1, 2]], num_nodes=3)
+        normalised = normalize_incidence(incidence)
+        assert normalised.shape == incidence.shape
+        assert (normalised <= 1.0 + 1e-9).all()
+
+    def test_convolution_operator_rows_near_stochastic(self):
+        incidence = incidence_from_hyperedges([[0, 1], [1, 2], [2, 3]], num_nodes=4)
+        operator = hypergraph_convolution_operator(incidence)
+        assert operator.shape == (4, 4)
+        # The HGNN operator is symmetric and non-negative for binary incidence.
+        assert np.allclose(operator, operator.T)
+        assert (operator >= 0).all()
+
+
+class TestKnnHypergraph:
+    def test_each_hyperedge_has_k_plus_one_members(self):
+        features = np.random.default_rng(0).normal(size=(10, 3))
+        incidence = knn_hypergraph(features, num_neighbors=3)
+        assert incidence.shape == (10, 10)
+        assert np.allclose(incidence.sum(axis=0), 4.0)
+        assert np.allclose(np.diag(incidence), 1.0)
+
+    def test_nearest_neighbour_is_selected(self):
+        features = np.array([[0.0], [0.1], [10.0]])
+        incidence = knn_hypergraph(features, num_neighbors=1)
+        assert incidence[1, 0] == 1.0  # node 1 is node 0's nearest neighbour
+        assert incidence[2, 0] == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            knn_hypergraph(np.zeros((3, 2)), num_neighbors=3)
+        with pytest.raises(ValueError):
+            knn_hypergraph(np.zeros(3), num_neighbors=1)
+
+
+class TestHypergraphClass:
+    def test_basic_queries(self):
+        incidence = incidence_from_hyperedges([[0, 1], [1, 2, 3]], num_nodes=4)
+        hypergraph = Hypergraph(incidence)
+        assert hypergraph.num_nodes == 4
+        assert hypergraph.num_hyperedges == 2
+        assert np.allclose(hypergraph.node_degrees(), [1, 2, 1, 1])
+        assert np.allclose(hypergraph.hyperedge_degrees(), [2, 3])
+        assert hypergraph.hyperedge_members(1) == [1, 2, 3]
+        assert hypergraph.strongest_hyperedge(1) in (0, 1)
+
+    def test_to_graph_matches_clique_expansion(self):
+        incidence = incidence_from_hyperedges([[0, 1, 2]], num_nodes=3)
+        hypergraph = Hypergraph(incidence)
+        assert np.allclose(hypergraph.to_graph(), clique_expansion(incidence))
+
+    def test_index_validation(self):
+        hypergraph = Hypergraph(np.ones((3, 2)))
+        with pytest.raises(IndexError):
+            hypergraph.hyperedge_members(5)
+        with pytest.raises(IndexError):
+            hypergraph.strongest_hyperedge(7)
+        with pytest.raises(ValueError):
+            Hypergraph(np.zeros(3))

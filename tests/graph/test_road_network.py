@@ -1,0 +1,77 @@
+"""Tests for the synthetic road-network generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    RoadNetwork,
+    corridor_road_network,
+    grid_road_network,
+    random_geometric_road_network,
+)
+
+
+class TestRoadNetworkClass:
+    def test_validates_consistency(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(adjacency=np.zeros((3, 3)), coordinates=np.zeros((2, 2)))
+
+    def test_statistics(self):
+        network = corridor_road_network(15, seed=0)
+        mean_degree, min_degree, max_degree = network.degree_statistics()
+        assert min_degree >= 1
+        assert max_degree >= mean_degree >= min_degree
+
+    def test_to_networkx_preserves_nodes_and_positions(self):
+        network = corridor_road_network(10, seed=1)
+        graph = network.to_networkx()
+        assert graph.number_of_nodes() == 10
+        assert "pos" in graph.nodes[0]
+
+
+class TestCorridorNetwork:
+    def test_shapes_and_symmetry(self):
+        network = corridor_road_network(25, num_corridors=3, cross_links=5, seed=2)
+        assert network.adjacency.shape == (25, 25)
+        assert np.allclose(network.adjacency, network.adjacency.T)
+        assert np.allclose(np.diag(network.adjacency), 0.0)
+
+    def test_connected(self):
+        network = corridor_road_network(30, num_corridors=4, cross_links=6, seed=3)
+        assert nx.is_connected(network.to_networkx())
+
+    def test_edge_count_tracks_cross_links(self):
+        sparse = corridor_road_network(30, num_corridors=3, cross_links=1, seed=4)
+        dense = corridor_road_network(30, num_corridors=3, cross_links=12, seed=4)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_minimum_size_validation(self):
+        with pytest.raises(ValueError):
+            corridor_road_network(1)
+
+    def test_seed_reproducibility(self):
+        first = corridor_road_network(12, seed=9)
+        second = corridor_road_network(12, seed=9)
+        assert np.allclose(first.adjacency, second.adjacency)
+        assert np.allclose(first.coordinates, second.coordinates)
+
+
+class TestGridAndGeometric:
+    def test_grid_edge_count(self):
+        network = grid_road_network(3, 4, seed=0)
+        assert network.num_nodes == 12
+        # A rows x cols grid has rows*(cols-1) + cols*(rows-1) edges.
+        assert network.num_edges == 3 * 3 + 4 * 2
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            grid_road_network(0, 3)
+
+    def test_geometric_is_connected(self):
+        network = random_geometric_road_network(40, radius=0.15, seed=5)
+        assert nx.is_connected(network.to_networkx())
+
+    def test_geometric_minimum_size(self):
+        with pytest.raises(ValueError):
+            random_geometric_road_network(1)

@@ -1,0 +1,160 @@
+"""Tests for temporal convolutions and recurrent cells/layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestConv1d:
+    def test_matches_manual_convolution(self):
+        conv = nn.Conv1d(1, 1, kernel_size=3, bias=False)
+        kernel = conv.weight.data.reshape(3)
+        signal = np.arange(8, dtype=float)
+        out = conv(Tensor(signal.reshape(1, 1, 8))).numpy().reshape(-1)
+        expected = np.array([signal[i:i + 3] @ kernel for i in range(6)])
+        assert np.allclose(out, expected)
+
+    def test_output_length_with_padding_and_dilation(self):
+        conv = nn.Conv1d(2, 4, kernel_size=3, dilation=2, padding=2)
+        out = conv(Tensor(np.random.randn(3, 2, 12)))
+        assert out.shape == (3, 4, conv.output_length(12))
+        assert conv.output_length(12) == 12
+
+    def test_too_short_input_raises(self):
+        conv = nn.Conv1d(1, 1, kernel_size=5)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 1, 3))))
+
+    def test_wrong_channel_count_raises(self):
+        conv = nn.Conv1d(3, 1, kernel_size=2)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 2, 8))))
+
+    def test_gradients_flow_to_weights(self):
+        conv = nn.Conv1d(2, 3, kernel_size=2)
+        out = conv(Tensor(np.random.randn(4, 2, 6)))
+        out.sum().backward()
+        assert conv.weight.grad is not None and conv.bias.grad is not None
+
+
+class TestCausalConv:
+    def test_causality(self):
+        """Changing a future input must not change past outputs."""
+        conv = nn.CausalConv1d(1, 1, kernel_size=3, dilation=1)
+        base = np.random.default_rng(0).normal(size=(1, 1, 10))
+        modified = base.copy()
+        modified[0, 0, 7] += 100.0
+        out_base = conv(Tensor(base)).numpy()
+        out_modified = conv(Tensor(modified)).numpy()
+        assert np.allclose(out_base[0, 0, :7], out_modified[0, 0, :7])
+        assert not np.allclose(out_base[0, 0, 7:], out_modified[0, 0, 7:])
+
+    def test_preserves_length(self):
+        conv = nn.CausalConv1d(2, 5, kernel_size=3, dilation=4)
+        assert conv(Tensor(np.zeros((2, 2, 12)))).shape == (2, 5, 12)
+
+
+class TestTemporalConv:
+    def test_shapes_and_residual_projection(self):
+        block = nn.TemporalConv(3, 8, kernel_size=3)
+        out = block(Tensor(np.random.randn(2, 3, 12)))
+        assert out.shape == (2, 8, 10)
+
+    def test_same_channel_skip(self):
+        block = nn.TemporalConv(4, 4, kernel_size=3)
+        assert block.residual is None
+        assert block(Tensor(np.random.randn(2, 4, 9))).shape == (2, 4, 7)
+
+
+class TestRecurrent:
+    def test_gru_cell_state_shape_and_range(self):
+        cell = nn.GRUCell(3, 6)
+        state = cell(Tensor(np.random.randn(5, 3)))
+        assert state.shape == (5, 6)
+        assert (np.abs(state.numpy()) <= 1.0 + 1e-9).all()
+
+    def test_lstm_cell_returns_hidden_and_cell(self):
+        cell = nn.LSTMCell(3, 6)
+        hidden, cell_state = cell(Tensor(np.random.randn(5, 3)))
+        assert hidden.shape == (5, 6) and cell_state.shape == (5, 6)
+
+    def test_gru_layer_sequence_output(self):
+        layer = nn.GRU(4, 8, num_layers=2)
+        sequence, states = layer(Tensor(np.random.randn(3, 7, 4)))
+        assert sequence.shape == (3, 7, 8)
+        assert len(states) == 2 and states[0].shape == (3, 8)
+
+    def test_lstm_layer_sequence_output(self):
+        layer = nn.LSTM(4, 8)
+        sequence, states = layer(Tensor(np.random.randn(3, 7, 4)))
+        assert sequence.shape == (3, 7, 8)
+        hidden, cell_state = states[0]
+        assert hidden.shape == (3, 8) and cell_state.shape == (3, 8)
+
+    def test_recurrence_depends_on_order(self):
+        layer = nn.GRU(2, 4)
+        forward_input = np.random.default_rng(0).normal(size=(1, 5, 2))
+        reversed_input = forward_input[:, ::-1].copy()
+        out_forward, _ = layer(Tensor(forward_input))
+        out_reversed, _ = layer(Tensor(reversed_input))
+        assert not np.allclose(out_forward.numpy()[:, -1], out_reversed.numpy()[:, -1])
+
+    def test_gradients_reach_recurrent_weights(self):
+        layer = nn.LSTM(3, 5)
+        sequence, _ = layer(Tensor(np.random.randn(2, 6, 3)))
+        sequence.sum().backward()
+        for parameter in layer.parameters():
+            assert parameter.grad is not None
+
+    def test_initial_state_is_used(self):
+        cell = nn.GRUCell(2, 3)
+        x = Tensor(np.random.randn(4, 2))
+        default = cell(x)
+        custom = cell(x, Tensor(np.ones((4, 3))))
+        assert not np.allclose(default.numpy(), custom.numpy())
+
+
+class TestLosses:
+    def test_mae_and_mse(self):
+        prediction = Tensor(np.array([[1.0, 2.0]]))
+        target = Tensor(np.array([[3.0, 2.0]]))
+        assert nn.MAELoss()(prediction, target).item() == pytest.approx(1.0)
+        assert nn.MSELoss()(prediction, target).item() == pytest.approx(2.0)
+        assert nn.RMSELoss()(prediction, target).item() == pytest.approx(np.sqrt(2.0), rel=1e-5)
+
+    def test_huber_between_mae_and_mse_behaviour(self):
+        prediction = Tensor(np.array([0.0, 10.0]))
+        target = Tensor(np.array([0.5, 0.0]))
+        loss = nn.HuberLoss(delta=1.0)(prediction, target).item()
+        assert loss == pytest.approx((0.5 * 0.25 + (10 - 0.5)) / 2)
+
+    def test_masked_mae_ignores_null_entries(self):
+        prediction = Tensor(np.array([5.0, 5.0, 5.0, 5.0]))
+        target = Tensor(np.array([0.0, 4.0, 6.0, 0.0]))
+        loss = nn.MaskedMAELoss(null_value=0.0)(prediction, target).item()
+        assert loss == pytest.approx(1.0)
+
+    def test_masked_mae_all_null_falls_back(self):
+        prediction = Tensor(np.ones(3))
+        target = Tensor(np.zeros(3))
+        assert nn.MaskedMAELoss()(prediction, target).item() == pytest.approx(1.0)
+
+    def test_masked_mape_excludes_zero_targets(self):
+        prediction = Tensor(np.array([110.0, 50.0]))
+        target = Tensor(np.array([100.0, 0.0]))
+        loss = nn.MaskedMAPELoss()(prediction, target).item()
+        assert loss == pytest.approx(0.1)
+
+    def test_masked_losses_are_differentiable(self):
+        prediction = Tensor(np.random.randn(4, 3), requires_grad=True)
+        target = Tensor(np.abs(np.random.randn(4, 3)) + 1.0)
+        for loss_cls in (nn.MaskedMAELoss, nn.MaskedMSELoss, nn.MaskedMAPELoss):
+            prediction.zero_grad()
+            loss_cls()(prediction, target).backward()
+            assert prediction.grad is not None
+
+    def test_huber_requires_positive_delta(self):
+        with pytest.raises(ValueError):
+            nn.HuberLoss(delta=0.0)

@@ -1,0 +1,118 @@
+"""Tests for Linear, Embedding, normalisation, dropout and MLP layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_matches_manual_affine(self):
+        layer = nn.Linear(3, 2)
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).numpy(), expected)
+
+    def test_supports_leading_dimensions(self):
+        layer = nn.Linear(4, 6)
+        out = layer(Tensor(np.zeros((2, 7, 3, 4))))
+        assert out.shape == (2, 7, 3, 6)
+
+    def test_no_bias_option(self):
+        layer = nn.Linear(4, 4, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_wrong_feature_count_raises(self):
+        with pytest.raises(ValueError):
+            nn.Linear(3, 2)(Tensor(np.zeros((2, 4))))
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 2)
+
+
+class TestEmbedding:
+    def test_lookup_matches_weight_rows(self):
+        table = nn.Embedding(10, 4)
+        indices = np.array([1, 3, 3])
+        out = table(indices).numpy()
+        assert np.allclose(out, table.weight.data[indices])
+
+    def test_gradient_accumulates_on_repeated_indices(self):
+        table = nn.Embedding(5, 2)
+        out = table(np.array([2, 2, 2]))
+        out.sum().backward()
+        assert np.allclose(table.weight.grad[2], 3.0)
+        assert np.allclose(table.weight.grad[0], 0.0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            nn.Embedding(3, 2)(np.array([5]))
+
+
+class TestNormalisation:
+    def test_layernorm_zero_mean_unit_variance(self):
+        layer = nn.LayerNorm(16)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(10, 16)))
+        out = layer(x).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layernorm_learnable_shift(self):
+        layer = nn.LayerNorm(4)
+        layer.bias.data[...] = 2.0
+        out = layer(Tensor(np.random.randn(3, 4))).numpy()
+        assert out.mean() == pytest.approx(2.0, abs=1e-6)
+
+    def test_batchnorm_training_vs_eval(self):
+        layer = nn.BatchNorm1d(4, momentum=0.5)
+        x = Tensor(np.random.default_rng(1).normal(2.0, 3.0, size=(64, 4)))
+        out_train = layer(x).numpy()
+        assert np.allclose(out_train.mean(axis=0), 0.0, atol=1e-6)
+        layer.eval()
+        out_eval = layer(x).numpy()
+        # Evaluation uses running statistics, so outputs differ from training.
+        assert not np.allclose(out_train, out_eval)
+
+    def test_batchnorm_wrong_features_raises(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(4)(Tensor(np.zeros((2, 5))))
+
+
+class TestDropoutAndActivations:
+    def test_dropout_inactive_in_eval_mode(self):
+        layer = nn.Dropout(0.9)
+        layer.eval()
+        x = Tensor(np.ones((8, 8)))
+        assert np.allclose(layer(x).numpy(), 1.0)
+
+    def test_dropout_active_in_train_mode(self):
+        layer = nn.Dropout(0.5)
+        out = layer(Tensor(np.ones((100, 100)))).numpy()
+        assert (out == 0).any()
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_activation_modules(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        assert np.allclose(nn.ReLU()(x).numpy(), [0.0, 2.0])
+        assert np.allclose(nn.LeakyReLU(0.1)(x).numpy(), [-0.1, 2.0])
+        assert nn.Sigmoid()(x).numpy()[1] > 0.5
+        assert np.allclose(nn.Tanh()(x).numpy(), np.tanh([-1.0, 2.0]))
+        assert nn.Identity()(x) is x
+        assert nn.GELU()(x).shape == (2,)
+
+
+class TestMLP:
+    def test_output_shape_and_depth(self):
+        mlp = nn.MLP([8, 16, 16, 4], dropout=0.1)
+        out = mlp(Tensor(np.random.randn(5, 8)))
+        assert out.shape == (5, 4)
+
+    def test_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            nn.MLP([4])

@@ -1,0 +1,121 @@
+"""Tests for the Module / Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TinyModel(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.first = nn.Linear(4, 8)
+        self.second = nn.Linear(8, 2)
+        self.register_buffer("running_stat", np.zeros(3))
+
+    def forward(self, x):
+        return self.second(self.first(x).relu())
+
+
+class TestRegistration:
+    def test_parameters_are_discovered_recursively(self):
+        model = TinyModel()
+        names = [name for name, _ in model.named_parameters()]
+        assert "first.weight" in names and "second.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters_counts_scalars(self):
+        model = TinyModel()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_named_modules_includes_children(self):
+        model = TinyModel()
+        names = dict(model.named_modules())
+        assert "first" in names and "second" in names
+
+    def test_children_iteration(self):
+        model = TinyModel()
+        assert len(list(model.children())) == 2
+
+    def test_forward_not_implemented(self):
+        class Empty(nn.Module):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Empty()(Tensor(np.zeros(1)))
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = TinyModel()
+        model.eval()
+        assert not model.training and not model.first.training
+        model.train()
+        assert model.training and model.second.training
+
+    def test_zero_grad_clears_all(self):
+        model = TinyModel()
+        out = model(Tensor(np.random.randn(3, 4)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip_restores_values(self):
+        model = TinyModel()
+        state = model.state_dict()
+        assert "running_stat" in state
+        # Perturb then restore.
+        for parameter in model.parameters():
+            parameter.data += 1.0
+        model.load_state_dict(state)
+        assert np.allclose(model.state_dict()["first.weight"], state["first.weight"])
+
+    def test_load_rejects_bad_shapes(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_load_strict_rejects_unknown_and_missing_keys(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["unknown"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+        incomplete = model.state_dict()
+        incomplete.pop("first.weight")
+        with pytest.raises(KeyError):
+            model.load_state_dict(incomplete)
+
+    def test_load_non_strict_ignores_extras(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["unknown"] = np.zeros(1)
+        model.load_state_dict(state, strict=False)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        model = nn.Sequential(nn.Linear(3, 5), nn.ReLU(), nn.Linear(5, 1))
+        out = model(Tensor(np.random.randn(2, 3)))
+        assert out.shape == (2, 1)
+        assert len(model) == 3
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_module_list_indexing_and_iteration(self):
+        blocks = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(blocks) == 3
+        assert blocks[-1] is list(iter(blocks))[-1]
+        blocks.append(nn.Linear(2, 2))
+        assert len(blocks) == 4
+        with pytest.raises(NotImplementedError):
+            blocks(Tensor(np.zeros((1, 2))))
+
+    def test_module_list_parameters_registered(self):
+        blocks = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(blocks.parameters()) == 4

@@ -1,0 +1,153 @@
+"""Tests for optimizers, gradient clipping and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.tensor import Tensor
+
+
+def quadratic_problem():
+    """A convex quadratic: minimise ||w - target||^2."""
+    target = np.array([1.0, -2.0, 3.0])
+    parameter = nn.Parameter(np.zeros(3))
+
+    def loss_fn():
+        diff = parameter - Tensor(target)
+        return (diff * diff).sum()
+
+    return parameter, target, loss_fn
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        parameter, target, loss_fn = quadratic_problem()
+        optimizer = optim.SGD([parameter], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        parameter_plain, target, loss_plain = quadratic_problem()
+        parameter_momentum, _, loss_momentum = quadratic_problem()
+        plain = optim.SGD([parameter_plain], lr=0.01)
+        momentum = optim.SGD([parameter_momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for optimizer, loss_fn in ((plain, loss_plain), (momentum, loss_momentum)):
+                optimizer.zero_grad()
+                loss_fn().backward()
+                optimizer.step()
+        assert loss_momentum().item() < loss_plain().item()
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = nn.Parameter(np.ones(4) * 10.0)
+        optimizer = optim.SGD([parameter], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (parameter * 0.0).sum().backward()
+        optimizer.step()
+        assert (np.abs(parameter.data) < 10.0).all()
+
+    def test_validation_errors(self):
+        parameter = nn.Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            optim.SGD([parameter], lr=-1.0)
+        with pytest.raises(ValueError):
+            optim.SGD([parameter], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            optim.SGD([parameter], lr=0.1, nesterov=True)
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter, target, loss_fn = quadratic_problem()
+        optimizer = optim.Adam([parameter], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, target, atol=1e-2)
+
+    def test_step_count_increments(self):
+        parameter, _, loss_fn = quadratic_problem()
+        optimizer = optim.Adam([parameter], lr=0.01)
+        loss_fn().backward()
+        optimizer.step()
+        optimizer.step()
+        assert optimizer.step_count == 2
+
+    def test_invalid_hyperparameters(self):
+        parameter = nn.Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            optim.Adam([parameter], betas=(1.2, 0.9))
+        with pytest.raises(ValueError):
+            optim.Adam([parameter], eps=0.0)
+
+
+class TestGradientClipping:
+    def test_clip_grad_norm_rescales(self):
+        parameter = nn.Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 10.0)
+        norm_before = optim.clip_grad_norm([parameter], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_clip_grad_norm_no_op_when_small(self):
+        parameter = nn.Parameter(np.zeros(2))
+        parameter.grad = np.array([0.1, 0.1])
+        optim.clip_grad_norm([parameter], max_norm=10.0)
+        assert np.allclose(parameter.grad, 0.1)
+
+    def test_clip_grad_value(self):
+        parameter = nn.Parameter(np.zeros(3))
+        parameter.grad = np.array([-5.0, 0.2, 9.0])
+        optim.clip_grad_value([parameter], clip_value=1.0)
+        assert np.allclose(parameter.grad, [-1.0, 0.2, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optim.clip_grad_norm([], max_norm=0.0)
+        with pytest.raises(ValueError):
+            optim.clip_grad_value([], clip_value=0.0)
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return optim.SGD([nn.Parameter(np.zeros(2))], lr=1.0)
+
+    def test_step_lr(self):
+        optimizer = self._optimizer()
+        scheduler = optim.StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr(self):
+        optimizer = self._optimizer()
+        scheduler = optim.ExponentialLR(optimizer, gamma=0.5)
+        assert scheduler.step() == pytest.approx(0.5)
+        assert scheduler.step() == pytest.approx(0.25)
+
+    def test_cosine_annealing_reaches_minimum(self):
+        optimizer = self._optimizer()
+        scheduler = optim.CosineAnnealingLR(optimizer, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            final = scheduler.step()
+        assert final == pytest.approx(0.1)
+
+    def test_reduce_on_plateau(self):
+        optimizer = self._optimizer()
+        scheduler = optim.ReduceLROnPlateau(optimizer, factor=0.5, patience=1)
+        scheduler.step(1.0)
+        scheduler.step(1.0)
+        lr = scheduler.step(1.0)  # two bad epochs -> reduction
+        assert lr == pytest.approx(0.5)
+
+    def test_reduce_on_plateau_respects_min_lr(self):
+        optimizer = self._optimizer()
+        scheduler = optim.ReduceLROnPlateau(optimizer, factor=0.1, patience=0, min_lr=0.2)
+        for _ in range(5):
+            lr = scheduler.step(1.0)
+        assert lr >= 0.2

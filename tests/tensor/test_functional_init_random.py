@@ -1,0 +1,107 @@
+"""Tests for the functional API, initialisers and RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, fork_rng, functional as F, get_rng, init, seed
+
+
+class TestActivations:
+    def test_relu_and_leaky_relu(self):
+        x = Tensor(np.array([-2.0, 0.0, 3.0]))
+        assert np.allclose(F.relu(x).numpy(), [0.0, 0.0, 3.0])
+        assert np.allclose(F.leaky_relu(x, 0.1).numpy(), [-0.2, 0.0, 3.0])
+
+    def test_sigmoid_tanh_bounds(self):
+        x = Tensor(np.linspace(-10, 10, 21))
+        assert ((F.sigmoid(x).numpy() > 0) & (F.sigmoid(x).numpy() < 1)).all()
+        assert (np.abs(F.tanh(x).numpy()) <= 1).all()
+
+    def test_softmax_normalisation(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        assert np.allclose(F.softmax(x, axis=-1).numpy().sum(axis=-1), 1.0)
+
+    def test_gelu_and_elu_and_softplus_shapes(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 3)))
+        assert F.gelu(x).shape == (3, 3)
+        assert F.elu(x).shape == (3, 3)
+        assert (F.softplus(x).numpy() > 0).all()
+
+    def test_glu_halves_features(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 8)))
+        assert F.glu(x, axis=-1).shape == (2, 4)
+        with pytest.raises(ValueError):
+            F.glu(Tensor(np.zeros((2, 5))))
+
+
+class TestDropout:
+    def test_dropout_identity_in_eval(self):
+        x = Tensor(np.ones((10, 10)))
+        assert np.allclose(F.dropout(x, p=0.5, training=False).numpy(), 1.0)
+
+    def test_dropout_scales_survivors(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, p=0.5, training=True, rng=rng).numpy()
+        survivors = out[out > 0]
+        assert np.allclose(survivors, 2.0)
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), p=1.0)
+
+
+class TestLossFunctionals:
+    def test_mae_mse_huber_values(self):
+        prediction = Tensor(np.array([1.0, 2.0, 3.0]))
+        target = Tensor(np.array([2.0, 2.0, 5.0]))
+        assert F.mae(prediction, target).item() == pytest.approx(1.0)
+        assert F.mse(prediction, target).item() == pytest.approx((1 + 0 + 4) / 3)
+        assert F.huber(prediction, target, delta=1.0).item() == pytest.approx((0.5 + 0.0 + 1.5) / 3)
+
+
+class TestInitialisers:
+    def test_shapes_and_ranges(self):
+        assert init.zeros((3, 4)).shape == (3, 4)
+        assert np.allclose(init.ones((2,)), 1.0)
+        assert np.allclose(init.constant((2, 2), 3.3), 3.3)
+        xavier = init.xavier_uniform((64, 64))
+        limit = np.sqrt(6.0 / 128)
+        assert (np.abs(xavier) <= limit + 1e-12).all()
+
+    def test_kaiming_scaling(self):
+        weights = init.kaiming_normal((1000, 50))
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.2)
+
+    def test_orthogonal_rows_and_columns(self):
+        tall = init.orthogonal((8, 4))
+        assert np.allclose(tall.T @ tall, np.eye(4), atol=1e-8)
+        wide = init.orthogonal((4, 8))
+        assert np.allclose(wide @ wide.T, np.eye(4), atol=1e-8)
+
+    def test_orthogonal_requires_2d(self):
+        with pytest.raises(ValueError):
+            init.orthogonal((3, 3, 3))
+
+    def test_fan_computation_for_conv_shapes(self):
+        weights = init.xavier_uniform((16, 8, 3))
+        assert weights.shape == (16, 8, 3)
+
+
+class TestRandomManagement:
+    def test_seed_makes_initialisation_reproducible(self):
+        seed(99)
+        first = init.normal((5, 5))
+        seed(99)
+        second = init.normal((5, 5))
+        assert np.allclose(first, second)
+
+    def test_fork_rng_independent_of_global(self):
+        seed(5)
+        forked = fork_rng(offset=3)
+        values = forked.normal(size=4)
+        assert values.shape == (4,)
+        # The global generator is untouched by the forked draw.
+        seed(5)
+        assert np.allclose(get_rng().normal(size=2), np.random.default_rng(5).normal(size=2))

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the autograd engine.
+
+These check structural invariants of reverse-mode differentiation on random
+shapes and values: linearity of the gradient operator, correctness of
+broadcasting reduction, and agreement with finite differences for composed
+expressions.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor
+
+_settings = settings(max_examples=40, deadline=None)
+
+
+def small_arrays(max_side=4):
+    shapes = st.tuples(
+        st.integers(min_value=1, max_value=max_side),
+        st.integers(min_value=1, max_value=max_side),
+    )
+    return shapes.flatmap(
+        lambda shape: hnp.arrays(
+            dtype=np.float64,
+            shape=shape,
+            elements=st.floats(min_value=-3, max_value=3, allow_nan=False, allow_infinity=False),
+        )
+    )
+
+
+@_settings
+@given(small_arrays())
+def test_sum_gradient_is_all_ones(value):
+    x = Tensor(value.copy(), requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones_like(value))
+
+
+@_settings
+@given(small_arrays())
+def test_mean_gradient_is_uniform(value):
+    x = Tensor(value.copy(), requires_grad=True)
+    x.mean().backward()
+    assert np.allclose(x.grad, np.full_like(value, 1.0 / value.size))
+
+
+@_settings
+@given(small_arrays(), st.floats(min_value=-2, max_value=2, allow_nan=False))
+def test_gradient_of_scaled_sum_scales_linearly(value, scale):
+    x = Tensor(value.copy(), requires_grad=True)
+    (x * scale).sum().backward()
+    assert np.allclose(x.grad, scale)
+
+
+@_settings
+@given(small_arrays())
+def test_addition_gradient_broadcasts_to_row_vector(value):
+    rows, cols = value.shape
+    row = np.linspace(-1, 1, cols)
+    x = Tensor(value.copy(), requires_grad=True)
+    b = Tensor(row.copy(), requires_grad=True)
+    (x + b).sum().backward()
+    assert np.allclose(x.grad, 1.0)
+    # The broadcast operand accumulates one gradient per row.
+    assert np.allclose(b.grad, rows)
+
+
+@_settings
+@given(small_arrays())
+def test_tanh_gradient_matches_finite_difference_at_origin_entry(value):
+    x = Tensor(value.copy(), requires_grad=True)
+    x.tanh().sum().backward()
+    expected = 1.0 - np.tanh(value) ** 2
+    assert np.allclose(x.grad, expected, atol=1e-8)
+
+
+@_settings
+@given(small_arrays())
+def test_softmax_rows_always_normalised(value):
+    probabilities = Tensor(value).softmax(axis=-1).numpy()
+    assert np.all(probabilities >= 0)
+    assert np.allclose(probabilities.sum(axis=-1), 1.0)
+
+
+@_settings
+@given(small_arrays(), small_arrays())
+def test_product_rule_through_shared_operand(first, second):
+    # d/dx sum(x * c) == c for a constant c of compatible shape.
+    rows = min(first.shape[0], second.shape[0])
+    cols = min(first.shape[1], second.shape[1])
+    a = first[:rows, :cols]
+    c = second[:rows, :cols]
+    x = Tensor(a.copy(), requires_grad=True)
+    (x * Tensor(c)).sum().backward()
+    assert np.allclose(x.grad, c)
+
+
+@_settings
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(2, 4), st.integers(2, 4)),
+        elements=st.floats(min_value=0.1, max_value=3, allow_nan=False),
+    )
+)
+def test_log_exp_roundtrip_gradient_is_one(value):
+    # f(x) = log(exp(x)) has derivative exactly 1 everywhere.
+    x = Tensor(value.copy(), requires_grad=True)
+    x.exp().log().sum().backward()
+    assert np.allclose(x.grad, 1.0, atol=1e-9)

@@ -1,0 +1,162 @@
+"""Unit tests for the core autograd machinery of :class:`repro.tensor.Tensor`."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def numeric_gradient(fn, value, eps=1e-6):
+    """Central finite-difference gradient of a scalar function of an array."""
+    value = np.asarray(value, dtype=float)
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = fn(value)
+        flat[index] = original - eps
+        lower = fn(value)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+class TestBackwardBasics:
+    def test_scalar_backward_sets_grad(self):
+        x = Tensor(3.0, requires_grad=True)
+        y = x * x
+        y.backward()
+        assert np.allclose(x.grad, 6.0)
+
+    def test_backward_requires_scalar_without_explicit_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 3.0
+        y.backward(np.full((2, 2), 2.0))
+        assert np.allclose(x.grad, 6.0)
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.sum().backward()
+
+    def test_gradient_accumulates_over_multiple_backwards(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x * x).backward()
+        (x * x).backward()
+        assert np.allclose(x.grad, 8.0)
+
+    def test_zero_grad_clears_gradient(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x * x).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_accumulates_correctly(self):
+        # y = a*x and z = b*x share x; d(y+z)/dx = a + b.
+        x = Tensor(1.5, requires_grad=True)
+        y = x * 2.0
+        z = x * 5.0
+        (y + z).backward()
+        assert np.allclose(x.grad, 7.0)
+
+    def test_reused_tensor_in_product(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        y = (x * x * x).sum()
+        y.backward()
+        assert np.allclose(x.grad, 3 * np.array([1.0, 2.0, 3.0]) ** 2)
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach_breaks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+
+class TestFiniteDifference:
+    @pytest.mark.parametrize(
+        "operation",
+        [
+            lambda t: (t * t).sum(),
+            lambda t: (t.exp()).sum(),
+            lambda t: (t.tanh() * 2.0).sum(),
+            lambda t: t.sigmoid().sum(),
+            lambda t: (t ** 3.0).mean(),
+            lambda t: (t / 2.5 + 1.0).sum(),
+            lambda t: t.softmax(axis=-1).max(axis=-1).sum(),
+            lambda t: t.log_softmax(axis=-1).sum(),
+            lambda t: t.abs().sum(),
+            lambda t: t.var(axis=0).sum(),
+        ],
+    )
+    def test_elementwise_and_reduction_gradients(self, operation):
+        rng = np.random.default_rng(0)
+        value = rng.normal(size=(4, 5)) + 0.1
+        x = Tensor(value.copy(), requires_grad=True)
+        operation(x).backward()
+        numeric = numeric_gradient(lambda v: operation(Tensor(v)).item(), value.copy())
+        assert np.allclose(x.grad, numeric, atol=1e-5)
+
+    def test_matmul_gradient(self):
+        rng = np.random.default_rng(1)
+        a_value = rng.normal(size=(3, 4))
+        b_value = rng.normal(size=(4, 2))
+        a = Tensor(a_value.copy(), requires_grad=True)
+        b = Tensor(b_value.copy(), requires_grad=True)
+        (a.matmul(b)).sum().backward()
+        numeric_a = numeric_gradient(lambda v: float((v @ b_value).sum()), a_value.copy())
+        numeric_b = numeric_gradient(lambda v: float((a_value @ v).sum()), b_value.copy())
+        assert np.allclose(a.grad, numeric_a, atol=1e-6)
+        assert np.allclose(b.grad, numeric_b, atol=1e-6)
+
+    def test_batched_matmul_gradient(self):
+        rng = np.random.default_rng(2)
+        a_value = rng.normal(size=(2, 3, 4))
+        b_value = rng.normal(size=(4, 5))
+        a = Tensor(a_value.copy(), requires_grad=True)
+        b = Tensor(b_value.copy(), requires_grad=True)
+        (a.matmul(b) ** 2.0).sum().backward()
+        numeric_a = numeric_gradient(lambda v: float(((v @ b_value) ** 2).sum()), a_value.copy())
+        numeric_b = numeric_gradient(lambda v: float(((a_value @ v) ** 2).sum()), b_value.copy())
+        assert np.allclose(a.grad, numeric_a, atol=1e-5)
+        assert np.allclose(b.grad, numeric_b, atol=1e-5)
+
+    def test_getitem_gradient_scatters(self):
+        value = np.arange(12, dtype=float).reshape(3, 4)
+        x = Tensor(value, requires_grad=True)
+        x[1].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[1] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_max_gradient_goes_to_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_broadcast_addition_gradient(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        ((a + b) * 2.0).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 6.0)  # summed over the broadcast axis

@@ -1,0 +1,123 @@
+"""Unit tests for arithmetic, shape manipulation and reductions on Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+
+
+class TestConstruction:
+    def test_zeros_ones_full_eye(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert np.allclose(Tensor.ones(4).numpy(), 1.0)
+        assert np.allclose(Tensor.full((2, 2), 7.0).numpy(), 7.0)
+        assert np.allclose(Tensor.eye(3).numpy(), np.eye(3))
+
+    def test_from_tensor_shares_data(self):
+        base = Tensor(np.zeros(3))
+        wrapped = Tensor(base)
+        wrapped.data[0] = 5.0
+        assert base.data[0] == 5.0
+
+    def test_repr_and_len(self):
+        t = Tensor(np.zeros((4, 2)), requires_grad=True, name="states")
+        assert "states" in repr(t)
+        assert len(t) == 4
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div_with_scalars(self):
+        x = Tensor(np.array([2.0, 4.0]))
+        assert np.allclose((x + 1).numpy(), [3.0, 5.0])
+        assert np.allclose((1 + x).numpy(), [3.0, 5.0])
+        assert np.allclose((x - 1).numpy(), [1.0, 3.0])
+        assert np.allclose((10 - x).numpy(), [8.0, 6.0])
+        assert np.allclose((x * 3).numpy(), [6.0, 12.0])
+        assert np.allclose((x / 2).numpy(), [1.0, 2.0])
+        assert np.allclose((8 / x).numpy(), [4.0, 2.0])
+        assert np.allclose((-x).numpy(), [-2.0, -4.0])
+
+    def test_pow_with_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** Tensor(np.ones(2))
+
+    def test_matmul_vector_cases(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]))
+        b = Tensor(np.array([4.0, 5.0, 6.0]))
+        assert np.allclose(a.matmul(b).numpy(), 32.0)
+        m = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert np.allclose(m.matmul(a).numpy(), [8.0, 26.0])
+        assert np.allclose(a.matmul(m.T).numpy(), [8.0, 26.0])
+
+    def test_maximum_minimum(self):
+        a = Tensor(np.array([1.0, 5.0]))
+        b = Tensor(np.array([3.0, 2.0]))
+        assert np.allclose(a.maximum(b).numpy(), [3.0, 5.0])
+        assert np.allclose(a.minimum(b).numpy(), [1.0, 2.0])
+
+    def test_clip(self):
+        x = Tensor(np.array([-2.0, 0.5, 7.0]))
+        assert np.allclose(x.clip(0.0, 1.0).numpy(), [0.0, 0.5, 1.0])
+
+
+class TestShapes:
+    def test_reshape_roundtrip_gradient(self):
+        x = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        y = x.reshape(2, 3).reshape(6)
+        y.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_transpose_and_swapaxes(self):
+        x = Tensor(np.arange(24, dtype=float).reshape(2, 3, 4))
+        assert x.transpose().shape == (4, 3, 2)
+        assert x.transpose(0, 2, 1).shape == (2, 4, 3)
+        assert x.swapaxes(0, 1).shape == (3, 2, 4)
+
+    def test_squeeze_unsqueeze(self):
+        x = Tensor(np.zeros((2, 1, 3)))
+        assert x.squeeze(1).shape == (2, 3)
+        assert x.unsqueeze(0).shape == (1, 2, 1, 3)
+
+    def test_expand_gradient_sums(self):
+        x = Tensor(np.array([[1.0], [2.0]]), requires_grad=True)
+        x.expand(2, 5).sum().backward()
+        assert np.allclose(x.grad, 5.0)
+
+    def test_T_matches_numpy(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert np.allclose(x.T.numpy(), x.numpy().T)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(3, 4))
+        assert x.sum(axis=0).shape == (4,)
+        assert x.sum(axis=1, keepdims=True).shape == (3, 1)
+        assert x.sum().item() == pytest.approx(66.0)
+
+    def test_mean_matches_numpy(self):
+        value = np.random.default_rng(0).normal(size=(3, 5))
+        x = Tensor(value)
+        assert np.allclose(x.mean(axis=1).numpy(), value.mean(axis=1))
+        assert x.mean().item() == pytest.approx(value.mean())
+
+    def test_var_matches_numpy(self):
+        value = np.random.default_rng(1).normal(size=(4, 6))
+        assert np.allclose(Tensor(value).var(axis=0).numpy(), value.var(axis=0))
+
+    def test_min_matches_numpy(self):
+        value = np.random.default_rng(2).normal(size=(4, 3))
+        assert np.allclose(Tensor(value).min(axis=1).numpy(), value.min(axis=1))
+
+    def test_softmax_sums_to_one(self):
+        x = Tensor(np.random.default_rng(3).normal(size=(5, 7)))
+        probabilities = x.softmax(axis=-1).numpy()
+        assert np.allclose(probabilities.sum(axis=-1), 1.0)
+        assert (probabilities >= 0).all()
+
+    def test_log_softmax_is_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(4).normal(size=(3, 4)))
+        assert np.allclose(x.log_softmax().numpy(), np.log(x.softmax().numpy()), atol=1e-10)

@@ -1,0 +1,122 @@
+"""Tests for the masked evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.training import (
+    ForecastMetrics,
+    evaluate_forecast,
+    horizon_metrics,
+    masked_mae,
+    masked_mape,
+    masked_rmse,
+)
+
+
+class TestMaskedMetrics:
+    def test_perfect_prediction_gives_zero(self):
+        target = np.random.default_rng(0).uniform(10, 100, size=(5, 4))
+        assert masked_mae(target, target) == 0.0
+        assert masked_rmse(target, target) == 0.0
+        assert masked_mape(target, target) == 0.0
+
+    def test_known_values(self):
+        prediction = np.array([12.0, 18.0, 50.0])
+        target = np.array([10.0, 20.0, 40.0])
+        assert masked_mae(prediction, target) == pytest.approx(14.0 / 3)
+        assert masked_rmse(prediction, target) == pytest.approx(np.sqrt((4 + 4 + 100) / 3))
+        assert masked_mape(prediction, target) == pytest.approx((0.2 + 0.1 + 0.25) / 3 * 100)
+
+    def test_null_entries_are_ignored(self):
+        prediction = np.array([100.0, 15.0])
+        target = np.array([0.0, 10.0])
+        assert masked_mae(prediction, target) == pytest.approx(5.0)
+        assert masked_rmse(prediction, target) == pytest.approx(5.0)
+        assert masked_mape(prediction, target) == pytest.approx(50.0)
+
+    def test_nan_null_marker(self):
+        prediction = np.array([1.0, 2.0])
+        target = np.array([np.nan, 4.0])
+        assert masked_mae(prediction, target, null_value=np.nan) == pytest.approx(2.0)
+
+    def test_all_null_targets_return_zero(self):
+        assert masked_mae(np.ones(3), np.zeros(3)) == 0.0
+        assert masked_rmse(np.ones(3), np.zeros(3)) == 0.0
+        assert masked_mape(np.ones(3), np.zeros(3)) == 0.0
+
+    def test_disable_masking(self):
+        prediction = np.array([1.0, 1.0])
+        target = np.array([0.0, 2.0])
+        assert masked_mae(prediction, target, null_value=None) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            masked_mae(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            masked_rmse(np.zeros((2, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            masked_mape(np.zeros(3), np.zeros((3, 1)))
+
+    def test_rmse_upper_bounds_mae(self):
+        rng = np.random.default_rng(1)
+        prediction = rng.uniform(0, 100, size=200)
+        target = rng.uniform(1, 100, size=200)
+        assert masked_rmse(prediction, target) >= masked_mae(prediction, target)
+
+
+class TestAggregates:
+    def test_evaluate_forecast_bundle(self):
+        prediction = np.array([[10.0, 20.0]])
+        target = np.array([[12.0, 18.0]])
+        metrics = evaluate_forecast(prediction, target)
+        assert isinstance(metrics, ForecastMetrics)
+        assert metrics.mae == pytest.approx(2.0)
+        assert set(metrics.as_dict()) == {"MAE", "RMSE", "MAPE"}
+        assert "MAE" in str(metrics)
+
+    def test_horizon_metrics_keys_and_monotone_structure(self):
+        rng = np.random.default_rng(2)
+        target = rng.uniform(10, 100, size=(30, 12, 5))
+        noise = rng.normal(0, 1, size=target.shape) * np.arange(1, 13)[None, :, None]
+        prediction = target + noise
+        per_horizon = horizon_metrics(prediction, target)
+        assert set(per_horizon) == set(range(1, 13))
+        # Error grows with horizon because the injected noise does.
+        assert per_horizon[12].mae > per_horizon[1].mae
+
+    def test_horizon_metrics_validation(self):
+        with pytest.raises(ValueError):
+            horizon_metrics(np.zeros((3, 12)), np.zeros((3, 12)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 10), st.integers(1, 6)),
+        elements=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+    ),
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+)
+def test_mae_shift_property(target, shift):
+    """Adding a constant offset to a perfect prediction gives MAE == offset."""
+    prediction = target + shift
+    assert masked_mae(prediction, target) == pytest.approx(shift, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(2, 40),
+        elements=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+    )
+)
+def test_metric_non_negativity_property(target):
+    rng = np.random.default_rng(0)
+    prediction = target + rng.normal(0, 10, size=target.shape)
+    assert masked_mae(prediction, target) >= 0
+    assert masked_rmse(prediction, target) >= masked_mae(prediction, target) - 1e-9
+    assert masked_mape(prediction, target) >= 0

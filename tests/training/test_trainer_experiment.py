@@ -1,0 +1,150 @@
+"""Tests for early stopping, checkpointing, the trainer and experiment runners."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FCLSTM, HistoricalAverage
+from repro.core import DyHSL, DyHSLConfig
+from repro.nn import Linear, Module, Sequential, Tanh
+from repro.training import (
+    EarlyStopping,
+    ExperimentResult,
+    InMemoryCheckpoint,
+    Trainer,
+    TrainerConfig,
+    load_checkpoint,
+    run_neural_experiment,
+    run_statistical_experiment,
+    save_checkpoint,
+)
+
+
+class TestEarlyStopping:
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        assert stopper.update(10.0)
+        assert not stopper.update(11.0)
+        assert stopper.update(9.0)
+        assert stopper.bad_epochs == 0
+        assert stopper.best == 9.0
+
+    def test_stops_after_patience_exhausted(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(5.0)
+        stopper.update(6.0)
+        assert not stopper.should_stop
+        stopper.update(6.0)
+        assert stopper.should_stop
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=3, min_delta=0.5)
+        stopper.update(10.0)
+        assert not stopper.update(9.8)  # not enough improvement
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-1.0)
+
+
+class TestCheckpoints:
+    def _model(self):
+        return Sequential(Linear(3, 4), Tanh(), Linear(4, 2))
+
+    def test_in_memory_roundtrip(self):
+        model = self._model()
+        checkpoint = InMemoryCheckpoint()
+        assert not checkpoint.has_snapshot
+        checkpoint.save(model, epoch=3)
+        original = model.state_dict()
+        for parameter in model.parameters():
+            parameter.data += 1.0
+        metadata = checkpoint.restore(model)
+        assert metadata["epoch"] == 3
+        assert np.allclose(model.state_dict()["0.weight"], original["0.weight"])
+
+    def test_restore_without_snapshot_is_noop(self):
+        model = self._model()
+        before = model.state_dict()
+        InMemoryCheckpoint().restore(model)
+        assert np.allclose(model.state_dict()["0.weight"], before["0.weight"])
+
+    def test_disk_roundtrip(self, tmp_path):
+        model = self._model()
+        path = save_checkpoint(model, tmp_path / "model", metadata={"val": 1.5})
+        assert path.exists() and path.suffix == ".npz"
+        for parameter in model.parameters():
+            parameter.data *= 0.0
+        metadata = load_checkpoint(model, path)
+        assert metadata["val"] == 1.5
+        assert not np.allclose(model.state_dict()["0.weight"], 0.0)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(self._model(), tmp_path / "absent.npz")
+
+
+class TestTrainer:
+    def _tiny_dyhsl(self, data):
+        config = DyHSLConfig(
+            num_nodes=data.num_nodes,
+            hidden_dim=8,
+            prior_layers=1,
+            num_hyperedges=4,
+            window_sizes=(1, 12),
+            mhce_layers=1,
+            dropout=0.0,
+        )
+        return DyHSL(config, data.adjacency)
+
+    def test_training_reduces_validation_mae(self, forecasting_data):
+        model = self._tiny_dyhsl(forecasting_data)
+        trainer = Trainer(model, forecasting_data, TrainerConfig(max_epochs=3, batch_size=32, patience=5))
+        history = trainer.fit()
+        assert history.num_epochs == 3
+        assert history.validation_mae[-1] <= history.validation_mae[0] * 1.1
+        assert history.best_epoch is not None
+        assert history.mean_epoch_seconds > 0
+
+    def test_predict_returns_original_scale(self, forecasting_data):
+        model = self._tiny_dyhsl(forecasting_data)
+        trainer = Trainer(model, forecasting_data, TrainerConfig(max_epochs=1, batch_size=32))
+        trainer.fit()
+        predictions = trainer.predict(forecasting_data.test.inputs[:6])
+        assert predictions.shape == (6, 12, forecasting_data.num_nodes)
+        # Raw flow is in the tens-to-hundreds range, unlike the normalised inputs.
+        assert predictions.mean() > 5.0
+
+    def test_evaluate_returns_metrics(self, forecasting_data):
+        model = self._tiny_dyhsl(forecasting_data)
+        trainer = Trainer(model, forecasting_data, TrainerConfig(max_epochs=1))
+        trainer.fit()
+        metrics = trainer.evaluate("test")
+        assert metrics.mae > 0 and metrics.rmse >= metrics.mae
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(max_epochs=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(learning_rate=0.0)
+
+
+class TestExperimentRunners:
+    def test_neural_experiment_result_fields(self, forecasting_data):
+        model = FCLSTM(hidden_dim=8)
+        result = run_neural_experiment(
+            "FC-LSTM", model, forecasting_data, TrainerConfig(max_epochs=1, batch_size=32)
+        )
+        assert isinstance(result, ExperimentResult)
+        assert result.num_parameters == model.num_parameters()
+        assert result.metrics.mae > 0
+        assert result.test_seconds > 0
+        row = result.row()
+        assert row["model"] == "FC-LSTM" and "MAE" in row
+
+    def test_statistical_experiment(self, forecasting_data):
+        result = run_statistical_experiment("HA", HistoricalAverage(horizon=12), forecasting_data)
+        assert result.num_parameters == 0
+        assert result.metrics.mae > 0
+        assert result.epochs_trained == 1
