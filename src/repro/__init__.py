@@ -7,11 +7,14 @@ The package is organised in layered subpackages:
 * ``repro.core`` - the DyHSL model (the paper's contribution);
 * ``repro.baselines`` - comparison models from the paper's Table III;
 * ``repro.training`` / ``repro.analysis`` - training, metrics and the
-  analyses behind the paper's tables and figures.
+  analyses behind the paper's tables and figures;
+* ``repro.serving`` - production inference: micro-batched, cached,
+  streaming forecast serving on top of trained checkpoints.
 """
 
-from . import analysis, baselines, core, data, graph, nn, optim, tensor, training
+from . import analysis, baselines, core, data, graph, nn, optim, serving, tensor, training
 from .core import DyHSL, DyHSLConfig
+from .serving import ForecastService
 
 __version__ = "1.0.0"
 
@@ -25,7 +28,9 @@ __all__ = [
     "baselines",
     "training",
     "analysis",
+    "serving",
     "DyHSL",
     "DyHSLConfig",
+    "ForecastService",
     "__version__",
 ]

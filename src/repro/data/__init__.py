@@ -8,10 +8,10 @@ from .datasets import (
     load_dataset,
 )
 from .loaders import DataLoader, ForecastingData, ForecastingSplit
-from .scalers import MinMaxScaler, StandardScaler
+from .scalers import MinMaxScaler, StandardScaler, scaler_from_dict
 from .splits import SplitRatios, chronological_split, split_indices
 from .synthetic import STEPS_PER_DAY, TrafficIncident, TrafficSimulator, TrafficSimulatorConfig
-from .windows import WindowConfig, count_windows, sliding_windows
+from .windows import StreamingWindows, WindowConfig, count_windows, sliding_windows
 
 __all__ = [
     "DatasetSpec",
@@ -25,9 +25,11 @@ __all__ = [
     "STEPS_PER_DAY",
     "StandardScaler",
     "MinMaxScaler",
+    "scaler_from_dict",
     "WindowConfig",
     "sliding_windows",
     "count_windows",
+    "StreamingWindows",
     "SplitRatios",
     "chronological_split",
     "split_indices",

@@ -9,11 +9,11 @@ STSGCN/ASTGCN data pipeline the paper follows.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-__all__ = ["StandardScaler", "MinMaxScaler"]
+__all__ = ["StandardScaler", "MinMaxScaler", "scaler_from_dict"]
 
 
 class StandardScaler:
@@ -57,6 +57,19 @@ class StandardScaler:
     def _check_fitted(self) -> None:
         if self.mean is None or self.std is None:
             raise RuntimeError("scaler must be fitted before use")
+
+    def to_dict(self) -> Dict[str, float]:
+        """Serialisable state (for checkpoints / the serving layer)."""
+        self._check_fitted()
+        return {"kind": "standard", "mean": self.mean, "std": self.std, "epsilon": self.epsilon}
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, float]) -> "StandardScaler":
+        """Rebuild a fitted scaler from :meth:`to_dict` output."""
+        scaler = cls(epsilon=float(state.get("epsilon", 1e-8)))
+        scaler.mean = float(state["mean"])
+        scaler.std = float(state["std"])
+        return scaler
 
     def __repr__(self) -> str:
         if self.mean is None:
@@ -107,7 +120,41 @@ class MinMaxScaler:
         if self.data_min is None or self.data_max is None:
             raise RuntimeError("scaler must be fitted before use")
 
+    def to_dict(self) -> Dict[str, float]:
+        """Serialisable state (for checkpoints / the serving layer)."""
+        self._check_fitted()
+        return {
+            "kind": "minmax",
+            "data_min": self.data_min,
+            "data_max": self.data_max,
+            "feature_min": self.feature_min,
+            "feature_max": self.feature_max,
+            "epsilon": self.epsilon,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, float]) -> "MinMaxScaler":
+        """Rebuild a fitted scaler from :meth:`to_dict` output."""
+        scaler = cls(
+            feature_min=float(state.get("feature_min", 0.0)),
+            feature_max=float(state.get("feature_max", 1.0)),
+            epsilon=float(state.get("epsilon", 1e-8)),
+        )
+        scaler.data_min = float(state["data_min"])
+        scaler.data_max = float(state["data_max"])
+        return scaler
+
     def __repr__(self) -> str:
         if self.data_min is None:
             return "MinMaxScaler(unfitted)"
         return f"MinMaxScaler(data_min={self.data_min:.4f}, data_max={self.data_max:.4f})"
+
+
+def scaler_from_dict(state: Dict[str, float]):
+    """Dispatch :meth:`to_dict` payloads back to the right scaler class."""
+    kind = state.get("kind")
+    if kind == "standard":
+        return StandardScaler.from_dict(state)
+    if kind == "minmax":
+        return MinMaxScaler.from_dict(state)
+    raise ValueError(f"unknown scaler kind {kind!r}")

@@ -3,7 +3,11 @@
 The forecasting task maps 12 historical steps to the next 12 steps
 (Section V-A2 of the paper: 60 minutes in, 60 minutes out at 5-minute
 resolution).  This module slices a ``(T, N, F)`` signal tensor into
-overlapping (input, target) windows.
+overlapping (input, target) windows, and provides the incremental
+:class:`StreamingWindows` counterpart used by the serving layer: instead of
+re-slicing a growing array for every request, observations are pushed one
+step at a time and the latest model-ready window is always available as a
+contiguous O(1) view.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["WindowConfig", "sliding_windows", "count_windows"]
+__all__ = ["WindowConfig", "sliding_windows", "count_windows", "StreamingWindows"]
 
 
 @dataclass(frozen=True)
@@ -94,3 +98,94 @@ def sliding_windows(
         inputs[window_index] = signal[start:mid]
         targets[window_index] = signal[mid:end, :, target_feature]
     return inputs, targets
+
+
+class StreamingWindows:
+    """Incremental window materialisation over a live observation stream.
+
+    The classic serving problem with :func:`sliding_windows` is that every
+    new observation would require re-slicing the full history.  This class
+    keeps a double-written ring buffer of the last ``input_length`` steps:
+    each step is stored at two mirrored positions of a ``(2 * T, N, F)``
+    array, so the latest window is always the contiguous slice
+    ``store[cursor : cursor + T]`` — no copying, no re-slicing, O(1) per
+    request.
+
+    Parameters
+    ----------
+    input_length:
+        Window length ``T`` fed to the model.
+    num_nodes / num_features:
+        Spatial and feature dimensions of one observation step.
+
+    Example
+    -------
+    >>> stream = StreamingWindows(input_length=12, num_nodes=10, num_features=1)
+    >>> for step in signal:          # step has shape (10, 1)
+    ...     stream.push(step)
+    >>> window = stream.latest()     # (12, 10, 1) view, no copy
+    """
+
+    def __init__(self, input_length: int, num_nodes: int, num_features: int) -> None:
+        if input_length <= 0 or num_nodes <= 0 or num_features <= 0:
+            raise ValueError("input_length, num_nodes and num_features must be positive")
+        self.input_length = input_length
+        self.num_nodes = num_nodes
+        self.num_features = num_features
+        self._store = np.zeros((2 * input_length, num_nodes, num_features), dtype=float)
+        self._count = 0
+
+    @property
+    def steps_ingested(self) -> int:
+        """Total number of observation steps pushed so far."""
+        return self._count
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough steps have arrived to materialise a full window."""
+        return self._count >= self.input_length
+
+    def push(self, step: np.ndarray) -> None:
+        """Ingest one observation step of shape ``(N, F)`` (or ``(N,)`` when F=1)."""
+        step = np.asarray(step, dtype=float)
+        if step.ndim == 1 and self.num_features == 1:
+            step = step[:, None]
+        if step.shape != (self.num_nodes, self.num_features):
+            raise ValueError(
+                f"step shape {step.shape} does not match (num_nodes={self.num_nodes}, "
+                f"num_features={self.num_features})"
+            )
+        slot = self._count % self.input_length
+        # Double write: the same step lands at ``slot`` and ``slot + T`` so a
+        # window is always contiguous regardless of where the cursor sits.
+        self._store[slot] = step
+        self._store[slot + self.input_length] = step
+        self._count += 1
+
+    def update_node(self, node: int, values: np.ndarray) -> None:
+        """Overwrite the most recent step of one node (late-arriving sensor)."""
+        if self._count == 0:
+            raise RuntimeError("no step has been pushed yet")
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} out of range [0, {self.num_nodes})")
+        values = np.asarray(values, dtype=float).reshape(self.num_features)
+        slot = (self._count - 1) % self.input_length
+        self._store[slot, node] = values
+        self._store[slot + self.input_length, node] = values
+
+    def latest(self) -> np.ndarray:
+        """Latest window ``(T, N, F)`` as a read-only contiguous view."""
+        if not self.ready:
+            raise RuntimeError(
+                f"only {self._count} of {self.input_length} steps ingested; window not ready"
+            )
+        cursor = self._count % self.input_length
+        view = self._store[cursor : cursor + self.input_length]
+        view = view.view()
+        view.flags.writeable = False
+        return view
+
+    def reset(self) -> None:
+        """Forget all ingested observations."""
+        self._store.fill(0.0)
+        self._count = 0

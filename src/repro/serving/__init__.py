@@ -1,0 +1,36 @@
+"""Forecast-serving subsystem: batched, cached, streaming inference.
+
+The training-side layers of the library reproduce the paper; this package
+turns a trained model into something that can answer production traffic —
+the ROADMAP's "serve heavy traffic" north star:
+
+* :class:`ForecastService` — front end: loads a self-describing checkpoint,
+  answers raw-scale forecast queries;
+* :class:`MicroBatcher` — coalesces concurrent single-window requests into
+  one ``(B, T, N, F)`` forward pass under ``no_grad``;
+* :class:`RollingWindowBuffer` — ingests streaming detector readings and
+  materialises normalised model windows incrementally;
+* :class:`ForecastCache` — LRU cache keyed by
+  ``(model version, window hash, horizon)`` with hit/miss accounting.
+
+See ``examples/serve_forecasts.py`` for an end-to-end walkthrough and
+``benchmarks/bench_serving_throughput.py`` for the micro-batching speedup
+measurement.
+"""
+
+from .batching import BatcherStats, MicroBatcher, PendingForecast
+from .buffer import RollingWindowBuffer
+from .cache import CacheStats, ForecastCache, hash_window
+from .service import ForecastService, ServiceStats
+
+__all__ = [
+    "ForecastService",
+    "ServiceStats",
+    "MicroBatcher",
+    "PendingForecast",
+    "BatcherStats",
+    "RollingWindowBuffer",
+    "ForecastCache",
+    "CacheStats",
+    "hash_window",
+]

@@ -1,0 +1,217 @@
+"""Micro-batching request queue.
+
+A production forecast endpoint receives many concurrent *single-window*
+queries.  Running the model once per request wastes most of the time in
+per-call overhead: every forward pass through the NumPy substrate pays a
+fixed cost in Python-level op dispatch that is independent of the batch
+size, while the matmuls themselves vectorise almost for free along the
+batch dimension.  The :class:`MicroBatcher` therefore coalesces pending
+requests into one ``(B, T, N, F)`` forward pass under ``no_grad`` and
+distributes the per-sample slices back to the callers — the standard
+dynamic-batching pattern of inference servers, in synchronous form.
+
+Usage::
+
+    batcher = MicroBatcher(model, max_batch_size=64)
+    pending = [batcher.submit(w) for w in windows]   # enqueue, no compute
+    batcher.flush()                                  # one batched forward
+    results = [p.result() for p in pending]
+
+``PendingForecast.result()`` flushes lazily when needed, so callers that
+do not control the flush cadence still always get an answer.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+
+__all__ = ["PendingForecast", "BatcherStats", "MicroBatcher"]
+
+
+class PendingForecast:
+    """Handle for a forecast that has been enqueued but maybe not computed.
+
+    The micro-batcher fulfils the handle during :meth:`MicroBatcher.flush`;
+    calling :meth:`result` earlier triggers a flush so the caller never
+    deadlocks on its own request.  If the model raised during the batched
+    forward, :meth:`result` re-raises that error for every request of the
+    failed batch instead of silently dropping them.
+    """
+
+    def __init__(self, batcher: "MicroBatcher") -> None:
+        self._batcher = batcher
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the forecast has been computed (or failed)."""
+        return self._done
+
+    def _fulfil(self, value: np.ndarray) -> None:
+        self._value = value
+        self._done = True
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done = True
+
+    def result(self) -> np.ndarray:
+        """The forecast ``(T', N)``; flushes the queue if still pending."""
+        if not self._done:
+            self._batcher.flush()
+        if not self._done:  # defensive: flush must settle every pending handle
+            raise RuntimeError("flush did not settle this request")
+        if self._error is not None:
+            raise RuntimeError("batched forward failed for this request") from self._error
+        return self._value
+
+
+@dataclass
+class BatcherStats:
+    """Running counters of how well requests were amortised into batches.
+
+    Scalars only (no per-flush history), so the stats stay O(1) in memory
+    over the lifetime of a long-running service.
+    """
+
+    requests: int = 0
+    flushes: int = 0
+    coalesced: int = 0
+    largest_batch: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests amortised per forward pass."""
+        return self.coalesced / self.flushes if self.flushes else 0.0
+
+    def _record_flush(self, batch_size: int) -> None:
+        self.flushes += 1
+        self.coalesced += batch_size
+        self.largest_batch = max(self.largest_batch, batch_size)
+
+
+class MicroBatcher:
+    """Coalesce concurrent single-window requests into batched forwards.
+
+    Parameters
+    ----------
+    forward_fn:
+        The model (or any callable) mapping a ``(B, T, N, F)`` batch to
+        ``(B, T', N)`` predictions.  A :class:`~repro.nn.Module` is used
+        directly; outputs may be :class:`~repro.tensor.Tensor` or arrays.
+    max_batch_size:
+        Upper bound on the coalesced batch; larger queues are drained in
+        several chunks (bounds peak memory).
+    auto_flush_at:
+        When set, :meth:`submit` triggers a flush as soon as this many
+        requests are pending — callers then never have to flush manually.
+
+    All entry points are thread-safe; the forward pass itself runs outside
+    the queue lock so new requests can keep arriving while a batch computes.
+    """
+
+    def __init__(
+        self,
+        forward_fn: Callable[[Tensor], object],
+        max_batch_size: int = 128,
+        auto_flush_at: Optional[int] = None,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if auto_flush_at is not None and auto_flush_at <= 0:
+            raise ValueError("auto_flush_at must be positive when set")
+        self.forward_fn = forward_fn
+        self.max_batch_size = max_batch_size
+        self.auto_flush_at = auto_flush_at
+        self._queue: List[Tuple[np.ndarray, PendingForecast]] = []
+        self._queue_lock = threading.Lock()
+        self._flush_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.stats = BatcherStats()
+
+    @property
+    def pending(self) -> int:
+        """Number of enqueued, not yet computed requests."""
+        with self._queue_lock:
+            return len(self._queue)
+
+    def submit(self, window: np.ndarray) -> PendingForecast:
+        """Enqueue one observation window ``(T, N, F)`` for forecasting."""
+        window = np.asarray(window, dtype=float)
+        if window.ndim != 3:
+            raise ValueError(f"window must have shape (T, N, F); got {window.shape}")
+        handle = PendingForecast(self)
+        with self._queue_lock:
+            if self._queue and self._queue[0][0].shape != window.shape:
+                raise ValueError(
+                    f"window shape {window.shape} differs from the pending batch "
+                    f"shape {self._queue[0][0].shape}"
+                )
+            self._queue.append((window, handle))
+            should_flush = self.auto_flush_at is not None and len(self._queue) >= self.auto_flush_at
+        with self._stats_lock:
+            self.stats.requests += 1
+        if should_flush:
+            self.flush()
+        return handle
+
+    def flush(self) -> int:
+        """Drain the queue with batched forwards; returns requests fulfilled.
+
+        If the model raises on a chunk, every handle of that chunk is failed
+        with the error (so waiting callers see the real cause from
+        :meth:`PendingForecast.result`) and the exception propagates;
+        requests in later chunks stay queued for the next flush.
+        """
+        fulfilled = 0
+        with self._flush_lock:
+            while True:
+                with self._queue_lock:
+                    chunk = self._queue[: self.max_batch_size]
+                    del self._queue[: len(chunk)]
+                if not chunk:
+                    return fulfilled
+                try:
+                    windows = np.stack([window for window, _ in chunk], axis=0)
+                    with no_grad():
+                        outputs = self.forward_fn(Tensor(windows))
+                    predictions = outputs.data if isinstance(outputs, Tensor) else np.asarray(outputs)
+                    if predictions.shape[0] != len(chunk):
+                        raise RuntimeError(
+                            f"forward returned {predictions.shape[0]} predictions for a "
+                            f"batch of {len(chunk)}"
+                        )
+                except BaseException as error:
+                    for _, handle in chunk:
+                        handle._fail(error)
+                    raise
+                for index, (_, handle) in enumerate(chunk):
+                    handle._fulfil(predictions[index].copy())
+                with self._stats_lock:
+                    self.stats._record_flush(len(chunk))
+                fulfilled += len(chunk)
+
+    def forecast_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Convenience path: forecast an already-assembled ``(B, T, N, F)`` batch.
+
+        Bypasses the queue but shares the batching statistics, so benchmark
+        comparisons see both paths.
+        """
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 4:
+            raise ValueError(f"batch must have shape (B, T, N, F); got {windows.shape}")
+        with no_grad():
+            outputs = self.forward_fn(Tensor(windows))
+        predictions = outputs.data if isinstance(outputs, Tensor) else np.asarray(outputs)
+        with self._stats_lock:
+            self.stats.requests += windows.shape[0]
+            self.stats._record_flush(windows.shape[0])
+        return predictions

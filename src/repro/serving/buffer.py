@@ -1,0 +1,128 @@
+"""Rolling observation buffer for streaming inference.
+
+A live deployment does not receive ready-made ``(T, N, F)`` windows — it
+receives one detector reading per sensor per five-minute step (possibly
+late and out of order within the step).  The :class:`RollingWindowBuffer`
+turns that stream into model-ready input:
+
+* observations are pushed per step (all sensors) or per node (one sensor);
+* the flow feature is z-score normalised *on ingest* with the training
+  scaler, so materialising a window is a pure O(1) view of the underlying
+  double-written ring (see :class:`repro.data.StreamingWindows`) instead of
+  a normalise-and-slice pass per request.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.windows import StreamingWindows
+
+__all__ = ["RollingWindowBuffer"]
+
+
+class RollingWindowBuffer:
+    """Maintain the latest normalised observation window of a sensor network.
+
+    Parameters
+    ----------
+    input_length:
+        Window length ``T`` expected by the model.
+    num_nodes / num_features:
+        Sensor count ``N`` and raw feature count ``F``.
+    scaler:
+        Fitted scaler used to normalise the flow feature (channel 0) on
+        ingest; ``None`` stores observations unnormalised.
+    target_feature:
+        Which feature channel the scaler applies to (flow = 0).
+
+    Example
+    -------
+    >>> buffer = RollingWindowBuffer(12, num_nodes=10, scaler=data.scaler)
+    >>> for reading in live_feed:          # (10,) raw flows per 5-minute step
+    ...     buffer.ingest(reading)
+    >>> model(Tensor(buffer.window()[None]))
+    """
+
+    def __init__(
+        self,
+        input_length: int,
+        num_nodes: int,
+        num_features: int = 1,
+        scaler: Optional[object] = None,
+        target_feature: int = 0,
+    ) -> None:
+        if not 0 <= target_feature < num_features:
+            raise ValueError(f"target_feature {target_feature} out of range for F={num_features}")
+        self.scaler = scaler
+        self.target_feature = target_feature
+        self._stream = StreamingWindows(input_length, num_nodes, num_features)
+
+    # ------------------------------------------------------------------
+    @property
+    def input_length(self) -> int:
+        """Window length ``T``."""
+        return self._stream.input_length
+
+    @property
+    def num_nodes(self) -> int:
+        """Sensor count ``N``."""
+        return self._stream.num_nodes
+
+    @property
+    def num_features(self) -> int:
+        """Feature count ``F``."""
+        return self._stream.num_features
+
+    @property
+    def steps_ingested(self) -> int:
+        """Total observation steps ingested."""
+        return self._stream.steps_ingested
+
+    @property
+    def ready(self) -> bool:
+        """Whether a full window is available."""
+        return self._stream.ready
+
+    # ------------------------------------------------------------------
+    def _normalise_step(self, step: np.ndarray) -> np.ndarray:
+        step = np.asarray(step, dtype=float)
+        if step.ndim == 1 and self.num_features == 1:
+            step = step[:, None]
+        if self.scaler is not None:
+            step = step.copy()
+            step[:, self.target_feature] = self.scaler.transform(step[:, self.target_feature])
+        return step
+
+    def ingest(self, observation: np.ndarray) -> None:
+        """Ingest one raw observation step ``(N, F)`` (or ``(N,)`` when F=1)."""
+        self._stream.push(self._normalise_step(observation))
+
+    def ingest_signal(self, signal: np.ndarray) -> None:
+        """Ingest a raw ``(steps, N, F)`` signal chunk step by step."""
+        signal = np.asarray(signal, dtype=float)
+        if signal.ndim != 3:
+            raise ValueError(f"signal must have shape (steps, N, F); got {signal.shape}")
+        for step in signal:
+            self.ingest(step)
+
+    def ingest_node(self, node: int, values: np.ndarray) -> None:
+        """Correct the latest step of one node with a late-arriving reading."""
+        values = np.asarray(values, dtype=float).reshape(self.num_features)
+        if self.scaler is not None:
+            values = values.copy()
+            values[self.target_feature] = float(
+                self.scaler.transform(np.asarray(values[self.target_feature]))
+            )
+        self._stream.update_node(node, values)
+
+    # ------------------------------------------------------------------
+    def window(self) -> np.ndarray:
+        """Latest model-ready normalised window ``(T, N, F)`` (O(1) view)."""
+        return self._stream.latest()
+
+    def reset(self) -> None:
+        """Forget all ingested observations."""
+        self._stream.reset()

@@ -1,0 +1,136 @@
+"""LRU forecast cache.
+
+Traffic forecasts are heavily re-requested: a dashboard polling every few
+seconds, many users watching the same corridor, or retries after timeouts
+all ask for the forecast of the *same* window.  Because the model is
+deterministic in evaluation mode, those repeats can be answered from a
+cache keyed by ``(model_version, window_hash, horizon)`` — the model
+version guards against stale forecasts after a redeploy, the window hash
+identifies the input exactly, and the horizon distinguishes truncated
+queries over the same window.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["hash_window", "CacheStats", "ForecastCache"]
+
+#: Cache key: (model version, window content hash, forecast horizon).
+CacheKey = Tuple[str, str, int]
+
+
+def hash_window(window: np.ndarray) -> str:
+    """Content hash of an observation window (shape-sensitive, bit-exact)."""
+    window = np.ascontiguousarray(window, dtype=float)
+    digest = hashlib.sha1()
+    digest.update(str(window.shape).encode("utf-8"))
+    digest.update(window.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters describing cache effectiveness."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    max_entries: int
+
+    @property
+    def requests(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class ForecastCache:
+    """Thread-safe LRU cache of forecast arrays.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached forecasts; the least recently *used* entry
+        is evicted when the capacity is exceeded.
+
+    Example
+    -------
+    >>> cache = ForecastCache(max_entries=512)
+    >>> key = cache.make_key("v1", window, horizon=12)
+    >>> if (forecast := cache.get(key)) is None:
+    ...     forecast = model_forward(window)
+    ...     cache.put(key, forecast)
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @staticmethod
+    def make_key(model_version: str, window: np.ndarray, horizon: int) -> CacheKey:
+        """Build the ``(model_version, window_hash, horizon)`` key for a query."""
+        return (str(model_version), hash_window(window), int(horizon))
+
+    def get(self, key: CacheKey) -> Optional[np.ndarray]:
+        """Look up a forecast; counts a hit or a miss and refreshes recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry.copy()
+
+    def put(self, key: CacheKey, forecast: np.ndarray) -> None:
+        """Store a forecast, evicting the least recently used entry if full."""
+        forecast = np.asarray(forecast, dtype=float).copy()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = forecast
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss/eviction counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                max_entries=self.max_entries,
+            )

@@ -1,0 +1,274 @@
+"""The forecast-serving front end.
+
+:class:`ForecastService` is the piece a production deployment talks to.  It
+owns a trained :class:`~repro.core.DyHSL` (loaded from a self-describing
+checkpoint or passed in), the fitted training scaler, a rolling observation
+buffer for streaming ingestion, a micro-batching queue and an LRU forecast
+cache, and exposes raw-scale queries:
+
+* :meth:`forecast` — one raw window in, one ``(T', N)`` forecast out;
+* :meth:`forecast_many` — a batch of windows, answered with cache lookups
+  plus a single coalesced forward for the misses;
+* :meth:`ingest` / :meth:`forecast_latest` — streaming operation: push
+  detector readings as they arrive, forecast from the rolling buffer.
+
+All inputs and outputs are on the *original* flow scale (vehicles per five
+minutes); normalisation is an internal concern.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import Tensor, no_grad
+from .batching import BatcherStats, MicroBatcher
+from .buffer import RollingWindowBuffer
+from .cache import CacheStats, ForecastCache
+
+__all__ = ["ServiceStats", "ForecastService"]
+
+
+def _weights_fingerprint(model: Module) -> str:
+    """Short content hash of the model weights, used as the model version."""
+    digest = hashlib.sha1()
+    for name, value in sorted(model.state_dict().items()):
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(value).tobytes())
+    return digest.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Operational counters of a running service."""
+
+    model_version: str
+    requests: int
+    cache: CacheStats
+    batcher: BatcherStats
+
+
+class ForecastService:
+    """Serve per-node traffic forecasts from a trained model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.DyHSL` (any module exposing a
+        ``config`` with ``input_length`` / ``output_length`` / ``num_nodes``
+        / ``input_dim`` works).  The service switches it to evaluation mode.
+    scaler:
+        The scaler fitted on the training flow; ``None`` serves on the
+        normalised scale directly.
+    model_version:
+        Cache namespace for this deployment; defaults to a fingerprint of
+        the weights so a redeploy can never serve stale cached forecasts.
+    cache_entries:
+        LRU capacity (0 disables caching).
+    max_batch_size:
+        Largest coalesced forward pass of the micro-batcher.
+
+    Example
+    -------
+    >>> service = ForecastService.from_checkpoint("dyhsl.npz")
+    >>> forecast = service.forecast(window)          # (T', N), raw scale
+    >>> service.ingest(latest_reading)               # streaming path
+    >>> if service.buffer.ready:
+    ...     forecast = service.forecast_latest()
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        scaler: Optional[object] = None,
+        model_version: Optional[str] = None,
+        cache_entries: int = 1024,
+        max_batch_size: int = 128,
+    ) -> None:
+        config = getattr(model, "config", None)
+        if config is None:
+            raise ValueError("model must expose a config attribute")
+        model.eval()
+        self.model = model
+        self.config = config
+        self.scaler = scaler
+        self.model_version = model_version or _weights_fingerprint(model)
+        self.cache: Optional[ForecastCache] = (
+            ForecastCache(max_entries=cache_entries) if cache_entries > 0 else None
+        )
+        self.batcher = MicroBatcher(model, max_batch_size=max_batch_size)
+        self.buffer = RollingWindowBuffer(
+            input_length=config.input_length,
+            num_nodes=config.num_nodes,
+            num_features=config.input_dim,
+            scaler=scaler,
+        )
+        self._requests = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(cls, path: Union[str, Path], **kwargs) -> "ForecastService":
+        """Build a service from a :func:`~repro.training.save_model_checkpoint` file."""
+        from ..training.checkpoints import load_model_checkpoint
+
+        loaded = load_model_checkpoint(path)
+        version = kwargs.pop("model_version", None)
+        if version is None:
+            version = loaded.metadata.get("model_version")
+        return cls(loaded.model, scaler=loaded.scaler, model_version=version, **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        """Forecast horizon ``T'`` of the served model."""
+        return self.config.output_length
+
+    def _normalise_window(self, window: np.ndarray) -> np.ndarray:
+        window = np.asarray(window, dtype=float)
+        if window.ndim == 2 and self.config.input_dim == 1:
+            window = window[:, :, None]
+        expected = (self.config.input_length, self.config.num_nodes, self.config.input_dim)
+        if window.shape != expected:
+            raise ValueError(f"window shape {window.shape} does not match model input {expected}")
+        if self.scaler is not None:
+            window = window.copy()
+            window[..., 0] = self.scaler.transform(window[..., 0])
+        return window
+
+    def _denormalise(self, predictions: np.ndarray) -> np.ndarray:
+        if self.scaler is not None:
+            return self.scaler.inverse_transform(predictions)
+        return predictions
+
+    def _forecast_normalised(self, window: np.ndarray, horizon: int) -> np.ndarray:
+        """Serve one normalised window, consulting the cache around the model."""
+        key = None
+        if self.cache is not None:
+            key = ForecastCache.make_key(self.model_version, window, horizon)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        with no_grad():
+            predictions = self.model(Tensor(window[None]))
+        forecast = self._denormalise(predictions.data[0])[:horizon]
+        if self.cache is not None:
+            self.cache.put(key, forecast)
+        return forecast.copy()
+
+    # ------------------------------------------------------------------
+    def forecast(self, window: np.ndarray, horizon: Optional[int] = None) -> np.ndarray:
+        """Forecast the next steps from one raw-scale window.
+
+        Parameters
+        ----------
+        window:
+            Raw observations of shape ``(T, N, F)`` (or ``(T, N)`` when the
+            model consumes a single feature).
+        horizon:
+            Number of future steps wanted (defaults to the model's ``T'``).
+
+        Returns
+        -------
+        numpy.ndarray
+            Forecast of shape ``(horizon, N)`` on the original flow scale.
+        """
+        horizon = self._check_horizon(horizon)
+        self._requests += 1
+        return self._forecast_normalised(self._normalise_window(window), horizon)
+
+    def forecast_node(self, window: np.ndarray, node: int, horizon: Optional[int] = None) -> np.ndarray:
+        """Forecast a single sensor: returns shape ``(horizon,)``."""
+        if not 0 <= node < self.config.num_nodes:
+            raise IndexError(f"node {node} out of range [0, {self.config.num_nodes})")
+        return self.forecast(window, horizon=horizon)[:, node]
+
+    def forecast_many(self, windows: np.ndarray, horizon: Optional[int] = None) -> np.ndarray:
+        """Forecast a batch of raw windows with caching plus micro-batching.
+
+        Cache hits are answered directly; misses are deduplicated (identical
+        in-flight windows are computed once) and coalesced into a single
+        batched forward pass (chunked by the batcher's ``max_batch_size``),
+        then inserted into the cache.
+        """
+        horizon = self._check_horizon(horizon)
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim == 3 and self.config.input_dim == 1:
+            windows = windows[..., None]
+        if windows.ndim != 4:
+            raise ValueError(f"windows must have shape (B, T, N, F); got {windows.shape}")
+        self._requests += windows.shape[0]
+
+        normalised = [self._normalise_window(window) for window in windows]
+        results: List[Optional[np.ndarray]] = [None] * len(normalised)
+        # Requests that miss the cache, grouped by key so identical in-flight
+        # windows share one forward slot.
+        miss_groups: "dict[tuple, List[int]]" = {}
+        for index, window in enumerate(normalised):
+            key = ForecastCache.make_key(self.model_version, window, horizon)
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            miss_groups.setdefault(key, []).append(index)
+
+        if miss_groups:
+            pending = {
+                key: self.batcher.submit(normalised[group[0]])
+                for key, group in miss_groups.items()
+            }
+            self.batcher.flush()
+            for key, group in miss_groups.items():
+                forecast = self._denormalise(pending[key].result())[:horizon]
+                if self.cache is not None:
+                    self.cache.put(key, forecast)
+                results[group[0]] = forecast
+                for index in group[1:]:
+                    results[index] = forecast.copy()
+        return np.stack(results, axis=0)
+
+    # ------------------------------------------------------------------
+    # Streaming operation
+    # ------------------------------------------------------------------
+    def ingest(self, observation: np.ndarray) -> None:
+        """Push one raw observation step ``(N, F)`` into the rolling buffer."""
+        self.buffer.ingest(observation)
+
+    def forecast_latest(self, horizon: Optional[int] = None) -> np.ndarray:
+        """Forecast from the most recent buffered window (streaming path)."""
+        horizon = self._check_horizon(horizon)
+        self._requests += 1
+        # Copy: the buffer view aliases the live ring, and a concurrent
+        # ingest between cache-key hashing and the forward would otherwise
+        # poison the cache with a forecast of different data than the hash.
+        window = np.array(self.buffer.window())
+        return self._forecast_normalised(window, horizon)
+
+    # ------------------------------------------------------------------
+    def _check_horizon(self, horizon: Optional[int]) -> int:
+        if horizon is None:
+            return self.config.output_length
+        if not 1 <= horizon <= self.config.output_length:
+            raise ValueError(
+                f"horizon must be in [1, {self.config.output_length}]; got {horizon}"
+            )
+        return int(horizon)
+
+    def stats(self) -> ServiceStats:
+        """Operational counters: requests, cache hit rate, batch amortisation."""
+        cache_stats = (
+            self.cache.stats()
+            if self.cache is not None
+            else CacheStats(hits=0, misses=0, evictions=0, size=0, max_entries=0)
+        )
+        return ServiceStats(
+            model_version=self.model_version,
+            requests=self._requests,
+            cache=cache_stats,
+            batcher=self.batcher.stats,
+        )

@@ -1,6 +1,13 @@
 """Training, evaluation and experiment orchestration."""
 
-from .checkpoints import InMemoryCheckpoint, load_checkpoint, save_checkpoint
+from .checkpoints import (
+    InMemoryCheckpoint,
+    LoadedCheckpoint,
+    load_checkpoint,
+    load_model_checkpoint,
+    save_checkpoint,
+    save_model_checkpoint,
+)
 from .early_stopping import EarlyStopping
 from .experiment import ExperimentResult, run_neural_experiment, run_statistical_experiment
 from .metrics import (
@@ -22,8 +29,11 @@ __all__ = [
     "horizon_metrics",
     "EarlyStopping",
     "InMemoryCheckpoint",
+    "LoadedCheckpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "save_model_checkpoint",
+    "load_model_checkpoint",
     "Trainer",
     "TrainerConfig",
     "TrainingHistory",

@@ -1,0 +1,86 @@
+"""Contract tests for the analysis-facing model surface.
+
+The Fig. 7 incidence study and the Eq. 14 scale-weight analysis consume two
+public model methods; these tests pin their output contracts so a refactor
+of the extractor internals cannot silently break the analyses:
+
+* ``DyHSL.incidence_matrices`` returns shape ``(batch, T/ε, N, I)``;
+* ``DyHSL.scale_weights`` is a proper softmax: positive, summing to 1,
+  one weight per configured pooling scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DyHSL, DyHSLConfig
+from repro.tensor import seed as seed_everything
+
+
+@pytest.fixture()
+def model_and_batch(forecasting_data):
+    seed_everything(21)
+    config = DyHSLConfig(
+        num_nodes=forecasting_data.num_nodes,
+        hidden_dim=8,
+        prior_layers=1,
+        num_hyperedges=5,
+        window_sizes=(1, 2, 4, 12),
+        mhce_layers=2,
+    )
+    model = DyHSL(config, forecasting_data.adjacency).eval()
+    batch = forecasting_data.train.inputs[:3]
+    return model, batch
+
+
+class TestIncidenceContract:
+    def test_shape_for_every_scale(self, model_and_batch):
+        """Fig. 7 contract: (batch, T/ε, N, I) for each configured ε."""
+        model, batch = model_and_batch
+        config = model.config
+        for window in config.window_sizes:
+            incidence = model.incidence_matrices(batch, window=window)
+            assert incidence.shape == (
+                batch.shape[0],
+                config.input_length // window,
+                config.num_nodes,
+                config.num_hyperedges,
+            ), f"wrong incidence shape at scale {window}"
+
+    def test_every_layer_is_queryable(self, model_and_batch):
+        model, batch = model_and_batch
+        config = model.config
+        for layer in range(config.mhce_layers):
+            incidence = model.incidence_matrices(batch, window=1, layer=layer)
+            assert np.all(np.isfinite(incidence))
+
+    def test_unknown_scale_is_rejected(self, model_and_batch):
+        model, batch = model_and_batch
+        with pytest.raises(ValueError, match="not one of the configured scales"):
+            model.incidence_matrices(batch, window=5)
+
+    def test_plain_array_not_tensor(self, model_and_batch):
+        """The analysis layer consumes NumPy, not autograd tensors."""
+        model, batch = model_and_batch
+        incidence = model.incidence_matrices(batch, window=1)
+        assert type(incidence) is np.ndarray
+
+
+class TestScaleWeightContract:
+    def test_softmax_simplex(self, model_and_batch):
+        """Eq. 14 contract: one positive weight per scale, summing to 1."""
+        model, _ = model_and_batch
+        weights = model.scale_weights()
+        assert weights.shape == (len(model.config.window_sizes),)
+        assert np.all(weights > 0)
+        assert float(weights.sum()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_tracks_underlying_parameter(self, model_and_batch):
+        """Shifting one logit must redistribute the softmax mass."""
+        model, _ = model_and_batch
+        before = model.scale_weights()
+        model.extractor.fusion.scale_weights.data[0] += 1.0
+        after = model.scale_weights()
+        assert after[0] > before[0]
+        assert float(after.sum()) == pytest.approx(1.0, abs=1e-12)

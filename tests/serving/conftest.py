@@ -1,0 +1,28 @@
+"""Fixtures for the serving-layer tests: a compact trained-shape model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DyHSL, DyHSLConfig
+from repro.tensor import seed as seed_everything
+
+
+@pytest.fixture()
+def tiny_config(forecasting_data):
+    """A narrow DyHSL configuration matching the shared small dataset."""
+    return DyHSLConfig(
+        num_nodes=forecasting_data.num_nodes,
+        hidden_dim=8,
+        prior_layers=1,
+        num_hyperedges=4,
+        window_sizes=(1, 3, 12),
+        mhce_layers=1,
+    )
+
+
+@pytest.fixture()
+def tiny_model(tiny_config, forecasting_data):
+    """An untrained (but deterministic) DyHSL in evaluation mode."""
+    seed_everything(7)
+    return DyHSL(tiny_config, forecasting_data.adjacency).eval()

@@ -1,0 +1,112 @@
+"""Rolling-buffer correctness against the offline ``data.windows`` slicing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import StreamingWindows, WindowConfig, sliding_windows
+from repro.serving import RollingWindowBuffer
+
+
+@pytest.mark.fast
+class TestStreamingWindows:
+    def test_matches_sliding_windows(self):
+        rng = np.random.default_rng(11)
+        signal = rng.normal(size=(50, 6, 2))
+        config = WindowConfig(input_length=12, output_length=1)
+        inputs, _ = sliding_windows(signal, config)
+
+        stream = StreamingWindows(input_length=12, num_nodes=6, num_features=2)
+        for step_index in range(signal.shape[0]):
+            stream.push(signal[step_index])
+            window_index = step_index - 11
+            if 0 <= window_index < inputs.shape[0]:
+                assert stream.ready
+                np.testing.assert_array_equal(stream.latest(), inputs[window_index])
+
+    def test_not_ready_before_full_window(self):
+        stream = StreamingWindows(input_length=4, num_nodes=2, num_features=1)
+        for _ in range(3):
+            stream.push(np.zeros((2, 1)))
+        assert not stream.ready
+        with pytest.raises(RuntimeError, match="not ready"):
+            stream.latest()
+
+    def test_latest_view_is_read_only(self):
+        stream = StreamingWindows(input_length=2, num_nodes=2, num_features=1)
+        stream.push(np.ones((2, 1)))
+        stream.push(np.ones((2, 1)))
+        window = stream.latest()
+        with pytest.raises(ValueError):
+            window[0, 0, 0] = 5.0
+
+    def test_reset_forgets_history(self):
+        stream = StreamingWindows(input_length=2, num_nodes=2, num_features=1)
+        stream.push(np.ones((2, 1)))
+        stream.reset()
+        assert stream.steps_ingested == 0 and not stream.ready
+
+    def test_rejects_bad_step_shape(self):
+        stream = StreamingWindows(input_length=2, num_nodes=2, num_features=1)
+        with pytest.raises(ValueError, match="does not match"):
+            stream.push(np.zeros((3, 1)))
+
+
+class TestRollingWindowBuffer:
+    def test_window_matches_pipeline_normalisation(self, forecasting_data):
+        """Streaming ingestion reproduces the offline normalise-then-slice path."""
+        signal = forecasting_data.dataset.signal[:40]
+        window_config = WindowConfig(input_length=12, output_length=1)
+        inputs, _ = sliding_windows(signal, window_config)
+        expected = inputs.copy()
+        expected[..., 0] = forecasting_data.scaler.transform(inputs[..., 0])
+
+        buffer = RollingWindowBuffer(
+            input_length=12,
+            num_nodes=signal.shape[1],
+            num_features=signal.shape[2],
+            scaler=forecasting_data.scaler,
+        )
+        for step_index in range(signal.shape[0]):
+            buffer.ingest(signal[step_index])
+            window_index = step_index - 11
+            if 0 <= window_index < expected.shape[0]:
+                np.testing.assert_allclose(
+                    buffer.window(), expected[window_index], rtol=0, atol=1e-12
+                )
+
+    def test_ingest_signal_bulk_equals_stepwise(self, forecasting_data):
+        signal = forecasting_data.dataset.signal[:15]
+        stepwise = RollingWindowBuffer(12, signal.shape[1], signal.shape[2], forecasting_data.scaler)
+        bulk = RollingWindowBuffer(12, signal.shape[1], signal.shape[2], forecasting_data.scaler)
+        for step in signal:
+            stepwise.ingest(step)
+        bulk.ingest_signal(signal)
+        np.testing.assert_array_equal(stepwise.window(), bulk.window())
+        assert bulk.steps_ingested == 15
+
+    def test_ingest_node_corrects_latest_step(self, forecasting_data):
+        scaler = forecasting_data.scaler
+        buffer = RollingWindowBuffer(3, num_nodes=4, num_features=1, scaler=scaler)
+        for value in (10.0, 20.0, 30.0):
+            buffer.ingest(np.full(4, value))
+        buffer.ingest_node(2, np.asarray([99.0]))
+        window = buffer.window()
+        assert window[-1, 2, 0] == pytest.approx(float(scaler.transform(np.asarray(99.0))))
+        assert window[-1, 0, 0] == pytest.approx(float(scaler.transform(np.asarray(30.0))))
+
+    def test_unscaled_buffer_passes_raw_values(self):
+        buffer = RollingWindowBuffer(2, num_nodes=3, num_features=1, scaler=None)
+        buffer.ingest(np.asarray([1.0, 2.0, 3.0]))
+        buffer.ingest(np.asarray([4.0, 5.0, 6.0]))
+        np.testing.assert_array_equal(buffer.window()[:, :, 0], [[1, 2, 3], [4, 5, 6]])
+
+    def test_rejects_bad_target_feature(self):
+        with pytest.raises(ValueError, match="target_feature"):
+            RollingWindowBuffer(2, num_nodes=3, num_features=1, target_feature=1)
+
+    def test_rejects_bad_bulk_shape(self):
+        buffer = RollingWindowBuffer(2, num_nodes=3, num_features=1)
+        with pytest.raises(ValueError, match=r"\(steps, N, F\)"):
+            buffer.ingest_signal(np.zeros((4, 3)))

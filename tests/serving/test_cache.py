@@ -1,0 +1,106 @@
+"""LRU forecast-cache semantics: keys, hit/miss counters, eviction order."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import ForecastCache, hash_window
+
+pytestmark = pytest.mark.fast
+
+
+def _key(version="v1", seed=0, horizon=12):
+    rng = np.random.default_rng(seed)
+    return ForecastCache.make_key(version, rng.normal(size=(12, 4, 1)), horizon)
+
+
+class TestHashWindow:
+    def test_deterministic_and_content_sensitive(self):
+        window = np.arange(24.0).reshape(6, 4, 1)
+        assert hash_window(window) == hash_window(window.copy())
+        bumped = window.copy()
+        bumped[0, 0, 0] += 1e-12
+        assert hash_window(window) != hash_window(bumped)
+
+    def test_shape_sensitive(self):
+        flat = np.arange(24.0)
+        assert hash_window(flat.reshape(6, 4)) != hash_window(flat.reshape(4, 6))
+
+    def test_non_contiguous_input(self):
+        window = np.arange(48.0).reshape(6, 8)
+        strided = window[:, ::2]
+        assert hash_window(strided) == hash_window(strided.copy())
+
+
+class TestHitMissSemantics:
+    def test_miss_then_hit(self):
+        cache = ForecastCache(max_entries=4)
+        key = _key()
+        assert cache.get(key) is None
+        cache.put(key, np.ones((12, 4)))
+        np.testing.assert_array_equal(cache.get(key), np.ones((12, 4)))
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_key_dimensions_are_distinct(self):
+        cache = ForecastCache(max_entries=8)
+        cache.put(_key(version="v1"), np.zeros(2))
+        assert cache.get(_key(version="v2")) is None          # new model version
+        assert cache.get(_key(seed=1)) is None                # different window
+        assert cache.get(_key(horizon=6)) is None             # different horizon
+        assert cache.get(_key()) is not None
+
+    def test_returned_array_is_a_copy(self):
+        cache = ForecastCache(max_entries=2)
+        key = _key()
+        cache.put(key, np.zeros(3))
+        fetched = cache.get(key)
+        fetched[:] = 99.0
+        np.testing.assert_array_equal(cache.get(key), np.zeros(3))
+
+    def test_empty_stats(self):
+        stats = ForecastCache(max_entries=2).stats()
+        assert stats.requests == 0 and stats.hit_rate == 0.0
+
+
+class TestLRUEviction:
+    def test_least_recently_used_is_evicted(self):
+        cache = ForecastCache(max_entries=2)
+        first, second, third = _key(seed=1), _key(seed=2), _key(seed=3)
+        cache.put(first, np.asarray([1.0]))
+        cache.put(second, np.asarray([2.0]))
+        cache.put(third, np.asarray([3.0]))  # evicts `first`
+        assert first not in cache and second in cache and third in cache
+        assert cache.stats().evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ForecastCache(max_entries=2)
+        first, second, third = _key(seed=1), _key(seed=2), _key(seed=3)
+        cache.put(first, np.asarray([1.0]))
+        cache.put(second, np.asarray([2.0]))
+        cache.get(first)                      # `second` becomes the LRU entry
+        cache.put(third, np.asarray([3.0]))
+        assert first in cache and second not in cache
+
+    def test_put_overwrites_without_eviction(self):
+        cache = ForecastCache(max_entries=2)
+        key = _key()
+        cache.put(key, np.asarray([1.0]))
+        cache.put(key, np.asarray([2.0]))
+        assert len(cache) == 1 and cache.stats().evictions == 0
+        np.testing.assert_array_equal(cache.get(key), [2.0])
+
+    def test_clear_keeps_counters(self):
+        cache = ForecastCache(max_entries=2)
+        key = _key()
+        cache.put(key, np.asarray([1.0]))
+        cache.get(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            ForecastCache(max_entries=0)
