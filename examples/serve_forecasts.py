@@ -7,10 +7,14 @@ model; this example shows the production path that follows (see
 1. train DyHSL briefly and save a *self-describing* checkpoint — weights
    plus model config, adjacency and the fitted scaler in one ``.npz``;
 2. bring up a :class:`repro.serving.ForecastService` from that file alone;
-3. answer a burst of concurrent queries through the micro-batching queue,
-   with repeated windows served from the LRU forecast cache;
+3. answer a burst of concurrent queries through the micro-batching queue —
+   forwards run on the compiled graph-free runtime (``repro.runtime``) by
+   default — with repeated windows served from the LRU forecast cache;
 4. stream live detector readings into the rolling window buffer and emit a
-   forecast after every new five-minute step.
+   forecast after every new five-minute step;
+5. restart: persist the rolling buffer next to the checkpoint and bring up
+   a second service that resumes streaming forecasts immediately
+   (warm start, no 12-step cold window).
 
 Run it with::
 
@@ -107,9 +111,21 @@ def main() -> None:
                     )
         stats = service.stats()
         print(
-            f"\nserved {stats.requests} requests total  "
+            f"\nserved {stats.requests} requests total on the {stats.runtime} runtime  "
             f"(cache: {stats.cache.hits} hits / {stats.cache.misses} misses, "
             f"{stats.batcher.flushes} batched flushes)"
+        )
+
+        # 5. Warm start: persist the buffer, "restart", resume immediately.
+        buffer_state = service.save_buffer_state(Path(tmp) / "dyhsl_serving_buffer")
+        restarted = ForecastService.from_checkpoint(
+            checkpoint, buffer_state=buffer_state, cache_entries=256
+        )
+        print(
+            f"\nrestarted service: buffer ready={restarted.buffer.ready} "
+            f"after {restarted.buffer.steps_ingested} restored steps — "
+            f"first streaming forecast peak "
+            f"{float(restarted.forecast_latest().max()):.0f} vehicles/5min"
         )
 
 

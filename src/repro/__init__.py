@@ -8,12 +8,15 @@ The package is organised in layered subpackages:
 * ``repro.baselines`` - comparison models from the paper's Table III;
 * ``repro.training`` / ``repro.analysis`` - training, metrics and the
   analyses behind the paper's tables and figures;
+* ``repro.runtime`` - graph-free compiled inference: shared ndarray
+  kernels replayed as flat plans with reused workspace buffers;
 * ``repro.serving`` - production inference: micro-batched, cached,
   streaming forecast serving on top of trained checkpoints.
 """
 
-from . import analysis, baselines, core, data, graph, nn, optim, serving, tensor, training
+from . import analysis, baselines, core, data, graph, nn, optim, runtime, serving, tensor, training
 from .core import DyHSL, DyHSLConfig
+from .runtime import CompiledModel, compile_module
 from .serving import ForecastService
 
 __version__ = "1.0.0"
@@ -22,6 +25,9 @@ __all__ = [
     "tensor",
     "nn",
     "optim",
+    "runtime",
+    "CompiledModel",
+    "compile_module",
     "graph",
     "data",
     "core",

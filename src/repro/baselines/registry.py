@@ -5,6 +5,13 @@ the benchmark harness (and the examples) can instantiate every baseline with
 one call.  Each entry records the *family* the paper groups it under:
 ``statistical``, ``sequence`` (no spatial graph) or ``graph``
 (spatio-temporal GNN), plus the proposed model itself.
+
+Every *neural* entry is compatible with the graph-free inference runtime:
+``repro.runtime.compile_module(model)`` traces its forward into a flat
+kernel plan whose outputs match the autograd forward within 1e-10
+(asserted by ``tests/runtime/test_parity.py``); recurrent baselines simply
+unroll their time loops into the plan.  Statistical entries implement the
+``fit``/``forecast`` interface directly on raw arrays and need no runtime.
 """
 
 from __future__ import annotations

@@ -80,9 +80,9 @@ class ScaleFusion(Module):
 
     def normalized_weights(self) -> np.ndarray:
         """Current softmax scale weights (useful for analysis)."""
-        data = self.scale_weights.data
-        exp = np.exp(data - data.max())
-        return exp / exp.sum()
+        from ..tensor import kernels
+
+        return kernels.softmax(self.scale_weights.data, axis=0)
 
 
 class MultiScaleExtractor(Module):

@@ -189,3 +189,24 @@ class StreamingWindows:
         """Forget all ingested observations."""
         self._store.fill(0.0)
         self._count = 0
+
+    # ------------------------------------------------------------------
+    # State persistence (warm-start serving)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the ring contents and cursor (arrays are copied)."""
+        return {"store": self._store.copy(), "count": int(self._count)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot taken from an identically
+        shaped stream; the next :meth:`latest` call sees the saved window."""
+        store = np.asarray(state["store"], dtype=float)
+        if store.shape != self._store.shape:
+            raise ValueError(
+                f"stored ring shape {store.shape} does not match this stream's {self._store.shape}"
+            )
+        count = int(state["count"])
+        if count < 0:
+            raise ValueError(f"step count must be non-negative; got {count}")
+        self._store[...] = store
+        self._count = count

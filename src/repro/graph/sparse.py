@@ -17,7 +17,7 @@ from typing import Tuple
 import numpy as np
 from scipy import sparse as sp
 
-from ..tensor import Tensor
+from ..tensor import Tensor, kernels
 
 __all__ = ["SparseMatrix", "sparse_matmul"]
 
@@ -47,6 +47,11 @@ class SparseMatrix:
     def shape(self) -> Tuple[int, int]:
         """Shape of the matrix."""
         return self._matrix.shape
+
+    @property
+    def csr(self):
+        """The underlying ``scipy.sparse.csr_matrix`` (treat as read-only)."""
+        return self._matrix
 
     @property
     def nnz(self) -> int:
@@ -100,13 +105,13 @@ def sparse_matmul(matrix: SparseMatrix, dense: Tensor) -> Tensor:
     if dense.ndim == 2:
         if dense.shape[0] != k:
             raise ValueError(f"dimension mismatch: sparse {matrix.shape} @ dense {dense.shape}")
-        data = matrix.dot_array(dense.data)
+        data = kernels.spmm(dense.data, matrix=matrix)
         transposed = matrix.transpose()
 
         def grad_fn(g: np.ndarray) -> np.ndarray:
             return transposed.dot_array(g)
 
-        return Tensor._make(data, (dense,), (grad_fn,))
+        return Tensor._make(data, (dense,), (grad_fn,), op=("spmm", {"matrix": matrix}))
     if dense.ndim == 3:
         if dense.shape[1] != k:
             raise ValueError(f"dimension mismatch: sparse {matrix.shape} @ dense {dense.shape}")

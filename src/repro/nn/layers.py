@@ -124,11 +124,10 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros(self.normalized_shape), name="bias")
 
     def forward(self, x: Tensor) -> Tensor:
-        axes = tuple(range(x.ndim - len(self.normalized_shape), x.ndim))
-        mean = x.mean(axis=axes, keepdims=True)
-        variance = x.var(axis=axes, keepdims=True)
-        normalised = (x - mean) / (variance + self.eps).sqrt()
-        return normalised * self.weight + self.bias
+        # Fused primitive: one kernel call instead of the composed
+        # mean/var/sqrt chain (same op sequence internally, so the numbers
+        # are unchanged; the inference runtime replays it as a single step).
+        return ops.layer_norm(x, self.weight, self.bias, eps=self.eps)
 
     def __repr__(self) -> str:
         return f"LayerNorm(normalized_shape={self.normalized_shape}, eps={self.eps})"

@@ -1,0 +1,258 @@
+"""Module compiler: trace a forward pass, emit a flat kernel plan.
+
+Compilation runs the module's forward once on an example input with a trace
+hook installed in the autograd layer.  Every primitive op reports
+``(kernel name, constant kwargs, parent tensors, output tensor)`` through
+``Tensor._make``; because hooks fire in execution order, the recorded list
+is already a topological order of the dataflow and can be replayed linearly.
+
+Three passes turn the raw trace into a :class:`~repro.runtime.engine.Plan`:
+
+1. **slot assignment** — every tensor becomes a slot: the input placeholder,
+   a captured constant (parameters, buffers, literals created inside
+   ``forward``) or a step output;
+2. **constant folding** — steps whose inputs are all constants (embedding
+   lookups of fixed indices, learned adjacencies like
+   ``softmax(relu(E Eᵀ))``, scale-fusion weights) already computed their
+   value during tracing; the value is promoted to a constant and the step
+   dropped;
+3. **dead-step pruning + workspace allocation** — steps that do not reach
+   the output are removed, and every surviving non-view step gets a
+   preallocated output buffer reused across calls.
+
+Tracing requirements (all satisfied by the models in this library):
+
+* the module must be in **evaluation mode** — training-time behaviour
+  (dropout masks, batch-norm statistics updates) would bake per-trace
+  randomness into the plan;
+* the forward must be a fixed dataflow for a fixed input *shape* — Python
+  loops over time steps are fine (they unroll), but branching on input
+  *values* would freeze the traced branch;
+* every op must go through the kernel layer (``Tensor._make`` with an op
+  spec) — raw ``numpy`` detours on ``.data`` would bake input-dependent
+  constants, and the tracer rejects spec-less ops loudly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from ..tensor import kernels as K
+from ..tensor.tensor import _set_trace_hook
+
+from .engine import Plan, PlanStats
+
+__all__ = ["CompileError", "compile_plan", "trace_module"]
+
+#: Serialises compilations.  Trace hooks are keyed by thread, so tensor ops
+#: on other threads can never leak into a plan; the lock additionally keeps
+#: concurrent compilations from interleaving their (GIL-shared) module
+#: state, e.g. running the same module's forward twice at once.
+_COMPILE_LOCK = threading.Lock()
+
+
+class CompileError(RuntimeError):
+    """The module's forward pass cannot be captured as a kernel plan."""
+
+
+class _Tracer:
+    """Records every primitive op executed while installed as trace hook."""
+
+    def __init__(self) -> None:
+        # (name, kwargs, parents, out); holding the tensors also pins their
+        # ids so slot assignment by id() cannot collide after a GC cycle.
+        self.records: List[Tuple[str, Dict[str, Any], Tuple[Tensor, ...], Tensor]] = []
+
+    def __call__(self, op, parents: Tuple[Tensor, ...], out: Tensor) -> None:
+        if op is None:
+            raise CompileError(
+                "encountered an autograd op without a kernel spec; every "
+                "primitive consumed by the runtime must pass op=(name, kwargs) "
+                "to Tensor._make"
+            )
+        name, kwargs = op
+        if name not in K.KERNELS:
+            raise CompileError(f"op {name!r} has no kernel in repro.tensor.kernels.KERNELS")
+        self.records.append((name, kwargs, parents, out))
+
+
+def trace_module(module, example: np.ndarray):
+    """Run ``module`` once on ``example`` and capture its op trace.
+
+    Returns ``(records, placeholder, output)`` where ``placeholder`` is the
+    input leaf tensor and ``output`` the traced forward result.
+    """
+    if getattr(module, "training", False):
+        raise CompileError(
+            "cannot compile a module in training mode; call module.eval() first"
+        )
+    placeholder = Tensor(np.asarray(example, dtype=np.float64))
+    tracer = _Tracer()
+    with _COMPILE_LOCK:
+        previous = _set_trace_hook(tracer)
+        try:
+            with no_grad():
+                output = module(placeholder)
+        finally:
+            _set_trace_hook(previous)
+    if not isinstance(output, Tensor):
+        raise CompileError(
+            f"module forward returned {type(output).__name__}; a single Tensor is required"
+        )
+    return tracer.records, placeholder, output
+
+
+def compile_plan(module, example: np.ndarray, fold_constants: bool = True) -> Plan:
+    """Compile ``module``'s forward into a :class:`Plan` for one input shape."""
+    records, placeholder, output = trace_module(module, example)
+
+    # ------------------------------------------------------------------
+    # Pass 1: slot assignment (+ inline constant folding).
+    # ------------------------------------------------------------------
+    slot_of: Dict[int, int] = {id(placeholder): 0}
+    values: List[Optional[np.ndarray]] = [None]  # slot 0 is the input
+    is_const: List[bool] = [False]
+    raw_steps: List[Tuple[str, Dict[str, Any], Tuple[int, ...], int, Tensor]] = []
+    folded = 0
+
+    def const_slot(array: np.ndarray) -> int:
+        values.append(array)
+        is_const.append(True)
+        return len(values) - 1
+
+    for name, kwargs, parents, out in records:
+        in_slots = []
+        for parent in parents:
+            slot = slot_of.get(id(parent))
+            if slot is None:
+                slot = const_slot(parent.data)
+                slot_of[id(parent)] = slot
+            in_slots.append(slot)
+        if fold_constants and all(is_const[slot] for slot in in_slots):
+            # The traced output already holds the folded value.
+            slot_of[id(out)] = const_slot(out.data)
+            folded += 1
+            continue
+        values.append(None)
+        is_const.append(False)
+        out_slot = len(values) - 1
+        slot_of[id(out)] = out_slot
+        raw_steps.append((name, kwargs, tuple(in_slots), out_slot, out))
+
+    output_slot = slot_of.get(id(output))
+    if output_slot is None:
+        # The forward returned a tensor that never went through the kernel
+        # layer (a constant built inside forward); capture it directly.
+        output_slot = const_slot(output.data)
+
+    # ------------------------------------------------------------------
+    # Pass 2: dead-step pruning (backward reachability from the output).
+    # ------------------------------------------------------------------
+    needed = {output_slot}
+    kept_flags = [False] * len(raw_steps)
+    for index in range(len(raw_steps) - 1, -1, -1):
+        name, kwargs, in_slots, out_slot, out = raw_steps[index]
+        if out_slot in needed:
+            kept_flags[index] = True
+            needed.update(in_slots)
+    pruned = len(raw_steps) - sum(kept_flags)
+    kept = [step for keep, step in zip(kept_flags, raw_steps) if keep]
+
+    # ------------------------------------------------------------------
+    # Pass 3: step classification.
+    #
+    # * "view"     — the kernel returns a view of its input; no buffer, and
+    #   for liveness the output aliases the input's underlying storage;
+    # * "buffered" — the kernel writes into a preallocated workspace buffer;
+    # * "alloc"    — the kernel allocates its result per call (advanced
+    #   indexing); rare, and usually constant-folded away.
+    #
+    # Reshapes that had to copy during tracing (non-contiguous source, a
+    # fixed property of the plan's dataflow) are rewritten to the
+    # buffer-friendly ``reshape_copy`` kernel.
+    # ------------------------------------------------------------------
+    classified: List[Tuple[str, str, Dict[str, Any], Tuple[int, ...], int, Tensor]] = []
+    for name, kwargs, in_slots, out_slot, out in kept:
+        if name in K.VIEW_OPS:
+            if out.data.base is not None:
+                kind = "view"
+            elif name == "reshape":
+                kind, name = "buffered", "reshape_copy"
+            else:
+                kind = "alloc"
+        else:
+            kind = "buffered"
+        classified.append((kind, name, kwargs, in_slots, out_slot, out))
+
+    # ------------------------------------------------------------------
+    # Pass 4: liveness analysis over underlying buffers.
+    #
+    # Each buffered step's output gets a storage token; view steps propagate
+    # their input's token (a view must pin the storage it aliases).  A token
+    # is dead after the last step that reads any slot carrying it, at which
+    # point its buffer returns to the pool for a later step — this keeps the
+    # working set at the peak *live* size (cache-warm), not the sum of all
+    # intermediates.
+    # ------------------------------------------------------------------
+    token_of_slot: Dict[int, Optional[int]] = {}
+    last_use: Dict[int, int] = {}
+    next_token = 0
+    for index, (kind, name, kwargs, in_slots, out_slot, out) in enumerate(classified):
+        for slot in in_slots:
+            token = token_of_slot.get(slot)
+            if token is not None:
+                last_use[token] = index
+        if kind == "view":
+            token_of_slot[out_slot] = token_of_slot.get(in_slots[0])
+        elif kind == "buffered":
+            token_of_slot[out_slot] = next_token
+            next_token += 1
+        else:  # alloc: fresh array per call, nothing to pool or pin
+            token_of_slot[out_slot] = None
+    output_token = token_of_slot.get(output_slot)
+    if output_token is not None:
+        last_use[output_token] = len(classified)  # never recycled
+
+    # ------------------------------------------------------------------
+    # Pass 5: workspace allocation (pooled by byte size) + kernel binding.
+    # ------------------------------------------------------------------
+    steps: List[Tuple] = []
+    pool: Dict[int, List[np.ndarray]] = {}
+    storage_of_token: Dict[int, np.ndarray] = {}
+    workspace_bytes = 0
+    for index, (kind, name, kwargs, in_slots, out_slot, out) in enumerate(classified):
+        buffer = None
+        if kind == "buffered":
+            nbytes = out.data.nbytes
+            bucket = pool.get(nbytes)
+            if bucket:
+                storage = bucket.pop()
+            else:
+                storage = np.empty(nbytes, dtype=np.uint8)
+                workspace_bytes += nbytes
+            token = token_of_slot[out_slot]
+            storage_of_token[token] = storage
+            buffer = storage.view(out.data.dtype).reshape(out.data.shape)
+        steps.append((K.KERNELS[name], in_slots, kwargs, out_slot, buffer))
+        # Recycle storages whose last reader was this step.  (Allocation
+        # happens first, so a step's output never aliases its inputs.)
+        for slot in set(in_slots):
+            token = token_of_slot.get(slot)
+            if token is not None and last_use.get(token) == index:
+                storage = storage_of_token.pop(token, None)
+                if storage is not None:
+                    pool.setdefault(storage.nbytes, []).append(storage)
+
+    stats = PlanStats(
+        input_shape=tuple(np.asarray(example).shape),
+        traced_ops=len(records),
+        steps=len(steps),
+        folded=folded,
+        pruned=pruned,
+        workspace_bytes=workspace_bytes,
+    )
+    return Plan(steps, values, 0, output_slot, stats)

@@ -1,0 +1,212 @@
+"""Plan execution: flat kernel replay over preallocated workspace buffers.
+
+A :class:`Plan` is the compiled form of one module forward pass for one
+input shape: a linear sequence of kernel calls (no graph walking — the
+trace order is already topological) over a slot table holding the input,
+the captured constants and the intermediate buffers.
+
+Per call, the engine pays one Python-level dispatch per surviving kernel
+step and **zero allocations for intermediates**: every non-view step writes
+into a buffer allocated once at compile time and reused across calls
+(view steps — reshape, transpose, slicing — produce zero-copy views and
+need no buffer at all).  This is the difference to an autograd forward
+under ``no_grad``, which still builds a ``Tensor``, a parent tuple and a
+gradient-closure tuple per op and allocates every intermediate array.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Plan", "PlanStats", "CompiledModel"]
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Size and provenance counters of one compiled plan."""
+
+    input_shape: Tuple[int, ...]
+    traced_ops: int
+    steps: int
+    folded: int
+    pruned: int
+    workspace_bytes: int
+
+    def __str__(self) -> str:
+        return (
+            f"Plan(input={self.input_shape}, steps={self.steps}, "
+            f"folded={self.folded}, pruned={self.pruned}, "
+            f"workspace={self.workspace_bytes / 1024:.1f} KiB)"
+        )
+
+
+class Plan:
+    """One compiled forward pass, specialised to a single input shape.
+
+    Parameters
+    ----------
+    steps:
+        ``(kernel, input_slots, kwargs, out_slot, buffer)`` tuples in
+        execution order.  ``buffer`` is the preallocated output array, or
+        ``None`` for view-producing kernels.
+    values:
+        Slot table with constants prefilled; intermediate slots are
+        overwritten on every call.
+    input_slot / output_slot:
+        Where the caller's array goes in and where the result comes out.
+
+    All steps share one workspace, so executions of the same plan are
+    serialised by a per-plan lock (:meth:`call`); different plans — and
+    therefore different input shapes — run concurrently.  :meth:`execute`
+    is the raw, unlocked replay for single-threaded callers.
+    """
+
+    def __init__(
+        self,
+        steps: List[Tuple],
+        values: List,
+        input_slot: int,
+        output_slot: int,
+        stats: PlanStats,
+    ) -> None:
+        self._steps = steps
+        self._values = values
+        self._input_slot = input_slot
+        self._output_slot = output_slot
+        # Slots rewritten on every run: the input and each step output
+        # (including views of the input).  Cleared after a locked call so an
+        # idle plan holds only its constants and pooled buffers, not the
+        # last batch it served.
+        self._transient_slots = [input_slot] + [step[3] for step in steps]
+        self._exec_lock = threading.Lock()
+        self.stats = stats
+
+    def execute(self, array: np.ndarray) -> np.ndarray:
+        """Run the plan; the result may alias workspace (copy to retain)."""
+        values = self._values
+        values[self._input_slot] = array
+        for kernel, in_slots, kwargs, out_slot, buffer in self._steps:
+            values[out_slot] = kernel(*[values[i] for i in in_slots], out=buffer, **kwargs)
+        return values[self._output_slot]
+
+    def call(self, array: np.ndarray) -> np.ndarray:
+        """Thread-safe execution returning a fresh output copy.
+
+        References to the caller's input (and all per-run step outputs) are
+        dropped from the slot table after the run so an idle plan does not
+        pin the last batch it served.
+        """
+        with self._exec_lock:
+            result = self.execute(array).copy()
+            values = self._values
+            for slot in self._transient_slots:
+                values[slot] = None
+            return result
+
+
+class CompiledModel:
+    """Graph-free inference wrapper around a :class:`~repro.nn.Module`.
+
+    The first call for each input shape traces the module's forward pass
+    and compiles it to a :class:`Plan`; later calls with the same shape
+    replay the plan on raw arrays.  Outputs are returned as fresh copies so
+    they never alias the reused workspace.
+
+    Weights are captured **by reference** at compile time, but constant
+    folding bakes derived values (embedding lookups, learned adjacencies)
+    into the plan — after mutating parameters call :meth:`recompile`.
+
+    The plan cache is a small LRU over input shapes (``max_plans``): a
+    micro-batcher produces coalesced batches of many different sizes under
+    bursty traffic, and each plan owns workspace proportional to its batch,
+    so an unbounded cache would grow memory for the life of the service.
+
+    Example
+    -------
+    >>> compiled = CompiledModel(model)          # switches model to eval
+    >>> forecast = compiled(window[None])        # (1, T', N) ndarray
+    >>> assert np.allclose(forecast, model(Tensor(window[None])).data)
+    """
+
+    def __init__(self, module, fold_constants: bool = True, max_plans: int = 16) -> None:
+        if max_plans <= 0:
+            raise ValueError("max_plans must be positive")
+        module.eval()
+        self._module = module
+        self._fold_constants = fold_constants
+        self._max_plans = max_plans
+        self._plans: "OrderedDict[Tuple[int, ...], Plan]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def module(self):
+        """The wrapped module (left in evaluation mode)."""
+        return self._module
+
+    def __call__(self, x) -> np.ndarray:
+        """Forward ``x`` (Tensor or array-like); returns a fresh ndarray.
+
+        The model-wide lock only guards plan-cache lookups and inserts —
+        never a compile and never an execution — so requests for already
+        compiled shapes proceed while a new shape compiles, and requests
+        with different batch shapes run concurrently (their workspaces are
+        disjoint; same-shape requests serialise on the plan's own lock).
+        """
+        array = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+        return self._get_or_compile(array).call(array)
+
+    def _get_or_compile(self, array: np.ndarray) -> Plan:
+        """Fetch the plan for ``array.shape``, compiling outside the cache lock.
+
+        Two threads racing on the same fresh shape may both compile; the
+        first insert wins and the duplicate is dropped — wasted work, never
+        wrong results, and no stall for shapes that are already cached.
+        """
+        with self._lock:
+            plan = self._plans.get(array.shape)
+            if plan is not None:
+                self._plans.move_to_end(array.shape)
+                return plan
+        plan = self._compile(array)
+        with self._lock:
+            existing = self._plans.get(array.shape)
+            if existing is not None:
+                self._plans.move_to_end(array.shape)
+                return existing
+            self._plans[array.shape] = plan
+            while len(self._plans) > self._max_plans:
+                self._plans.popitem(last=False)
+            return plan
+
+    # ------------------------------------------------------------------
+    def _compile(self, array: np.ndarray) -> Plan:
+        from .compiler import compile_plan
+
+        return compile_plan(self._module, array, fold_constants=self._fold_constants)
+
+    def compile_for(self, example) -> PlanStats:
+        """Eagerly compile a plan for ``example``'s shape; returns its stats."""
+        array = example.data if isinstance(example, Tensor) else np.asarray(example, dtype=np.float64)
+        return self._get_or_compile(array).stats
+
+    def recompile(self) -> None:
+        """Drop all cached plans (required after parameter updates)."""
+        with self._lock:
+            self._plans.clear()
+
+    def plan_stats(self) -> List[PlanStats]:
+        """Stats of every cached plan (one per input shape seen)."""
+        with self._lock:
+            return [plan.stats for plan in self._plans.values()]
+
+    def __repr__(self) -> str:
+        with self._lock:
+            shapes = sorted(self._plans)
+        return f"CompiledModel({type(self._module).__name__}, plans={shapes})"

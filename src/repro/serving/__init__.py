@@ -5,13 +5,18 @@ turns a trained model into something that can answer production traffic —
 the ROADMAP's "serve heavy traffic" north star:
 
 * :class:`ForecastService` — front end: loads a self-describing checkpoint,
-  answers raw-scale forecast queries;
+  answers raw-scale forecast queries through the compiled graph-free
+  runtime (:mod:`repro.runtime`) by default, with ``runtime="autograd"`` /
+  ``REPRO_RUNTIME=autograd`` as the escape hatch;
 * :class:`MicroBatcher` — coalesces concurrent single-window requests into
-  one ``(B, T, N, F)`` forward pass under ``no_grad``;
-* :class:`RollingWindowBuffer` — ingests streaming detector readings and
-  materialises normalised model windows incrementally;
+  one ``(B, T, N, F)`` forward pass;
+* :class:`RollingWindowBuffer` — ingests streaming detector readings,
+  materialises normalised model windows incrementally, versions its content
+  for O(1) cache keys, and persists/restores its state for warm-started
+  restarts;
 * :class:`ForecastCache` — LRU cache keyed by
-  ``(model version, window hash, horizon)`` with hit/miss accounting.
+  ``(model version, window hash or buffer token, horizon)`` with hit/miss
+  accounting.
 
 See ``examples/serve_forecasts.py`` for an end-to-end walkthrough and
 ``benchmarks/bench_serving_throughput.py`` for the micro-batching speedup

@@ -106,7 +106,9 @@ class MicroBatcher:
     forward_fn:
         The model (or any callable) mapping a ``(B, T, N, F)`` batch to
         ``(B, T', N)`` predictions.  A :class:`~repro.nn.Module` is used
-        directly; outputs may be :class:`~repro.tensor.Tensor` or arrays.
+        directly; a :class:`~repro.runtime.CompiledModel` plugs in the
+        graph-free kernel runtime (the serving default); outputs may be
+        :class:`~repro.tensor.Tensor` or plain arrays.
     max_batch_size:
         Upper bound on the coalesced batch; larger queues are drained in
         several chunks (bounds peak memory).

@@ -9,12 +9,21 @@ turns that stream into model-ready input:
 * the flow feature is z-score normalised *on ingest* with the training
   scaler, so materialising a window is a pure O(1) view of the underlying
   double-written ring (see :class:`repro.data.StreamingWindows`) instead of
-  a normalise-and-slice pass per request.
+  a normalise-and-slice pass per request;
+* every mutation bumps a cheap version token
+  (:meth:`RollingWindowBuffer.cache_token`), letting the serving cache key
+  serve-from-stream lookups on a counter instead of re-hashing the full
+  window content on every advance;
+* the complete buffer state round-trips through :meth:`save` /
+  :meth:`restore`, so a restarted service resumes exactly where it stopped
+  instead of sitting through a ``T``-step cold window (warm start).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -59,6 +68,18 @@ class RollingWindowBuffer:
         self.scaler = scaler
         self.target_feature = target_feature
         self._stream = StreamingWindows(input_length, num_nodes, num_features)
+        # Cache-versioning counters: corrections counts late per-node
+        # updates, epoch increments on reset so recycled step counts can
+        # never alias an earlier stream's content, and the (process-local,
+        # never persisted) restore generation keeps tokens from two restored
+        # snapshots with equal counters distinct within one process.  The
+        # lock makes every mutation atomic with its counter bump, so a
+        # snapshot's (window, token) pair is always consistent — a token can
+        # never describe data it did not see.
+        self._corrections = 0
+        self._epoch = 0
+        self._restores = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -98,7 +119,9 @@ class RollingWindowBuffer:
 
     def ingest(self, observation: np.ndarray) -> None:
         """Ingest one raw observation step ``(N, F)`` (or ``(N,)`` when F=1)."""
-        self._stream.push(self._normalise_step(observation))
+        step = self._normalise_step(observation)
+        with self._lock:
+            self._stream.push(step)
 
     def ingest_signal(self, signal: np.ndarray) -> None:
         """Ingest a raw ``(steps, N, F)`` signal chunk step by step."""
@@ -116,7 +139,9 @@ class RollingWindowBuffer:
             values[self.target_feature] = float(
                 self.scaler.transform(np.asarray(values[self.target_feature]))
             )
-        self._stream.update_node(node, values)
+        with self._lock:
+            self._stream.update_node(node, values)
+            self._corrections += 1
 
     # ------------------------------------------------------------------
     def window(self) -> np.ndarray:
@@ -124,5 +149,110 @@ class RollingWindowBuffer:
         return self._stream.latest()
 
     def reset(self) -> None:
-        """Forget all ingested observations."""
-        self._stream.reset()
+        """Forget all ingested observations (invalidates cache tokens)."""
+        with self._lock:
+            self._stream.reset()
+            self._corrections = 0
+            self._epoch += 1
+
+    # ------------------------------------------------------------------
+    # Cache versioning
+    # ------------------------------------------------------------------
+    def _token_locked(self) -> str:
+        return (
+            f"stream:{self._epoch}:{self._restores}:"
+            f"{self._stream.steps_ingested}:{self._corrections}"
+        )
+
+    def cache_token(self) -> str:
+        """O(1) identity token of the current buffer content.
+
+        Changes whenever the content can change (step ingest, late per-node
+        correction, reset, state restore), so a forecast cache can use it in
+        place of a content hash of the full window.  The ``stream:`` prefix
+        keeps tokens disjoint from the hex digests of
+        :func:`repro.serving.cache.hash_window` keys.
+        """
+        with self._lock:
+            return self._token_locked()
+
+    def snapshot(self) -> Tuple[np.ndarray, str]:
+        """Copy the latest window together with its consistent cache token.
+
+        The copy and the token read happen under the buffer's mutation
+        lock, so the token can never describe different data than the
+        returned window — a concurrent ingest lands entirely before or
+        entirely after the snapshot.
+        """
+        with self._lock:
+            return np.array(self._stream.latest()), self._token_locked()
+
+    # ------------------------------------------------------------------
+    # Warm-start persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Complete buffer state (normalised ring, counters) for checkpointing.
+
+        The ring stores *normalised* observations: a snapshot is only
+        meaningful next to the checkpoint whose scaler filled it.
+        """
+        with self._lock:
+            state = self._stream.state_dict()
+            state["corrections"] = int(self._corrections)
+            state["epoch"] = int(self._epoch)
+            return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this buffer."""
+        with self._lock:
+            self._stream.load_state_dict({"store": state["store"], "count": state["count"]})
+            self._corrections = int(state.get("corrections", 0))
+            self._epoch = int(state.get("epoch", 0))
+            self._restores += 1
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the buffer state as an ``.npz`` sidecar next to a checkpoint.
+
+        A missing ``.npz`` suffix is appended (never substituted —
+        ``model.buffer`` becomes ``model.buffer.npz``, so a sidecar can't
+        silently clobber ``model.npz``); the resolved path is returned.
+        """
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        state = self.state_dict()
+        np.savez(
+            path,
+            store=state["store"],
+            count=np.int64(state["count"]),
+            corrections=np.int64(state["corrections"]),
+            epoch=np.int64(state["epoch"]),
+            dims=np.array([self.input_length, self.num_nodes, self.num_features], dtype=np.int64),
+        )
+        return path
+
+    def restore(self, path: Union[str, Path]) -> None:
+        """Reload a :meth:`save` snapshot; the service resumes without a cold window."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            # Mirror save()'s suffix normalisation so the exact path handed
+            # to save() round-trips through restore().
+            path = path.with_name(path.name + ".npz")
+        if not path.exists():
+            raise FileNotFoundError(f"buffer state {path} does not exist")
+        with np.load(path, allow_pickle=False) as archive:
+            dims = tuple(int(d) for d in archive["dims"])
+            expected = (self.input_length, self.num_nodes, self.num_features)
+            if dims != expected:
+                raise ValueError(
+                    f"buffer state dimensions {dims} do not match this buffer's {expected}"
+                )
+            self.load_state_dict(
+                {
+                    "store": archive["store"],
+                    "count": int(archive["count"]),
+                    "corrections": int(archive["corrections"]),
+                    "epoch": int(archive["epoch"]),
+                }
+            )

@@ -12,6 +12,18 @@ cache, and exposes raw-scale queries:
 * :meth:`ingest` / :meth:`forecast_latest` — streaming operation: push
   detector readings as they arrive, forecast from the rolling buffer.
 
+Forwards run through the **graph-free compiled runtime**
+(:mod:`repro.runtime`) by default: the model's forward pass is compiled
+once per batch shape into a flat kernel plan replayed on raw arrays with
+reused workspace buffers.  The escape hatch back to autograd forwards is
+the ``runtime="autograd"`` argument or ``REPRO_RUNTIME=autograd`` in the
+environment (see ``docs/runtime.md``).
+
+Warm start: :meth:`save_buffer_state` persists the rolling buffer next to
+a checkpoint and :meth:`from_checkpoint`'s ``buffer_state=`` (or
+:meth:`restore_buffer_state`) reloads it, so a restarted service serves
+from its first ingest instead of waiting out a ``T``-step cold window.
+
 All inputs and outputs are on the *original* flow scale (vehicles per five
 minutes); normalisation is an internal concern.
 """
@@ -26,6 +38,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from ..nn import Module
+from ..runtime import CompiledModel, resolve_runtime_mode
 from ..tensor import Tensor, no_grad
 from .batching import BatcherStats, MicroBatcher
 from .buffer import RollingWindowBuffer
@@ -51,6 +64,7 @@ class ServiceStats:
     requests: int
     cache: CacheStats
     batcher: BatcherStats
+    runtime: str = "compiled"
 
 
 class ForecastService:
@@ -72,6 +86,10 @@ class ForecastService:
         LRU capacity (0 disables caching).
     max_batch_size:
         Largest coalesced forward pass of the micro-batcher.
+    runtime:
+        ``"compiled"`` (graph-free kernel plans, the default) or
+        ``"autograd"`` (plain ``no_grad`` forwards).  ``None`` consults the
+        ``REPRO_RUNTIME`` environment variable.
 
     Example
     -------
@@ -89,6 +107,7 @@ class ForecastService:
         model_version: Optional[str] = None,
         cache_entries: int = 1024,
         max_batch_size: int = 128,
+        runtime: Optional[str] = None,
     ) -> None:
         config = getattr(model, "config", None)
         if config is None:
@@ -98,10 +117,15 @@ class ForecastService:
         self.config = config
         self.scaler = scaler
         self.model_version = model_version or _weights_fingerprint(model)
+        self.runtime = resolve_runtime_mode(runtime)
+        # One forward callable for every serving path: the compiled runtime
+        # returns plain arrays, the autograd model returns Tensors; both are
+        # normalised in _predict / MicroBatcher.flush.
+        self._forward = CompiledModel(model) if self.runtime == "compiled" else model
         self.cache: Optional[ForecastCache] = (
             ForecastCache(max_entries=cache_entries) if cache_entries > 0 else None
         )
-        self.batcher = MicroBatcher(model, max_batch_size=max_batch_size)
+        self.batcher = MicroBatcher(self._forward, max_batch_size=max_batch_size)
         self.buffer = RollingWindowBuffer(
             input_length=config.input_length,
             num_nodes=config.num_nodes,
@@ -112,15 +136,28 @@ class ForecastService:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_checkpoint(cls, path: Union[str, Path], **kwargs) -> "ForecastService":
-        """Build a service from a :func:`~repro.training.save_model_checkpoint` file."""
+    def from_checkpoint(
+        cls,
+        path: Union[str, Path],
+        buffer_state: Optional[Union[str, Path]] = None,
+        **kwargs,
+    ) -> "ForecastService":
+        """Build a service from a :func:`~repro.training.save_model_checkpoint` file.
+
+        ``buffer_state`` optionally points at a
+        :meth:`save_buffer_state` sidecar; when given, the rolling buffer is
+        restored so streaming queries work immediately (warm start).
+        """
         from ..training.checkpoints import load_model_checkpoint
 
         loaded = load_model_checkpoint(path)
         version = kwargs.pop("model_version", None)
         if version is None:
             version = loaded.metadata.get("model_version")
-        return cls(loaded.model, scaler=loaded.scaler, model_version=version, **kwargs)
+        service = cls(loaded.model, scaler=loaded.scaler, model_version=version, **kwargs)
+        if buffer_state is not None:
+            service.restore_buffer_state(buffer_state)
+        return service
 
     # ------------------------------------------------------------------
     @property
@@ -145,6 +182,13 @@ class ForecastService:
             return self.scaler.inverse_transform(predictions)
         return predictions
 
+    def _predict(self, window: np.ndarray, horizon: int) -> np.ndarray:
+        """One uncached forward of a normalised window -> raw-scale forecast."""
+        with no_grad():
+            outputs = self._forward(Tensor(window[None]))
+        predictions = outputs.data if isinstance(outputs, Tensor) else np.asarray(outputs)
+        return self._denormalise(predictions[0])[:horizon]
+
     def _forecast_normalised(self, window: np.ndarray, horizon: int) -> np.ndarray:
         """Serve one normalised window, consulting the cache around the model."""
         key = None
@@ -153,9 +197,7 @@ class ForecastService:
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
-        with no_grad():
-            predictions = self.model(Tensor(window[None]))
-        forecast = self._denormalise(predictions.data[0])[:horizon]
+        forecast = self._predict(window, horizon)
         if self.cache is not None:
             self.cache.put(key, forecast)
         return forecast.copy()
@@ -239,15 +281,45 @@ class ForecastService:
         """Push one raw observation step ``(N, F)`` into the rolling buffer."""
         self.buffer.ingest(observation)
 
+    def save_buffer_state(self, path: Union[str, Path]) -> Path:
+        """Persist the rolling buffer next to a checkpoint (warm start).
+
+        A restarted service built with ``from_checkpoint(..., buffer_state=...)``
+        (or :meth:`restore_buffer_state`) resumes streaming forecasts
+        immediately instead of waiting out a ``T``-step cold window.
+        """
+        return self.buffer.save(path)
+
+    def restore_buffer_state(self, path: Union[str, Path]) -> None:
+        """Reload a :meth:`save_buffer_state` snapshot into the live buffer."""
+        self.buffer.restore(path)
+
     def forecast_latest(self, horizon: Optional[int] = None) -> np.ndarray:
-        """Forecast from the most recent buffered window (streaming path)."""
+        """Forecast from the most recent buffered window (streaming path).
+
+        Cache lookups are keyed on the buffer's O(1) version token instead
+        of a content hash of the window, so a repeated poll between stream
+        advances costs one counter read plus one dictionary lookup — no
+        window materialisation, no SHA-1 over ``T * N * F`` floats.
+        """
         horizon = self._check_horizon(horizon)
         self._requests += 1
-        # Copy: the buffer view aliases the live ring, and a concurrent
-        # ingest between cache-key hashing and the forward would otherwise
-        # poison the cache with a forecast of different data than the hash.
-        window = np.array(self.buffer.window())
-        return self._forecast_normalised(window, horizon)
+        if self.cache is None:
+            # snapshot(): lock-consistent copy — a racing ingest lands
+            # entirely before or after it, never mid-window.
+            return self._predict(self.buffer.snapshot()[0], horizon).copy()
+        key = (self.model_version, self.buffer.cache_token(), horizon)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        # Miss: copy the window atomically with its token (both taken under
+        # the buffer's mutation lock), so the cache entry always describes
+        # exactly the data that was forecast.
+        window, token = self.buffer.snapshot()
+        key = (self.model_version, token, horizon)
+        forecast = self._predict(window, horizon)
+        self.cache.put(key, forecast)
+        return forecast.copy()
 
     # ------------------------------------------------------------------
     def _check_horizon(self, horizon: Optional[int]) -> int:
@@ -271,4 +343,5 @@ class ForecastService:
             requests=self._requests,
             cache=cache_stats,
             batcher=self.batcher.stats,
+            runtime=self.runtime,
         )

@@ -4,14 +4,16 @@ The subpackage replaces the PyTorch dependency of the original DyHSL
 implementation with a small reverse-mode automatic-differentiation engine:
 
 * :class:`repro.tensor.Tensor` — array wrapper with gradient tracking.
+* :mod:`repro.tensor.kernels` — raw ndarray kernels shared by the autograd
+  engine and the graph-free inference runtime (:mod:`repro.runtime`).
 * :mod:`repro.tensor.ops` — structural operations (concatenate, stack, pad…).
 * :mod:`repro.tensor.functional` — activations, dropout and loss primitives.
 * :mod:`repro.tensor.init` — weight initialisers.
 * :mod:`repro.tensor.random` — seed management for reproducible runs.
 """
 
-from . import functional, init, ops, random
-from .ops import concatenate, one_hot, pad, split, stack, unfold_windows, where
+from . import functional, init, kernels, ops, random
+from .ops import concatenate, layer_norm, one_hot, pad, split, stack, unfold_windows, where
 from .random import fork_rng, get_rng, seed
 from .tensor import Tensor, is_grad_enabled, no_grad
 
@@ -19,6 +21,8 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "layer_norm",
+    "kernels",
     "concatenate",
     "stack",
     "split",

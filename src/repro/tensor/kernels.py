@@ -1,0 +1,466 @@
+"""Shared ndarray kernels: the single numerical source of truth.
+
+Every operation of the library exists in exactly one place — here — as a
+plain function over ``numpy.ndarray`` operands.  Two execution modes consume
+these kernels:
+
+* the **autograd engine** (:class:`repro.tensor.Tensor`): each ``Tensor`` op
+  calls the kernel for its forward payload and wraps the result with the
+  gradient closures needed for training;
+* the **graph-free inference runtime** (:mod:`repro.runtime`): a compiled
+  plan replays the recorded kernel calls directly on raw arrays with
+  preallocated output buffers, paying no ``Tensor`` construction, parent
+  bookkeeping or closure allocation per op.
+
+Because both modes run the *same* kernel code in the *same* order, the
+compiled forward pass is bit-identical to the autograd forward pass (up to
+BLAS non-determinism, in practice ``<= 1e-10``; see
+``tests/runtime/test_parity.py``).
+
+Conventions
+-----------
+* Kernels take their array operands positionally, then ``out`` (an optional
+  preallocated result buffer), then constant keyword arguments.
+* When ``out`` is ``None`` the kernel allocates; otherwise it writes into
+  ``out`` and returns it.  View-producing kernels (``reshape``,
+  ``transpose``, ``squeeze``, ``unsqueeze``, ``getitem``) ignore ``out`` and
+  return a (possibly zero-copy) view of their input.
+* The :data:`KERNELS` registry maps the op names recorded by the autograd
+  layer (see ``Tensor._make``) to the kernel callables, which is what the
+  runtime compiler resolves against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "KERNELS",
+    "VIEW_OPS",
+    "add",
+    "reshape_copy",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "pow_scalar",
+    "matmul",
+    "spmm",
+    "reshape",
+    "transpose",
+    "squeeze",
+    "unsqueeze",
+    "broadcast",
+    "getitem",
+    "reduce_sum",
+    "reduce_mean",
+    "reduce_max",
+    "exp",
+    "log",
+    "sqrt",
+    "absolute",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "leaky_relu",
+    "clip",
+    "maximum",
+    "where",
+    "concat",
+    "stack",
+    "pad",
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "layer_norm_stats",
+]
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def add(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Element-wise ``a + b`` with NumPy broadcasting."""
+    return np.add(a, b, out=out)
+
+
+def sub(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Element-wise ``a - b``."""
+    return np.subtract(a, b, out=out)
+
+
+def mul(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Element-wise ``a * b``."""
+    return np.multiply(a, b, out=out)
+
+
+def div(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Element-wise ``a / b``."""
+    return np.divide(a, b, out=out)
+
+
+def neg(a: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Element-wise negation."""
+    return np.negative(a, out=out)
+
+
+def pow_scalar(a: np.ndarray, out: Optional[np.ndarray] = None, *, exponent: float = 1.0) -> np.ndarray:
+    """Element-wise power with a Python scalar exponent."""
+    return np.power(a, exponent, out=out)
+
+
+def matmul(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Matrix product supporting 1-D, 2-D and batched operands."""
+    if out is None:
+        return a @ b
+    return np.matmul(a, b, out=out)
+
+
+def _probe_csr_matvecs():
+    """Resolve SciPy's raw CSR multi-vector product, verified by a self-test.
+
+    ``csr_matvecs`` is the exact routine ``csr_matrix @ dense`` dispatches
+    to, so calling it directly (accumulating into a preallocated, zeroed
+    output) is bit-identical to the SciPy operator while skipping the
+    wrapper's result allocation.  Returns ``None`` when unavailable.
+    """
+    try:
+        from scipy import sparse as sp
+        from scipy.sparse import _sparsetools
+
+        probe = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        x = np.array([[1.0], [2.0]])
+        y = np.zeros((2, 1))
+        _sparsetools.csr_matvecs(2, 2, 1, probe.indptr, probe.indices, probe.data, x.ravel(), y.ravel())
+        if np.array_equal(y, probe @ x):
+            return _sparsetools.csr_matvecs
+    except Exception:
+        pass
+    return None
+
+
+_CSR_MATVECS = _probe_csr_matvecs()
+
+
+def spmm(dense: np.ndarray, out: Optional[np.ndarray] = None, *, matrix=None) -> np.ndarray:
+    """Constant-sparse times dense: ``matrix @ dense``.
+
+    ``matrix`` is a :class:`repro.graph.sparse.SparseMatrix` captured as a
+    plan constant.  With a contiguous ``out`` the product accumulates
+    directly into the buffer through SciPy's ``csr_matvecs`` (the routine
+    the ``@`` operator itself uses, so the numbers are unchanged); otherwise
+    the SciPy product is computed and copied.
+    """
+    if (
+        out is not None
+        and _CSR_MATVECS is not None
+        and dense.ndim == 2
+        and dense.flags.c_contiguous
+        and out.flags.c_contiguous
+    ):
+        csr = matrix.csr
+        out.fill(0.0)
+        _CSR_MATVECS(
+            csr.shape[0], csr.shape[1], dense.shape[1],
+            csr.indptr, csr.indices, csr.data,
+            dense.ravel(), out.ravel(),
+        )
+        return out
+    result = matrix.dot_array(dense)
+    if out is None:
+        return result
+    np.copyto(out, result)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Views / structural reshaping (ignore ``out``; may return views)
+# ----------------------------------------------------------------------
+def reshape(a: np.ndarray, out: Optional[np.ndarray] = None, *, shape: Tuple[int, ...] = ()) -> np.ndarray:
+    """Reshape to ``shape`` (zero-copy for contiguous input)."""
+    return a.reshape(shape)
+
+
+def reshape_copy(a: np.ndarray, out: Optional[np.ndarray] = None, *, shape: Tuple[int, ...] = ()) -> np.ndarray:
+    """Reshape that must copy (non-contiguous source), buffer-friendly.
+
+    The runtime compiler rewrites ``reshape`` steps whose traced result was
+    a copy to this kernel so the copy lands in the reused workspace buffer
+    instead of a fresh allocation per call.
+    """
+    if out is None:
+        return a.reshape(shape)
+    np.copyto(out.reshape(a.shape), a)
+    return out
+
+
+def transpose(a: np.ndarray, out: Optional[np.ndarray] = None, *, axes: Tuple[int, ...] = ()) -> np.ndarray:
+    """Permute axes (always a view)."""
+    return a.transpose(axes)
+
+
+def squeeze(a: np.ndarray, out: Optional[np.ndarray] = None, *, axis=None) -> np.ndarray:
+    """Drop length-one axes (a view)."""
+    return a.squeeze() if axis is None else a.squeeze(axis)
+
+
+def unsqueeze(a: np.ndarray, out: Optional[np.ndarray] = None, *, axis: int = 0) -> np.ndarray:
+    """Insert a length-one axis (a view)."""
+    return np.expand_dims(a, axis)
+
+
+def broadcast(a: np.ndarray, out: Optional[np.ndarray] = None, *, shape: Tuple[int, ...] = ()) -> np.ndarray:
+    """Materialised broadcast of ``a`` to ``shape``."""
+    if out is None:
+        return np.broadcast_to(a, shape).copy()
+    np.copyto(out, a)
+    return out
+
+
+def getitem(a: np.ndarray, out: Optional[np.ndarray] = None, *, index=None) -> np.ndarray:
+    """Basic or advanced indexing (a view for basic slices)."""
+    return a[index]
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def reduce_sum(a: np.ndarray, out: Optional[np.ndarray] = None, *, axis=None, keepdims: bool = False) -> np.ndarray:
+    """Sum over ``axis`` (or all elements)."""
+    return np.sum(a, axis=axis, keepdims=keepdims, out=out)
+
+
+def reduce_mean(a: np.ndarray, out: Optional[np.ndarray] = None, *, axis=None, keepdims: bool = False) -> np.ndarray:
+    """Arithmetic mean over ``axis`` (or all elements)."""
+    return np.mean(a, axis=axis, keepdims=keepdims, out=out)
+
+
+def reduce_max(a: np.ndarray, out: Optional[np.ndarray] = None, *, axis=None, keepdims: bool = False) -> np.ndarray:
+    """Maximum over ``axis`` (or all elements)."""
+    return np.max(a, axis=axis, keepdims=keepdims, out=out)
+
+
+# ----------------------------------------------------------------------
+# Element-wise functions
+# ----------------------------------------------------------------------
+def exp(a: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Element-wise exponential."""
+    return np.exp(a, out=out)
+
+
+def log(a: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Element-wise natural logarithm."""
+    return np.log(a, out=out)
+
+
+def sqrt(a: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Element-wise square root."""
+    return np.sqrt(a, out=out)
+
+
+def absolute(a: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Element-wise absolute value."""
+    return np.abs(a, out=out)
+
+
+def tanh(a: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Element-wise hyperbolic tangent."""
+    return np.tanh(a, out=out)
+
+
+def sigmoid(a: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Logistic sigmoid ``1 / (1 + exp(-a))``.
+
+    The op sequence (negate, exp, add 1, reciprocal-divide) mirrors the
+    original autograd expression exactly so both modes agree bit-for-bit.
+    """
+    if out is None:
+        return 1.0 / (1.0 + np.exp(-a))
+    np.negative(a, out=out)
+    np.exp(out, out=out)
+    np.add(out, 1.0, out=out)
+    np.divide(1.0, out, out=out)
+    return out
+
+
+def relu(a: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Rectified linear unit as a mask multiply (matches the autograd op).
+
+    The mask stays boolean: ``float * bool`` promotes each element to the
+    identical 0.0/1.0 factor the autograd op uses, with an 8x smaller
+    temporary.
+    """
+    return np.multiply(a, a > 0, out=out)
+
+
+def leaky_relu(a: np.ndarray, out: Optional[np.ndarray] = None, *, negative_slope: float = 0.01) -> np.ndarray:
+    """Leaky ReLU via the same slope-mask multiply the autograd op uses."""
+    mask = np.where(a > 0, 1.0, negative_slope)
+    return np.multiply(a, mask, out=out)
+
+
+def clip(a: np.ndarray, out: Optional[np.ndarray] = None, *, minimum=None, maximum=None) -> np.ndarray:
+    """Clamp values into ``[minimum, maximum]``."""
+    return np.clip(a, minimum, maximum, out=out)
+
+
+def maximum(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Element-wise maximum."""
+    return np.maximum(a, b, out=out)
+
+
+def where(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None, *, condition=None) -> np.ndarray:
+    """Select ``a`` where ``condition`` holds, else ``b`` (condition constant)."""
+    result = np.where(condition, a, b)
+    if out is None:
+        return result
+    np.copyto(out, result)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Multi-operand structural ops
+# ----------------------------------------------------------------------
+def concat(*arrays: np.ndarray, out: Optional[np.ndarray] = None, axis: int = 0) -> np.ndarray:
+    """Concatenate along an existing axis."""
+    return np.concatenate(arrays, axis=axis, out=out)
+
+
+def stack(*arrays: np.ndarray, out: Optional[np.ndarray] = None, axis: int = 0) -> np.ndarray:
+    """Stack along a new axis."""
+    return np.stack(arrays, axis=axis, out=out)
+
+
+def pad(a: np.ndarray, out: Optional[np.ndarray] = None, *, pad_width=(), value: float = 0.0) -> np.ndarray:
+    """Constant-pad ``a`` (NumPy ``pad_width`` convention)."""
+    if out is None:
+        return np.pad(a, pad_width, mode="constant", constant_values=value)
+    out.fill(value)
+    interior = tuple(
+        slice(before, out.shape[axis] - after) for axis, (before, after) in enumerate(pad_width)
+    )
+    out[interior] = a
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fused neural-network kernels
+# ----------------------------------------------------------------------
+def softmax(a: np.ndarray, out: Optional[np.ndarray] = None, *, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``.
+
+    The shift / exp / normalise sequence reproduces the historical composed
+    implementation (``x - max``, ``exp``, ``/ sum``) operation for operation.
+    """
+    shift = np.max(a, axis=axis, keepdims=True)
+    if out is None:
+        out = np.subtract(a, shift)
+    else:
+        np.subtract(a, shift, out=out)
+    np.exp(out, out=out)
+    total = np.sum(out, axis=axis, keepdims=True)
+    np.divide(out, total, out=out)
+    return out
+
+
+def log_softmax(a: np.ndarray, out: Optional[np.ndarray] = None, *, axis: int = -1) -> np.ndarray:
+    """Logarithm of the softmax along ``axis`` (stable shifted form)."""
+    shift = np.max(a, axis=axis, keepdims=True)
+    if out is None:
+        out = np.subtract(a, shift)
+    else:
+        np.subtract(a, shift, out=out)
+    total = np.sum(np.exp(out), axis=axis, keepdims=True)
+    np.subtract(out, np.log(total), out=out)
+    return out
+
+
+def layer_norm_stats(a: np.ndarray, axes: Tuple[int, ...], eps: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(x_hat, sigma)`` of layer normalisation over ``axes``.
+
+    ``x_hat`` is the normalised input and ``sigma`` the (biased) standard
+    deviation with ``keepdims`` shape — the two quantities both the forward
+    pass and the analytic backward need.  The op sequence matches the
+    historical composed implementation (mean, centred square mean, sqrt).
+    """
+    mean = np.mean(a, axis=axes, keepdims=True)
+    centered = a - mean
+    variance = np.mean(centered * centered, axis=axes, keepdims=True)
+    sigma = np.sqrt(variance + eps)
+    return centered / sigma, sigma
+
+
+def layer_norm(
+    a: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    *,
+    axes: Tuple[int, ...] = (),
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Fused layer normalisation ``x_hat * weight + bias`` over ``axes``.
+
+    With ``out`` the centring, normalisation and affine steps run in place
+    in the buffer (one full-size temporary instead of three); the op
+    sequence is the same as :func:`layer_norm_stats`, so the results agree
+    bit for bit.
+    """
+    axes = tuple(axes)
+    if out is None:
+        x_hat, _ = layer_norm_stats(a, axes, eps)
+        out = np.multiply(x_hat, weight)
+        np.add(out, bias, out=out)
+        return out
+    np.subtract(a, np.mean(a, axis=axes, keepdims=True), out=out)
+    variance = np.mean(np.multiply(out, out), axis=axes, keepdims=True)
+    np.divide(out, np.sqrt(variance + eps), out=out)
+    np.multiply(out, weight, out=out)
+    np.add(out, bias, out=out)
+    return out
+
+
+#: Op name (as recorded by the autograd layer) -> kernel callable.
+KERNELS: Dict[str, object] = {
+    "add": add,
+    "sub": sub,
+    "mul": mul,
+    "div": div,
+    "neg": neg,
+    "pow": pow_scalar,
+    "matmul": matmul,
+    "spmm": spmm,
+    "reshape": reshape,
+    "reshape_copy": reshape_copy,
+    "transpose": transpose,
+    "squeeze": squeeze,
+    "unsqueeze": unsqueeze,
+    "broadcast": broadcast,
+    "getitem": getitem,
+    "sum": reduce_sum,
+    "mean": reduce_mean,
+    "max": reduce_max,
+    "exp": exp,
+    "log": log,
+    "sqrt": sqrt,
+    "abs": absolute,
+    "tanh": tanh,
+    "sigmoid": sigmoid,
+    "relu": relu,
+    "leaky_relu": leaky_relu,
+    "clip": clip,
+    "maximum": maximum,
+    "where": where,
+    "concat": concat,
+    "stack": stack,
+    "pad": pad,
+    "softmax": softmax,
+    "log_softmax": log_softmax,
+    "layer_norm": layer_norm,
+}
+
+#: Ops whose kernels return views of their input — the runtime allocates no
+#: workspace buffer for them.
+VIEW_OPS = frozenset({"reshape", "transpose", "squeeze", "unsqueeze", "getitem"})

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import kernels as K
 from .tensor import Tensor, _unbroadcast
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "dot",
     "matmul",
     "tensordot_last",
+    "layer_norm",
 ]
 
 
@@ -43,7 +45,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [_coerce(t) for t in tensors]
     if not tensors:
         raise ValueError("concatenate() requires at least one tensor")
-    data = np.concatenate([t.data for t in tensors], axis=axis)
+    data = K.concat(*[t.data for t in tensors], axis=axis)
 
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
@@ -59,7 +61,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         return grad_fn
 
     grad_fns = tuple(make_grad_fn(i) for i in range(len(tensors)))
-    return Tensor._make(data, tuple(tensors), grad_fns)
+    return Tensor._make(data, tuple(tensors), grad_fns, op=("concat", {"axis": axis}))
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -67,7 +69,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [_coerce(t) for t in tensors]
     if not tensors:
         raise ValueError("stack() requires at least one tensor")
-    data = np.stack([t.data for t in tensors], axis=axis)
+    data = K.stack(*[t.data for t in tensors], axis=axis)
 
     def make_grad_fn(index: int):
         def grad_fn(g: np.ndarray) -> np.ndarray:
@@ -76,7 +78,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         return grad_fn
 
     grad_fns = tuple(make_grad_fn(i) for i in range(len(tensors)))
-    return Tensor._make(data, tuple(tensors), grad_fns)
+    return Tensor._make(data, tuple(tensors), grad_fns, op=("stack", {"axis": axis}))
 
 
 def split(tensor: Tensor, sections: int, axis: int = 0) -> List[Tensor]:
@@ -106,7 +108,7 @@ def pad(tensor: Tensor, pad_width: Sequence[Tuple[int, int]], value: float = 0.0
         raise ValueError(
             f"pad_width has {len(pad_width)} entries but the tensor has {tensor.ndim} dimensions"
         )
-    data = np.pad(tensor.data, pad_width, mode="constant", constant_values=value)
+    data = K.pad(tensor.data, pad_width=pad_width, value=value)
 
     def grad_fn(g: np.ndarray) -> np.ndarray:
         slicer = tuple(
@@ -114,7 +116,9 @@ def pad(tensor: Tensor, pad_width: Sequence[Tuple[int, int]], value: float = 0.0
         )
         return g[slicer]
 
-    return Tensor._make(data, (tensor,), (grad_fn,))
+    return Tensor._make(
+        data, (tensor,), (grad_fn,), op=("pad", {"pad_width": pad_width, "value": value})
+    )
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -124,7 +128,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """
     a, b = _coerce(a), _coerce(b)
     condition = np.asarray(condition, dtype=bool)
-    data = np.where(condition, a.data, b.data)
+    data = K.where(a.data, b.data, condition=condition)
     return Tensor._make(
         data,
         (a, b),
@@ -132,6 +136,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
             lambda g: _unbroadcast(g * condition, a.shape),
             lambda g: _unbroadcast(g * (~condition), b.shape),
         ),
+        op=("where", {"condition": condition}),
     )
 
 
@@ -195,3 +200,53 @@ def tensordot_last(a: Tensor, b: Tensor) -> Tensor:
     flattened = a.reshape(-1, a.shape[-1])
     result = flattened.matmul(b)
     return result.reshape(*lead_shape, b.shape[-1])
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the trailing ``weight.ndim`` axes of ``x``.
+
+    A fused primitive: the forward payload is a single
+    :func:`repro.tensor.kernels.layer_norm` call (one plan step in the
+    inference runtime instead of the ~10 primitive ops of the composed
+    mean/var/sqrt formulation) with the analytic backward
+
+    .. math::
+        g_x = \\frac{1}{\\sigma}\\big(g_w - \\overline{g_w}
+              - \\hat{x}\\, \\overline{g_w \\hat{x}}\\big), \\qquad
+        g_w = g \\odot w
+
+    where the overline denotes the mean over the normalised axes.  The
+    forward op sequence matches the historical composed implementation
+    bit for bit.
+    """
+    x, weight, bias = _coerce(x), _coerce(weight), _coerce(bias)
+    if weight.shape != bias.shape:
+        raise ValueError(f"weight shape {weight.shape} does not match bias shape {bias.shape}")
+    if x.ndim < weight.ndim or x.shape[x.ndim - weight.ndim:] != weight.shape:
+        raise ValueError(
+            f"input trailing shape {x.shape} does not end with normalized shape {weight.shape}"
+        )
+    axes = tuple(range(x.ndim - weight.ndim, x.ndim))
+    x_hat, sigma = K.layer_norm_stats(x.data, axes, eps)
+    data = np.multiply(x_hat, weight.data)
+    np.add(data, bias.data, out=data)
+    weight_data = weight.data
+
+    def grad_x(g: np.ndarray) -> np.ndarray:
+        g_w = g * weight_data
+        mean_g = g_w.mean(axis=axes, keepdims=True)
+        mean_gx = (g_w * x_hat).mean(axis=axes, keepdims=True)
+        return (g_w - mean_g - x_hat * mean_gx) / sigma
+
+    def grad_weight(g: np.ndarray) -> np.ndarray:
+        return _unbroadcast(g * x_hat, weight.shape)
+
+    def grad_bias(g: np.ndarray) -> np.ndarray:
+        return _unbroadcast(g, bias.shape)
+
+    return Tensor._make(
+        data,
+        (x, weight, bias),
+        (grad_x, grad_weight, grad_bias),
+        op=("layer_norm", {"axes": axes, "eps": eps}),
+    )

@@ -26,9 +26,12 @@ array([[2., 4.],
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from . import kernels as K
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
@@ -36,10 +39,37 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 # expected in arithmetic.
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
+#: Op record attached to every ``Tensor._make`` call: the kernel name in
+#: :data:`repro.tensor.kernels.KERNELS` plus the constant (non-tensor)
+#: keyword arguments of the call.  The inference runtime's tracer consumes
+#: these records to rebuild the forward pass as a flat kernel plan.
+OpSpec = Tuple[str, Dict[str, Any]]
+
 _DEFAULT_DTYPE = np.float64
 
 # Global autograd switch, toggled by the ``no_grad`` context manager.
 _GRAD_ENABLED = True
+
+# Trace hooks installed by the runtime compiler, keyed by thread id so a
+# compilation only records ops executed by its own thread — tensor work on
+# other threads (training, autograd serving) must never leak into a plan.
+# Signature: hook(op, parents, out) -> None.  The dict is empty outside
+# compilation, which keeps the per-op check in ``_make`` one falsy test.
+_TRACE_HOOKS: Dict[int, Callable[[Optional[OpSpec], Tuple["Tensor", ...], "Tensor"], None]] = {}
+
+
+def _set_trace_hook(hook: Optional[Callable]) -> Optional[Callable]:
+    """Install a trace hook for the calling thread (runtime-internal).
+
+    Returns the thread's previous hook; pass it back to restore.
+    """
+    ident = threading.get_ident()
+    previous = _TRACE_HOOKS.get(ident)
+    if hook is None:
+        _TRACE_HOOKS.pop(ident, None)
+    else:
+        _TRACE_HOOKS[ident] = hook
+    return previous
 
 
 class no_grad:
@@ -226,13 +256,32 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         grad_fns: Sequence[Callable[[np.ndarray], np.ndarray]],
+        op: Optional[OpSpec] = None,
     ) -> "Tensor":
         """Create an output tensor wired to its parents.
 
         ``grad_fns[i]`` maps the gradient of the output to the gradient
         contribution of ``parents[i]``.  Parents that do not require
         gradients are dropped so the graph stays minimal.
+
+        ``op`` identifies the kernel that produced ``data`` (name plus
+        constant kwargs).  It is ignored during normal execution; when the
+        runtime compiler has installed a trace hook, every op is reported to
+        it so the forward pass can be replayed without the autograd layer.
         """
+        out = Tensor._finish(data, parents, grad_fns)
+        if _TRACE_HOOKS:
+            hook = _TRACE_HOOKS.get(threading.get_ident())
+            if hook is not None:
+                hook(op, tuple(parents), out)
+        return out
+
+    @staticmethod
+    def _finish(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        grad_fns: Sequence[Callable[[np.ndarray], np.ndarray]],
+    ) -> "Tensor":
         requires_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires_grad)
         if requires_grad:
@@ -323,7 +372,7 @@ class Tensor:
 
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        data = self.data + other.data
+        data = K.add(self.data, other.data)
         return Tensor._make(
             data,
             (self, other),
@@ -331,6 +380,7 @@ class Tensor:
                 lambda g: _unbroadcast(g, self.shape),
                 lambda g: _unbroadcast(g, other.shape),
             ),
+            op=("add", {}),
         )
 
     def __radd__(self, other: ArrayLike) -> "Tensor":
@@ -338,7 +388,7 @@ class Tensor:
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        data = self.data - other.data
+        data = K.sub(self.data, other.data)
         return Tensor._make(
             data,
             (self, other),
@@ -346,6 +396,7 @@ class Tensor:
                 lambda g: _unbroadcast(g, self.shape),
                 lambda g: _unbroadcast(-g, other.shape),
             ),
+            op=("sub", {}),
         )
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
@@ -353,7 +404,7 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        data = self.data * other.data
+        data = K.mul(self.data, other.data)
         return Tensor._make(
             data,
             (self, other),
@@ -361,6 +412,7 @@ class Tensor:
                 lambda g: _unbroadcast(g * other.data, self.shape),
                 lambda g: _unbroadcast(g * self.data, other.shape),
             ),
+            op=("mul", {}),
         )
 
     def __rmul__(self, other: ArrayLike) -> "Tensor":
@@ -368,7 +420,7 @@ class Tensor:
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        data = self.data / other.data
+        data = K.div(self.data, other.data)
         return Tensor._make(
             data,
             (self, other),
@@ -376,25 +428,26 @@ class Tensor:
                 lambda g: _unbroadcast(g / other.data, self.shape),
                 lambda g: _unbroadcast(-g * self.data / (other.data ** 2), other.shape),
             ),
+            op=("div", {}),
         )
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return self._coerce(other).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
-        return Tensor._make(-self.data, (self,), (lambda g: -g,))
+        return Tensor._make(K.neg(self.data), (self,), (lambda g: -g,), op=("neg", {}))
 
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp/log instead")
         exponent = float(exponent)
-        data = self.data ** exponent
+        data = K.pow_scalar(self.data, exponent=exponent)
         base = self.data
 
         def grad_fn(g: np.ndarray) -> np.ndarray:
             return g * exponent * np.power(base, exponent - 1)
 
-        return Tensor._make(data, (self,), (grad_fn,))
+        return Tensor._make(data, (self,), (grad_fn,), op=("pow", {"exponent": exponent}))
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         return self.matmul(other)
@@ -406,7 +459,7 @@ class Tensor:
         """Matrix product supporting 1-D, 2-D and batched operands."""
         other = self._coerce(other)
         a, b = self.data, other.data
-        data = a @ b
+        data = K.matmul(a, b)
 
         def grad_a(g: np.ndarray) -> np.ndarray:
             if b.ndim == 1 and a.ndim == 1:
@@ -431,7 +484,7 @@ class Tensor:
             grad = np.swapaxes(a, -1, -2) @ g
             return _unbroadcast(grad, b.shape)
 
-        return Tensor._make(data, (self, other), (grad_a, grad_b))
+        return Tensor._make(data, (self, other), (grad_a, grad_b), op=("matmul", {}))
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -441,8 +494,10 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original_shape = self.shape
-        data = self.data.reshape(shape)
-        return Tensor._make(data, (self,), (lambda g: g.reshape(original_shape),))
+        data = K.reshape(self.data, shape=shape)
+        return Tensor._make(
+            data, (self,), (lambda g: g.reshape(original_shape),), op=("reshape", {"shape": shape})
+        )
 
     def transpose(self, *axes: int) -> "Tensor":
         """Permute the axes of the tensor.
@@ -455,8 +510,10 @@ class Tensor:
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         inverse = np.argsort(axes)
-        data = self.data.transpose(axes)
-        return Tensor._make(data, (self,), (lambda g: g.transpose(inverse),))
+        data = K.transpose(self.data, axes=axes)
+        return Tensor._make(
+            data, (self,), (lambda g: g.transpose(inverse),), op=("transpose", {"axes": axes})
+        )
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         """Swap two axes of the tensor."""
@@ -467,25 +524,34 @@ class Tensor:
     def squeeze(self, axis: Optional[int] = None) -> "Tensor":
         """Remove axes of length one."""
         original_shape = self.shape
-        data = self.data.squeeze() if axis is None else self.data.squeeze(axis)
-        return Tensor._make(data, (self,), (lambda g: g.reshape(original_shape),))
+        data = K.squeeze(self.data, axis=axis)
+        return Tensor._make(
+            data, (self,), (lambda g: g.reshape(original_shape),), op=("squeeze", {"axis": axis})
+        )
 
     def unsqueeze(self, axis: int) -> "Tensor":
         """Insert a new axis of length one at ``axis``."""
         original_shape = self.shape
-        data = np.expand_dims(self.data, axis)
-        return Tensor._make(data, (self,), (lambda g: g.reshape(original_shape),))
+        data = K.unsqueeze(self.data, axis=axis)
+        return Tensor._make(
+            data, (self,), (lambda g: g.reshape(original_shape),), op=("unsqueeze", {"axis": axis})
+        )
 
     def expand(self, *shape: int) -> "Tensor":
         """Broadcast the tensor to ``shape`` (read-only expansion)."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original_shape = self.shape
-        data = np.broadcast_to(self.data, shape).copy()
-        return Tensor._make(data, (self,), (lambda g: _unbroadcast(g, original_shape),))
+        data = K.broadcast(self.data, shape=shape)
+        return Tensor._make(
+            data,
+            (self,),
+            (lambda g: _unbroadcast(g, original_shape),),
+            op=("broadcast", {"shape": shape}),
+        )
 
     def __getitem__(self, index) -> "Tensor":
-        data = self.data[index]
+        data = K.getitem(self.data, index=index)
         original_shape = self.shape
 
         def grad_fn(g: np.ndarray) -> np.ndarray:
@@ -493,14 +559,14 @@ class Tensor:
             np.add.at(full, index, g)
             return full
 
-        return Tensor._make(data, (self,), (grad_fn,))
+        return Tensor._make(data, (self,), (grad_fn,), op=("getitem", {"index": index}))
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Sum of elements over the given axis (or all elements)."""
-        data = self.data.sum(axis=axis, keepdims=keepdims)
+        data = K.reduce_sum(self.data, axis=axis, keepdims=keepdims)
         original_shape = self.shape
 
         def grad_fn(g: np.ndarray) -> np.ndarray:
@@ -509,11 +575,13 @@ class Tensor:
             g_expanded = g if keepdims else np.expand_dims(g, axis)
             return np.broadcast_to(g_expanded, original_shape).copy()
 
-        return Tensor._make(data, (self,), (grad_fn,))
+        return Tensor._make(
+            data, (self,), (grad_fn,), op=("sum", {"axis": axis, "keepdims": keepdims})
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Arithmetic mean over the given axis (or all elements)."""
-        data = self.data.mean(axis=axis, keepdims=keepdims)
+        data = K.reduce_mean(self.data, axis=axis, keepdims=keepdims)
         original_shape = self.shape
         if axis is None:
             count = self.data.size
@@ -529,7 +597,9 @@ class Tensor:
             g_expanded = g if keepdims else np.expand_dims(g, axis)
             return np.broadcast_to(g_expanded / count, original_shape).copy()
 
-        return Tensor._make(data, (self,), (grad_fn,))
+        return Tensor._make(
+            data, (self,), (grad_fn,), op=("mean", {"axis": axis, "keepdims": keepdims})
+        )
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Biased variance over the given axis (population variance)."""
@@ -540,7 +610,7 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Maximum over the given axis; gradients flow to the arg-max entries."""
-        data = self.data.max(axis=axis, keepdims=keepdims)
+        data = K.reduce_max(self.data, axis=axis, keepdims=keepdims)
         original = self.data
 
         def grad_fn(g: np.ndarray) -> np.ndarray:
@@ -554,7 +624,9 @@ class Tensor:
             g_expanded = g if keepdims else np.expand_dims(g, axis)
             return mask * g_expanded
 
-        return Tensor._make(data, (self,), (grad_fn,))
+        return Tensor._make(
+            data, (self,), (grad_fn,), op=("max", {"axis": axis, "keepdims": keepdims})
+        )
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Minimum over the given axis; gradients flow to the arg-min entries."""
@@ -565,60 +637,72 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         """Element-wise exponential."""
-        data = np.exp(self.data)
-        return Tensor._make(data, (self,), (lambda g: g * data,))
+        data = K.exp(self.data)
+        return Tensor._make(data, (self,), (lambda g: g * data,), op=("exp", {}))
 
     def log(self) -> "Tensor":
         """Element-wise natural logarithm."""
-        data = np.log(self.data)
+        data = K.log(self.data)
         source = self.data
-        return Tensor._make(data, (self,), (lambda g: g / source,))
+        return Tensor._make(data, (self,), (lambda g: g / source,), op=("log", {}))
 
     def sqrt(self) -> "Tensor":
         """Element-wise square root."""
-        data = np.sqrt(self.data)
-        return Tensor._make(data, (self,), (lambda g: g * 0.5 / data,))
+        data = K.sqrt(self.data)
+        return Tensor._make(data, (self,), (lambda g: g * 0.5 / data,), op=("sqrt", {}))
 
     def abs(self) -> "Tensor":
         """Element-wise absolute value (sub-gradient 0 at zero)."""
-        data = np.abs(self.data)
+        data = K.absolute(self.data)
         sign = np.sign(self.data)
-        return Tensor._make(data, (self,), (lambda g: g * sign,))
+        return Tensor._make(data, (self,), (lambda g: g * sign,), op=("abs", {}))
 
     def tanh(self) -> "Tensor":
         """Element-wise hyperbolic tangent."""
-        data = np.tanh(self.data)
-        return Tensor._make(data, (self,), (lambda g: g * (1.0 - data ** 2),))
+        data = K.tanh(self.data)
+        return Tensor._make(data, (self,), (lambda g: g * (1.0 - data ** 2),), op=("tanh", {}))
 
     def sigmoid(self) -> "Tensor":
         """Element-wise logistic sigmoid."""
-        data = 1.0 / (1.0 + np.exp(-self.data))
-        return Tensor._make(data, (self,), (lambda g: g * data * (1.0 - data),))
+        data = K.sigmoid(self.data)
+        return Tensor._make(
+            data, (self,), (lambda g: g * data * (1.0 - data),), op=("sigmoid", {})
+        )
 
     def relu(self) -> "Tensor":
         """Element-wise rectified linear unit."""
         mask = (self.data > 0).astype(_DEFAULT_DTYPE)
         data = self.data * mask
-        return Tensor._make(data, (self,), (lambda g: g * mask,))
+        return Tensor._make(data, (self,), (lambda g: g * mask,), op=("relu", {}))
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         """Element-wise leaky ReLU."""
         mask = np.where(self.data > 0, 1.0, negative_slope)
         data = self.data * mask
-        return Tensor._make(data, (self,), (lambda g: g * mask,))
+        return Tensor._make(
+            data,
+            (self,),
+            (lambda g: g * mask,),
+            op=("leaky_relu", {"negative_slope": negative_slope}),
+        )
 
     def clip(self, minimum: Optional[float] = None, maximum: Optional[float] = None) -> "Tensor":
         """Clamp values into ``[minimum, maximum]``; gradient is zero outside."""
-        data = np.clip(self.data, minimum, maximum)
+        data = K.clip(self.data, minimum=minimum, maximum=maximum)
         lower = -np.inf if minimum is None else minimum
         upper = np.inf if maximum is None else maximum
         mask = ((self.data >= lower) & (self.data <= upper)).astype(_DEFAULT_DTYPE)
-        return Tensor._make(data, (self,), (lambda g: g * mask,))
+        return Tensor._make(
+            data,
+            (self,),
+            (lambda g: g * mask,),
+            op=("clip", {"minimum": minimum, "maximum": maximum}),
+        )
 
     def maximum(self, other: ArrayLike) -> "Tensor":
         """Element-wise maximum with ties splitting the gradient equally."""
         other = self._coerce(other)
-        data = np.maximum(self.data, other.data)
+        data = K.maximum(self.data, other.data)
         self_mask = (self.data > other.data).astype(_DEFAULT_DTYPE)
         tie_mask = (self.data == other.data).astype(_DEFAULT_DTYPE) * 0.5
         other_mask = (other.data > self.data).astype(_DEFAULT_DTYPE)
@@ -629,6 +713,7 @@ class Tensor:
                 lambda g: _unbroadcast(g * (self_mask + tie_mask), self.shape),
                 lambda g: _unbroadcast(g * (other_mask + tie_mask), other.shape),
             ),
+            op=("maximum", {}),
         )
 
     def minimum(self, other: ArrayLike) -> "Tensor":
@@ -637,18 +722,31 @@ class Tensor:
         return -((-self).maximum(-other))
 
     # ------------------------------------------------------------------
-    # Softmax-style helpers used throughout the models
+    # Softmax-style primitives used throughout the models
     # ------------------------------------------------------------------
     def softmax(self, axis: int = -1) -> "Tensor":
-        """Numerically stable softmax along ``axis``."""
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
-        exps = shifted.exp()
-        return exps / exps.sum(axis=axis, keepdims=True)
+        """Numerically stable softmax along ``axis``.
+
+        A primitive op (not composed from exp/sum) so the max-shift does not
+        bake an input-dependent constant into runtime traces; the gradient is
+        the classic ``y * (g - sum(g * y))``.
+        """
+        data = K.softmax(self.data, axis=axis)
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            inner = (g * data).sum(axis=axis, keepdims=True)
+            return data * (g - inner)
+
+        return Tensor._make(data, (self,), (grad_fn,), op=("softmax", {"axis": axis}))
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        """Logarithm of the softmax along ``axis``."""
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
-        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+        """Logarithm of the softmax along ``axis`` (primitive, see softmax)."""
+        data = K.log_softmax(self.data, axis=axis)
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            return g - np.exp(data) * g.sum(axis=axis, keepdims=True)
+
+        return Tensor._make(data, (self,), (grad_fn,), op=("log_softmax", {"axis": axis}))
 
 
 def _ensure_tensor(value: ArrayLike) -> Tensor:

@@ -1,0 +1,191 @@
+"""Runtime-vs-autograd parity: the tentpole contract of the compiled engine.
+
+Every model the serving layer can load must produce the same forward
+numbers whether it runs through the autograd engine under ``no_grad`` or
+through the compiled kernel plan.  The tolerance of record is 1e-10 (the
+ISSUE acceptance bar); in practice both modes execute the same kernels in
+the same order and agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import create_baseline
+from repro.core import DyHSL, DyHSLConfig
+from repro.runtime import CompileError, CompiledModel, compile_module, resolve_runtime_mode
+from repro.tensor import Tensor, no_grad
+from repro.tensor import seed as seed_everything
+
+NUM_NODES = 9
+TOLERANCE = 1e-10
+
+
+@pytest.fixture(scope="module")
+def adjacency() -> np.ndarray:
+    rng = np.random.default_rng(11)
+    dense = (rng.random((NUM_NODES, NUM_NODES)) < 0.45).astype(float)
+    np.fill_diagonal(dense, 0.0)
+    return dense
+
+
+@pytest.fixture(scope="module")
+def windows() -> np.ndarray:
+    return np.random.default_rng(12).normal(size=(3, 12, NUM_NODES, 1))
+
+
+def _assert_parity(model, windows: np.ndarray) -> CompiledModel:
+    model.eval()
+    with no_grad():
+        reference = model(Tensor(windows)).data
+    compiled = compile_module(model)
+    produced = compiled(windows)
+    assert produced.shape == reference.shape
+    assert np.abs(produced - reference).max() <= TOLERANCE
+    # Replay the SAME plan on a different batch: catches any input-dependent
+    # value baked into the plan as a constant during tracing (the bug class
+    # the fused softmax primitives exist to prevent).
+    fresh = windows * 1.31 + 0.47
+    with no_grad():
+        fresh_reference = model(Tensor(fresh)).data
+    assert np.abs(compiled(fresh) - fresh_reference).max() <= TOLERANCE
+    return compiled
+
+
+class TestDyHSLParity:
+    @pytest.mark.parametrize("mode", ["low_rank", "static", "from_scratch"])
+    def test_all_table_v_dhsl_modes(self, adjacency, windows, mode):
+        """Table V: proposed (low_rank), NSL (static) and FS (from_scratch)."""
+        seed_everything(21)
+        config = DyHSLConfig(
+            num_nodes=NUM_NODES,
+            hidden_dim=12,
+            prior_layers=2,
+            num_hyperedges=6,
+            window_sizes=(1, 3, 12),
+            mhce_layers=2,
+            structure_learning=mode,
+        )
+        _assert_parity(DyHSL(config, adjacency), windows)
+
+    def test_no_igc_and_no_prior_variants(self, adjacency, windows):
+        """Ablation configurations must compile too (Tables VI / VII paths)."""
+        seed_everything(22)
+        config = DyHSLConfig(
+            num_nodes=NUM_NODES,
+            hidden_dim=12,
+            prior_layers=0,
+            num_hyperedges=6,
+            window_sizes=(1, 12),
+            mhce_layers=1,
+            use_igc=False,
+            use_prior_graph=False,
+        )
+        _assert_parity(DyHSL(config, adjacency), windows)
+
+    def test_parity_across_batch_shapes(self, adjacency):
+        """Each batch shape compiles its own plan; all must agree."""
+        seed_everything(23)
+        config = DyHSLConfig(
+            num_nodes=NUM_NODES,
+            hidden_dim=12,
+            prior_layers=1,
+            num_hyperedges=6,
+            window_sizes=(1, 3, 12),
+            mhce_layers=1,
+        )
+        model = DyHSL(config, adjacency).eval()
+        compiled = compile_module(model)
+        rng = np.random.default_rng(24)
+        for batch in (1, 2, 7):
+            x = rng.normal(size=(batch, 12, NUM_NODES, 1))
+            with no_grad():
+                reference = model(Tensor(x)).data
+            assert np.abs(compiled(x) - reference).max() <= TOLERANCE
+        assert len(compiled.plan_stats()) == 3
+
+
+class TestBaselineParity:
+    """The compiled runtime must cover the baseline registry, not just DyHSL."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["FC-LSTM", "TCN", "GRU-ED", "STGCN", "DCRNN", "GraphWaveNet", "AGCRN"],
+    )
+    def test_registry_baseline(self, adjacency, windows, name):
+        seed_everything(31)
+        model = create_baseline(
+            name, adjacency, NUM_NODES, horizon=12, input_length=12, hidden_dim=12
+        )
+        _assert_parity(model, windows)
+
+    def test_constant_folding_bakes_learned_adjacency(self, adjacency, windows):
+        """AGCRN's softmax(relu(E Eᵀ)) depends only on parameters: it folds."""
+        seed_everything(32)
+        model = create_baseline(
+            "AGCRN", adjacency, NUM_NODES, horizon=12, input_length=12, hidden_dim=12
+        )
+        compiled = _assert_parity(model, windows)
+        stats = compiled.plan_stats()[0]
+        assert stats.folded > 0
+
+
+class TestCompileRules:
+    def test_training_mode_is_rejected(self, adjacency, windows):
+        seed_everything(41)
+        config = DyHSLConfig(
+            num_nodes=NUM_NODES, hidden_dim=8, prior_layers=1, num_hyperedges=4,
+            window_sizes=(1, 12), mhce_layers=1,
+        )
+        model = DyHSL(config, adjacency)  # stays in training mode
+        from repro.runtime import compile_plan
+
+        with pytest.raises(CompileError):
+            compile_plan(model, windows)
+
+    def test_compiled_model_switches_to_eval(self, adjacency, windows):
+        seed_everything(42)
+        config = DyHSLConfig(
+            num_nodes=NUM_NODES, hidden_dim=8, prior_layers=1, num_hyperedges=4,
+            window_sizes=(1, 12), mhce_layers=1,
+        )
+        model = DyHSL(config, adjacency)
+        compiled = CompiledModel(model)
+        assert not model.training
+        compiled(windows)
+
+    def test_recompile_tracks_weight_updates(self, adjacency, windows):
+        """Constant folding bakes weights; recompile() refreshes the plans."""
+        seed_everything(43)
+        config = DyHSLConfig(
+            num_nodes=NUM_NODES, hidden_dim=8, prior_layers=1, num_hyperedges=4,
+            window_sizes=(1, 12), mhce_layers=1,
+        )
+        model = DyHSL(config, adjacency).eval()
+        compiled = compile_module(model)
+        compiled(windows)
+        state = {key: value * 1.05 for key, value in model.state_dict().items()}
+        model.load_state_dict(state)
+        compiled.recompile()
+        with no_grad():
+            reference = model(Tensor(windows)).data
+        assert np.abs(compiled(windows) - reference).max() <= TOLERANCE
+
+
+class TestRuntimeModeResolution:
+    def test_defaults_to_compiled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNTIME", raising=False)
+        assert resolve_runtime_mode() == "compiled"
+
+    def test_environment_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNTIME", "autograd")
+        assert resolve_runtime_mode() == "autograd"
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNTIME", "autograd")
+        assert resolve_runtime_mode("compiled") == "compiled"
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_runtime_mode("jit")

@@ -1,0 +1,174 @@
+"""Warm-start serving: buffer state persists and reloads across restarts.
+
+A production restart must not sit through a ``T``-step cold window.  The
+rolling buffer's complete state (normalised ring, cursor, correction and
+epoch counters) round-trips through ``state_dict``/``save``/``restore``,
+and ``ForecastService.from_checkpoint(..., buffer_state=...)`` brings up a
+service that serves streaming forecasts immediately — with the same numbers
+the original service would have produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DyHSL
+from repro.serving import ForecastService, RollingWindowBuffer
+from repro.tensor import seed as seed_everything
+from repro.training import save_model_checkpoint
+
+
+@pytest.fixture()
+def service(tiny_model, forecasting_data):
+    return ForecastService(tiny_model, scaler=forecasting_data.scaler, cache_entries=64)
+
+
+@pytest.fixture()
+def raw_stream(forecasting_data):
+    rng = np.random.default_rng(99)
+    nodes = forecasting_data.num_nodes
+    return np.abs(rng.normal(loc=180.0, scale=40.0, size=(20, nodes, 1)))
+
+
+class TestStreamingWindowsState:
+    def test_state_dict_round_trip(self, raw_stream):
+        from repro.data.windows import StreamingWindows
+
+        nodes = raw_stream.shape[1]
+        stream = StreamingWindows(12, nodes, 1)
+        for step in raw_stream[:15]:
+            stream.push(step)
+        state = stream.state_dict()
+
+        other = StreamingWindows(12, nodes, 1)
+        other.load_state_dict(state)
+        assert other.steps_ingested == 15
+        assert np.array_equal(other.latest(), stream.latest())
+
+    def test_shape_mismatch_is_rejected(self, raw_stream):
+        from repro.data.windows import StreamingWindows
+
+        nodes = raw_stream.shape[1]
+        stream = StreamingWindows(12, nodes, 1)
+        state = stream.state_dict()
+        with pytest.raises(ValueError):
+            StreamingWindows(12, nodes + 1, 1).load_state_dict(state)
+
+
+class TestBufferPersistence:
+    def test_save_restore_preserves_window_and_counters(self, raw_stream, forecasting_data, tmp_path):
+        nodes = raw_stream.shape[1]
+        buffer = RollingWindowBuffer(12, nodes, scaler=forecasting_data.scaler)
+        for step in raw_stream[:14]:
+            buffer.ingest(step)
+        buffer.ingest_node(0, np.array([120.0]))
+        path = buffer.save(tmp_path / "buffer_state")
+
+        restored = RollingWindowBuffer(12, nodes, scaler=forecasting_data.scaler)
+        assert not restored.ready
+        restored.restore(path)
+        assert restored.ready
+        assert restored.steps_ingested == 14
+        assert np.array_equal(restored.window(), buffer.window())
+
+    def test_restore_continues_the_stream_seamlessly(self, raw_stream, forecasting_data, tmp_path):
+        """Ingesting after a restore matches an uninterrupted buffer."""
+        nodes = raw_stream.shape[1]
+        continuous = RollingWindowBuffer(12, nodes, scaler=forecasting_data.scaler)
+        interrupted = RollingWindowBuffer(12, nodes, scaler=forecasting_data.scaler)
+        for step in raw_stream[:13]:
+            continuous.ingest(step)
+            interrupted.ingest(step)
+        path = interrupted.save(tmp_path / "mid_stream")
+
+        resumed = RollingWindowBuffer(12, nodes, scaler=forecasting_data.scaler)
+        resumed.restore(path)
+        for step in raw_stream[13:]:
+            continuous.ingest(step)
+            resumed.ingest(step)
+        assert np.array_equal(resumed.window(), continuous.window())
+
+    def test_save_path_round_trips_through_restore(self, raw_stream, tmp_path):
+        """restore() must accept the exact path string handed to save()."""
+        nodes = raw_stream.shape[1]
+        buffer = RollingWindowBuffer(12, nodes)
+        for step in raw_stream[:12]:
+            buffer.ingest(step)
+        for name in ("state.v2", "plain", "explicit.npz"):
+            requested = tmp_path / name
+            buffer.save(requested)
+            restored = RollingWindowBuffer(12, nodes)
+            restored.restore(requested)  # same path the caller used for save
+            assert np.array_equal(restored.window(), buffer.window())
+
+    def test_save_appends_suffix_instead_of_clobbering(self, raw_stream, tmp_path):
+        """Saving 'model.buffer' must not overwrite a 'model.npz' checkpoint."""
+        checkpoint = tmp_path / "model.npz"
+        checkpoint.write_bytes(b"precious checkpoint bytes")
+        nodes = raw_stream.shape[1]
+        buffer = RollingWindowBuffer(12, nodes)
+        for step in raw_stream[:12]:
+            buffer.ingest(step)
+        written = buffer.save(tmp_path / "model.buffer")
+        assert written == tmp_path / "model.buffer.npz"
+        assert checkpoint.read_bytes() == b"precious checkpoint bytes"
+
+    def test_dimension_mismatch_is_rejected(self, raw_stream, tmp_path):
+        nodes = raw_stream.shape[1]
+        buffer = RollingWindowBuffer(12, nodes)
+        path = buffer.save(tmp_path / "state")
+        other = RollingWindowBuffer(12, nodes + 3)
+        with pytest.raises(ValueError):
+            other.restore(path)
+
+    def test_missing_file_is_rejected(self, raw_stream, tmp_path):
+        buffer = RollingWindowBuffer(12, raw_stream.shape[1])
+        with pytest.raises(FileNotFoundError):
+            buffer.restore(tmp_path / "does_not_exist.npz")
+
+
+class TestServiceWarmStart:
+    def test_restarted_service_resumes_without_cold_window(
+        self, tiny_model, tiny_config, forecasting_data, raw_stream, tmp_path
+    ):
+        checkpoint = save_model_checkpoint(
+            tiny_model,
+            tmp_path / "model",
+            adjacency=forecasting_data.adjacency,
+            scaler=forecasting_data.scaler,
+        )
+        service = ForecastService.from_checkpoint(checkpoint)
+        for step in raw_stream[:13]:
+            service.ingest(step)
+        expected = service.forecast_latest()
+        buffer_state = service.save_buffer_state(tmp_path / "model_buffer")
+
+        restarted = ForecastService.from_checkpoint(checkpoint, buffer_state=buffer_state)
+        assert restarted.buffer.ready
+        assert restarted.buffer.steps_ingested == 13
+        assert np.allclose(restarted.forecast_latest(), expected, atol=1e-10)
+
+    def test_cold_service_still_needs_full_window(
+        self, tiny_model, forecasting_data, raw_stream, tmp_path
+    ):
+        checkpoint = save_model_checkpoint(
+            tiny_model,
+            tmp_path / "model",
+            adjacency=forecasting_data.adjacency,
+            scaler=forecasting_data.scaler,
+        )
+        cold = ForecastService.from_checkpoint(checkpoint)
+        cold.ingest(raw_stream[0])
+        assert not cold.buffer.ready
+        with pytest.raises(RuntimeError):
+            cold.forecast_latest()
+
+    def test_restore_buffer_state_method(self, service, raw_stream, tmp_path):
+        for step in raw_stream[:12]:
+            service.ingest(step)
+        path = service.save_buffer_state(tmp_path / "sidecar")
+        fresh_model = service.model
+        other = ForecastService(fresh_model, scaler=service.scaler, cache_entries=8)
+        other.restore_buffer_state(path)
+        assert np.array_equal(other.buffer.window(), service.buffer.window())
