@@ -73,6 +73,20 @@ class SparseMatrix:
         """Return the transposed matrix."""
         return SparseMatrix(self._matrix.T)
 
+    def transposed(self) -> "SparseMatrix":
+        """The transpose, built once and cached on the instance.
+
+        Every ``spmm`` backward multiplies by the transpose; rebuilding the
+        CSR transpose per call would cost O(nnz) each time, and caching on
+        the (immutable) matrix keeps the lifetime tied to the matrix itself
+        rather than any global registry.
+        """
+        cached = self.__dict__.get("_transposed")
+        if cached is None:
+            cached = self.transpose()
+            self.__dict__["_transposed"] = cached
+        return cached
+
     def dot_array(self, array: np.ndarray) -> np.ndarray:
         """Multiply against a plain NumPy array (no autograd)."""
         return self._matrix @ array
@@ -106,10 +120,9 @@ def sparse_matmul(matrix: SparseMatrix, dense: Tensor) -> Tensor:
         if dense.shape[0] != k:
             raise ValueError(f"dimension mismatch: sparse {matrix.shape} @ dense {dense.shape}")
         data = kernels.spmm(dense.data, matrix=matrix)
-        transposed = matrix.transpose()
 
         def grad_fn(g: np.ndarray) -> np.ndarray:
-            return transposed.dot_array(g)
+            return matrix.transposed().dot_array(g)
 
         return Tensor._make(data, (dense,), (grad_fn,), op=("spmm", {"matrix": matrix}))
     if dense.ndim == 3:

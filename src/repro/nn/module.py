@@ -57,6 +57,24 @@ class Module:
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
         self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self.training = True
+        self._weights_version = 0
+
+    @property
+    def weights_version(self) -> int:
+        """Counter bumped on every bulk weight load (``load_state_dict``).
+
+        Aggregated recursively over child modules, so loading a state dict
+        into any submodule changes the root's version too.  Together with
+        an optimiser's ``step_count`` this forms a cheap parameter-version
+        token: consumers that bake weights into derived state (the
+        compiled-plan caches in :class:`repro.training.Trainer`) compare
+        the token instead of hashing the weights.  Direct in-place writes
+        to ``parameter.data`` bypass the counter.
+        """
+        version = getattr(self, "_weights_version", 0)
+        for module in getattr(self, "_modules", {}).values():
+            version += module.weights_version
+        return version
 
     # ------------------------------------------------------------------
     # Attribute registration
@@ -167,6 +185,7 @@ class Module:
                 raise KeyError(f"unexpected key in state_dict: {key!r}")
         if strict and missing:
             raise KeyError(f"missing keys in state_dict: {sorted(missing)}")
+        self._weights_version = self.weights_version + 1
 
     # ------------------------------------------------------------------
     # Forward

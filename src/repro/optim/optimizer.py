@@ -62,7 +62,13 @@ class Optimizer:
 
     @property
     def step_count(self) -> int:
-        """Number of ``step()`` calls performed so far."""
+        """Number of ``step()`` calls performed so far.
+
+        Doubles as the parameter-version token of the managed parameters:
+        combined with :attr:`repro.nn.Module.weights_version` it lets
+        consumers that bake weights into derived state (compiled-plan
+        caches) detect updates in O(1) instead of hashing the weights.
+        """
         return self._step_count
 
 

@@ -36,17 +36,33 @@ import os
 from typing import Optional
 
 from .compiler import CompileError, compile_plan, trace_module
-from .engine import CompiledModel, Plan, PlanStats
+from .engine import (
+    BUCKETS_ENV_VAR,
+    DEFAULT_BUCKET_CAP,
+    CompiledModel,
+    Plan,
+    PlanStats,
+    bucket_batch_size,
+    resolve_bucket_cap,
+)
+from .training import CompiledTrainingModel, compile_training_model, plan_trainable
 
 __all__ = [
+    "BUCKETS_ENV_VAR",
     "CompileError",
     "CompiledModel",
+    "CompiledTrainingModel",
+    "DEFAULT_BUCKET_CAP",
     "Plan",
     "PlanStats",
     "RUNTIME_MODES",
     "RUNTIME_ENV_VAR",
+    "bucket_batch_size",
     "compile_module",
     "compile_plan",
+    "compile_training_model",
+    "plan_trainable",
+    "resolve_bucket_cap",
     "resolve_runtime_mode",
     "trace_module",
 ]
@@ -58,9 +74,21 @@ RUNTIME_ENV_VAR = "REPRO_RUNTIME"
 RUNTIME_MODES = ("compiled", "autograd")
 
 
-def compile_module(module, fold_constants: bool = True) -> CompiledModel:
-    """Wrap ``module`` (switched to eval mode) in a :class:`CompiledModel`."""
-    return CompiledModel(module, fold_constants=fold_constants)
+def compile_module(
+    module,
+    fold_constants: bool = True,
+    fuse: bool = True,
+    bucket_batches=None,
+) -> CompiledModel:
+    """Wrap ``module`` (switched to eval mode) in a :class:`CompiledModel`.
+
+    ``fuse`` toggles the elementwise-chain fusion pass; ``bucket_batches``
+    sets the batch-bucketing policy (see
+    :func:`repro.runtime.engine.resolve_bucket_cap`).
+    """
+    return CompiledModel(
+        module, fold_constants=fold_constants, fuse=fuse, bucket_batches=bucket_batches
+    )
 
 
 def resolve_runtime_mode(mode: Optional[str] = None) -> str:

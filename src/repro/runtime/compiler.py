@@ -6,7 +6,7 @@ hook installed in the autograd layer.  Every primitive op reports
 ``Tensor._make``; because hooks fire in execution order, the recorded list
 is already a topological order of the dataflow and can be replayed linearly.
 
-Three passes turn the raw trace into a :class:`~repro.runtime.engine.Plan`:
+The passes that turn the raw trace into a :class:`~repro.runtime.engine.Plan`:
 
 1. **slot assignment** — every tensor becomes a slot: the input placeholder,
    a captured constant (parameters, buffers, literals created inside
@@ -16,9 +16,16 @@ Three passes turn the raw trace into a :class:`~repro.runtime.engine.Plan`:
    ``softmax(relu(E Eᵀ))``, scale-fusion weights) already computed their
    value during tracing; the value is promoted to a constant and the step
    dropped;
-3. **dead-step pruning + workspace allocation** — steps that do not reach
-   the output are removed, and every surviving non-view step gets a
-   preallocated output buffer reused across calls.
+3. **dead-step pruning** — steps that do not reach the output are removed;
+4. **elementwise-chain fusion** — single-consumer runs of shape-preserving
+   elementwise steps (add/mul/tanh/relu/… — see
+   :data:`repro.tensor.kernels.FUSABLE_ELEMENTWISE`) collapse into one
+   ``fused_elementwise`` step executed as a blocked chain in a single
+   buffer, turning N memory passes over large intermediates into one
+   cache-resident sweep;
+5. **workspace allocation** — every surviving non-view step gets a
+   preallocated output buffer, pooled by liveness so the working set stays
+   at the peak live size.
 
 Tracing requirements (all satisfied by the models in this library):
 
@@ -106,9 +113,59 @@ def trace_module(module, example: np.ndarray):
     return tracer.records, placeholder, output
 
 
-def compile_plan(module, example: np.ndarray, fold_constants: bool = True) -> Plan:
-    """Compile ``module``'s forward into a :class:`Plan` for one input shape."""
+class _Step:
+    """One lowered plan step before kernel binding."""
+
+    __slots__ = ("name", "kwargs", "in_slots", "out_slot", "out")
+
+    def __init__(self, name, kwargs, in_slots, out_slot, out) -> None:
+        self.name = name
+        self.kwargs = kwargs
+        self.in_slots = in_slots
+        self.out_slot = out_slot
+        self.out = out  # the traced output Tensor (shape/dtype/base oracle)
+
+
+class _Lowered:
+    """Trace lowered to slots and steps, shared by the inference and
+    training compilers."""
+
+    __slots__ = (
+        "steps", "values", "is_const", "output_slot", "input_value", "param_slots",
+        "traced_ops", "folded", "pruned", "steps_unfused", "chain_lengths",
+    )
+
+    def __init__(self) -> None:
+        self.steps: List[_Step] = []
+        self.values: List[Optional[np.ndarray]] = []
+        self.is_const: List[bool] = []
+        self.output_slot = 0
+        #: The traced placeholder's array; view classification needs it to
+        #: probe whether step outputs alias the input.
+        self.input_value: Optional[np.ndarray] = None
+        #: slot -> leaf Tensor for constants that are learnable parameters
+        #: (consumed by the training compiler to route gradients).
+        self.param_slots: Dict[int, Tensor] = {}
+        self.traced_ops = 0
+        self.folded = 0
+        self.pruned = 0
+        self.steps_unfused = 0
+        self.chain_lengths: Tuple[int, ...] = ()
+
+
+def lower_module(module, example: np.ndarray, fold_constants: bool = True,
+                 fuse: bool = True) -> _Lowered:
+    """Trace ``module`` and run the graph passes (fold, prune, fuse).
+
+    The result is backend-neutral: :func:`compile_plan` binds it to pooled
+    workspace buffers for inference, the training compiler
+    (:mod:`repro.runtime.training`) to dedicated live buffers plus a
+    gradient tape.
+    """
     records, placeholder, output = trace_module(module, example)
+    lowered = _Lowered()
+    lowered.traced_ops = len(records)
+    lowered.input_value = placeholder.data
 
     # ------------------------------------------------------------------
     # Pass 1: slot assignment (+ inline constant folding).
@@ -116,38 +173,40 @@ def compile_plan(module, example: np.ndarray, fold_constants: bool = True) -> Pl
     slot_of: Dict[int, int] = {id(placeholder): 0}
     values: List[Optional[np.ndarray]] = [None]  # slot 0 is the input
     is_const: List[bool] = [False]
-    raw_steps: List[Tuple[str, Dict[str, Any], Tuple[int, ...], int, Tensor]] = []
-    folded = 0
+    raw_steps: List[_Step] = []
 
-    def const_slot(array: np.ndarray) -> int:
+    def const_slot(parent: Optional[Tensor], array: np.ndarray) -> int:
         values.append(array)
         is_const.append(True)
-        return len(values) - 1
+        slot = len(values) - 1
+        if parent is not None and getattr(parent, "requires_grad", False):
+            lowered.param_slots[slot] = parent
+        return slot
 
     for name, kwargs, parents, out in records:
         in_slots = []
         for parent in parents:
             slot = slot_of.get(id(parent))
             if slot is None:
-                slot = const_slot(parent.data)
+                slot = const_slot(parent, parent.data)
                 slot_of[id(parent)] = slot
             in_slots.append(slot)
         if fold_constants and all(is_const[slot] for slot in in_slots):
             # The traced output already holds the folded value.
-            slot_of[id(out)] = const_slot(out.data)
-            folded += 1
+            slot_of[id(out)] = const_slot(None, out.data)
+            lowered.folded += 1
             continue
         values.append(None)
         is_const.append(False)
         out_slot = len(values) - 1
         slot_of[id(out)] = out_slot
-        raw_steps.append((name, kwargs, tuple(in_slots), out_slot, out))
+        raw_steps.append(_Step(name, kwargs, tuple(in_slots), out_slot, out))
 
     output_slot = slot_of.get(id(output))
     if output_slot is None:
         # The forward returned a tensor that never went through the kernel
         # layer (a constant built inside forward); capture it directly.
-        output_slot = const_slot(output.data)
+        output_slot = const_slot(None, output.data)
 
     # ------------------------------------------------------------------
     # Pass 2: dead-step pruning (backward reachability from the output).
@@ -155,41 +214,164 @@ def compile_plan(module, example: np.ndarray, fold_constants: bool = True) -> Pl
     needed = {output_slot}
     kept_flags = [False] * len(raw_steps)
     for index in range(len(raw_steps) - 1, -1, -1):
-        name, kwargs, in_slots, out_slot, out = raw_steps[index]
-        if out_slot in needed:
+        step = raw_steps[index]
+        if step.out_slot in needed:
             kept_flags[index] = True
-            needed.update(in_slots)
-    pruned = len(raw_steps) - sum(kept_flags)
+            needed.update(step.in_slots)
+    lowered.pruned = len(raw_steps) - sum(kept_flags)
     kept = [step for keep, step in zip(kept_flags, raw_steps) if keep]
+    lowered.steps_unfused = len(kept)
 
     # ------------------------------------------------------------------
-    # Pass 3: step classification.
-    #
-    # * "view"     — the kernel returns a view of its input; no buffer, and
-    #   for liveness the output aliases the input's underlying storage;
-    # * "buffered" — the kernel writes into a preallocated workspace buffer;
-    # * "alloc"    — the kernel allocates its result per call (advanced
-    #   indexing); rare, and usually constant-folded away.
-    #
-    # Reshapes that had to copy during tracing (non-contiguous source, a
-    # fixed property of the plan's dataflow) are rewritten to the
-    # buffer-friendly ``reshape_copy`` kernel.
+    # Pass 3: elementwise-chain fusion.
     # ------------------------------------------------------------------
-    classified: List[Tuple[str, str, Dict[str, Any], Tuple[int, ...], int, Tensor]] = []
-    for name, kwargs, in_slots, out_slot, out in kept:
-        if name in K.VIEW_OPS:
-            if out.data.base is not None:
+    if fuse:
+        kept, lowered.chain_lengths = _fuse_elementwise(kept, output_slot)
+
+    lowered.steps = kept
+    lowered.values = values
+    lowered.is_const = is_const
+    lowered.output_slot = output_slot
+    return lowered
+
+
+def _fuse_elementwise(steps: List[_Step], output_slot: int) -> Tuple[List[_Step], Tuple[int, ...]]:
+    """Collapse single-consumer runs of elementwise steps into fused steps.
+
+    A step joins the chain of its predecessor when it is elementwise
+    (:data:`~repro.tensor.kernels.FUSABLE_ELEMENTWISE`), directly follows it
+    in plan order, is the predecessor's *only* consumer, and produces the
+    same output shape — the invariants that let the whole chain run
+    in-place in one buffer.  Interior slots disappear from the plan; the
+    fused step reads the union of the chain's external inputs and writes
+    the tail's slot.
+    """
+    consumer_count: Dict[int, int] = {}
+    for step in steps:
+        for slot in set(step.in_slots):
+            consumer_count[slot] = consumer_count.get(slot, 0) + 1
+
+    fused: List[_Step] = []
+    chain_lengths: List[int] = []
+    index = 0
+    while index < len(steps):
+        step = steps[index]
+        if step.name not in K.FUSABLE_ELEMENTWISE:
+            fused.append(step)
+            index += 1
+            continue
+        chain = [step]
+        cursor = index
+        while cursor + 1 < len(steps):
+            tail, candidate = steps[cursor], steps[cursor + 1]
+            if (
+                candidate.name in K.FUSABLE_ELEMENTWISE
+                and tail.out_slot in candidate.in_slots
+                and consumer_count.get(tail.out_slot) == 1
+                and tail.out_slot != output_slot
+                and candidate.out.data.shape == tail.out.data.shape
+            ):
+                chain.append(candidate)
+                cursor += 1
+            else:
+                break
+        if len(chain) == 1:
+            fused.append(step)
+            index += 1
+            continue
+        # Build the instruction list: operand references are indices into
+        # the fused step's external input tuple, or -1 for the running
+        # value (the previous instruction's output).
+        external: List[int] = []
+        position: Dict[int, int] = {}
+        instructions = []
+        previous_slot: Optional[int] = None
+        for link in chain:
+            refs = []
+            for slot in link.in_slots:
+                if slot == previous_slot:
+                    refs.append(-1)
+                    continue
+                if slot not in position:
+                    position[slot] = len(external)
+                    external.append(slot)
+                refs.append(position[slot])
+            instructions.append((link.name, K.KERNELS[link.name], tuple(refs), link.kwargs))
+            previous_slot = link.out_slot
+        tail = chain[-1]
+        fused.append(
+            _Step(
+                "fused_elementwise",
+                {"chain": tuple(instructions)},
+                tuple(external),
+                tail.out_slot,
+                tail.out,
+            )
+        )
+        chain_lengths.append(len(chain))
+        index = cursor + 1
+    return fused, tuple(sorted(chain_lengths))
+
+
+def classify_steps(
+    steps: List[_Step],
+    values: List[Optional[np.ndarray]],
+    input_value: Optional[np.ndarray] = None,
+    input_slot: int = 0,
+):
+    """Label every step ``view`` / ``buffered`` / ``alloc``.
+
+    * ``view`` — the kernel returned a true view of its input during
+      tracing (it shares memory with the parent); no buffer needed, and for
+      liveness the output aliases the input's storage;
+    * ``buffered`` — the kernel writes into a preallocated output buffer;
+    * ``alloc`` — the kernel allocates its result per call (advanced
+      indexing); rare, and usually constant-folded away.
+
+    Reshapes that had to copy during tracing are rewritten to the
+    buffer-friendly ``reshape_copy`` kernel.  Sharing is probed with
+    ``np.may_share_memory`` against the traced parent — checking ``.base``
+    alone misclassifies a copying reshape, whose result is a *view of a
+    fresh copy* (``base`` set, but no memory shared with the parent), and
+    would silently allocate that copy again on every call.
+    """
+    slot_value: Dict[int, np.ndarray] = {
+        slot: value for slot, value in enumerate(values) if value is not None
+    }
+    if input_value is not None:
+        slot_value[input_slot] = input_value
+    classified: List[Tuple[str, _Step]] = []
+    for step in steps:
+        if step.name in K.VIEW_OPS:
+            parent = slot_value.get(step.in_slots[0])
+            shares = parent is not None and np.may_share_memory(step.out.data, parent)
+            if shares:
                 kind = "view"
-            elif name == "reshape":
-                kind, name = "buffered", "reshape_copy"
+            elif step.name == "reshape":
+                kind, step.name = "buffered", "reshape_copy"
             else:
                 kind = "alloc"
         else:
             kind = "buffered"
-        classified.append((kind, name, kwargs, in_slots, out_slot, out))
+        classified.append((kind, step))
+        slot_value[step.out_slot] = step.out.data
+    return classified
+
+
+def compile_plan(
+    module,
+    example: np.ndarray,
+    fold_constants: bool = True,
+    fuse: bool = True,
+) -> Plan:
+    """Compile ``module``'s forward into a :class:`Plan` for one input shape."""
+    lowered = lower_module(module, example, fold_constants=fold_constants, fuse=fuse)
+    classified = classify_steps(lowered.steps, lowered.values, lowered.input_value)
+    values = lowered.values
+    output_slot = lowered.output_slot
 
     # ------------------------------------------------------------------
-    # Pass 4: liveness analysis over underlying buffers.
+    # Liveness analysis over underlying buffers.
     #
     # Each buffered step's output gets a storage token; view steps propagate
     # their input's token (a view must pin the storage it aliases).  A token
@@ -201,46 +383,46 @@ def compile_plan(module, example: np.ndarray, fold_constants: bool = True) -> Pl
     token_of_slot: Dict[int, Optional[int]] = {}
     last_use: Dict[int, int] = {}
     next_token = 0
-    for index, (kind, name, kwargs, in_slots, out_slot, out) in enumerate(classified):
-        for slot in in_slots:
+    for index, (kind, step) in enumerate(classified):
+        for slot in step.in_slots:
             token = token_of_slot.get(slot)
             if token is not None:
                 last_use[token] = index
         if kind == "view":
-            token_of_slot[out_slot] = token_of_slot.get(in_slots[0])
+            token_of_slot[step.out_slot] = token_of_slot.get(step.in_slots[0])
         elif kind == "buffered":
-            token_of_slot[out_slot] = next_token
+            token_of_slot[step.out_slot] = next_token
             next_token += 1
         else:  # alloc: fresh array per call, nothing to pool or pin
-            token_of_slot[out_slot] = None
+            token_of_slot[step.out_slot] = None
     output_token = token_of_slot.get(output_slot)
     if output_token is not None:
         last_use[output_token] = len(classified)  # never recycled
 
     # ------------------------------------------------------------------
-    # Pass 5: workspace allocation (pooled by byte size) + kernel binding.
+    # Workspace allocation (pooled by byte size) + kernel binding.
     # ------------------------------------------------------------------
     steps: List[Tuple] = []
     pool: Dict[int, List[np.ndarray]] = {}
     storage_of_token: Dict[int, np.ndarray] = {}
     workspace_bytes = 0
-    for index, (kind, name, kwargs, in_slots, out_slot, out) in enumerate(classified):
+    for index, (kind, step) in enumerate(classified):
         buffer = None
         if kind == "buffered":
-            nbytes = out.data.nbytes
+            nbytes = step.out.data.nbytes
             bucket = pool.get(nbytes)
             if bucket:
                 storage = bucket.pop()
             else:
                 storage = np.empty(nbytes, dtype=np.uint8)
                 workspace_bytes += nbytes
-            token = token_of_slot[out_slot]
+            token = token_of_slot[step.out_slot]
             storage_of_token[token] = storage
-            buffer = storage.view(out.data.dtype).reshape(out.data.shape)
-        steps.append((K.KERNELS[name], in_slots, kwargs, out_slot, buffer))
+            buffer = storage.view(step.out.data.dtype).reshape(step.out.data.shape)
+        steps.append((K.KERNELS[step.name], step.in_slots, step.kwargs, step.out_slot, buffer))
         # Recycle storages whose last reader was this step.  (Allocation
         # happens first, so a step's output never aliases its inputs.)
-        for slot in set(in_slots):
+        for slot in set(step.in_slots):
             token = token_of_slot.get(slot)
             if token is not None and last_use.get(token) == index:
                 storage = storage_of_token.pop(token, None)
@@ -249,10 +431,12 @@ def compile_plan(module, example: np.ndarray, fold_constants: bool = True) -> Pl
 
     stats = PlanStats(
         input_shape=tuple(np.asarray(example).shape),
-        traced_ops=len(records),
+        traced_ops=lowered.traced_ops,
         steps=len(steps),
-        folded=folded,
-        pruned=pruned,
+        folded=lowered.folded,
+        pruned=lowered.pruned,
         workspace_bytes=workspace_bytes,
+        steps_unfused=lowered.steps_unfused,
+        fused_chain_lengths=lowered.chain_lengths,
     )
     return Plan(steps, values, 0, output_slot, stats)

@@ -16,16 +16,101 @@ gradient-closure tuple per op and allocates every intermediate array.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..tensor import Tensor
 
-__all__ = ["Plan", "PlanStats", "CompiledModel"]
+__all__ = [
+    "Plan",
+    "PlanStats",
+    "CompiledModel",
+    "BUCKETS_ENV_VAR",
+    "DEFAULT_BUCKET_CAP",
+    "resolve_bucket_cap",
+    "bucket_batch_size",
+    "pad_batch_to_bucket",
+]
+
+#: Environment variable controlling batch bucketing (see
+#: :func:`resolve_bucket_cap`).
+BUCKETS_ENV_VAR = "REPRO_RUNTIME_BUCKETS"
+
+#: Largest padded batch by default; batches beyond it compile exact plans.
+DEFAULT_BUCKET_CAP = 1024
+
+
+def resolve_bucket_cap(policy: Union[None, bool, int] = None) -> Optional[int]:
+    """Resolve the batch-bucketing policy to a bucket cap (or ``None``).
+
+    ``policy`` may be ``True`` (bucketing on, default cap), ``False``
+    (disabled), a positive integer (cap on the largest padded bucket) or
+    ``None`` to consult the ``REPRO_RUNTIME_BUCKETS`` environment variable,
+    which accepts the same spellings: unset/empty or ``on`` for the
+    default, ``off``/``exact``/``none``/``0`` to disable, or an integer cap.
+    """
+    if policy is None:
+        raw = os.environ.get(BUCKETS_ENV_VAR, "").strip().lower()
+        if raw in ("", "on", "true"):
+            return DEFAULT_BUCKET_CAP
+        if raw in ("off", "exact", "none", "false", "0"):
+            return None
+        try:
+            policy = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"cannot parse {BUCKETS_ENV_VAR}={raw!r}; expected an integer "
+                "cap, 'on', or one of off/exact/none/0"
+            ) from None
+    if policy is True:
+        return DEFAULT_BUCKET_CAP
+    if policy is False:
+        return None
+    if policy <= 0:
+        return None
+    return int(policy)
+
+
+def bucket_batch_size(batch: int, cap: Optional[int]) -> int:
+    """The padded batch size served for ``batch`` under bucket cap ``cap``.
+
+    Batches are rounded up to the next power of two (clamped to the cap),
+    so a ragged stream of sizes compiles O(log cap) plans instead of one
+    per observed size.  Batches above the cap — and any batch when
+    bucketing is disabled — keep their exact size.
+    """
+    if cap is None or batch <= 1 or batch > cap:
+        return batch
+    return min(1 << (batch - 1).bit_length(), cap)
+
+
+def pad_batch_to_bucket(array: np.ndarray, cap: Optional[int]):
+    """Pad axis 0 of ``array`` up to its bucket; returns ``(array, trim)``.
+
+    ``trim`` is the original batch size when padding happened, ``None``
+    when the array is served as-is.  Padding rows replicate the first row:
+    replicated rows run the exact arithmetic of a real row, so they can
+    never produce the NaN/Inf a zero row might (e.g. through a division),
+    and the caller discards them via ``trim`` anyway.  Models must treat
+    batch rows independently — true of every forward in this library
+    (evaluation mode uses running statistics, and no model reduces over
+    axis 0).
+    """
+    if array.ndim == 0 or array.shape[0] == 0:
+        return array, None
+    batch = array.shape[0]
+    target = bucket_batch_size(batch, cap)
+    if target == batch:
+        return array, None
+    padded = np.empty((target,) + array.shape[1:], dtype=array.dtype)
+    padded[:batch] = array
+    padded[batch:] = array[0]
+    return padded, batch
 
 
 @dataclass(frozen=True)
@@ -38,12 +123,36 @@ class PlanStats:
     folded: int
     pruned: int
     workspace_bytes: int
+    #: Step count after folding/pruning but before elementwise-chain fusion.
+    steps_unfused: int = 0
+    #: Length of every fused chain (sorted); empty when fusion was off or
+    #: found nothing.
+    fused_chain_lengths: Tuple[int, ...] = field(default=())
+
+    @property
+    def fused_chains(self) -> int:
+        """Number of elementwise chains collapsed into fused steps."""
+        return len(self.fused_chain_lengths)
+
+    @property
+    def fused_chain_histogram(self) -> Dict[int, int]:
+        """Chain length -> number of chains of that length."""
+        histogram: Dict[int, int] = {}
+        for length in self.fused_chain_lengths:
+            histogram[length] = histogram.get(length, 0) + 1
+        return histogram
 
     def __str__(self) -> str:
+        fused = ""
+        if self.fused_chain_lengths:
+            histogram = ", ".join(
+                f"{length}x{count}" for length, count in sorted(self.fused_chain_histogram.items())
+            )
+            fused = f", fused={self.steps_unfused}->{self.steps} (chains {histogram})"
         return (
             f"Plan(input={self.input_shape}, steps={self.steps}, "
             f"folded={self.folded}, pruned={self.pruned}, "
-            f"workspace={self.workspace_bytes / 1024:.1f} KiB)"
+            f"workspace={self.workspace_bytes / 1024:.1f} KiB{fused})"
         )
 
 
@@ -96,15 +205,22 @@ class Plan:
             values[out_slot] = kernel(*[values[i] for i in in_slots], out=buffer, **kwargs)
         return values[self._output_slot]
 
-    def call(self, array: np.ndarray) -> np.ndarray:
+    def call(self, array: np.ndarray, trim: Optional[int] = None) -> np.ndarray:
         """Thread-safe execution returning a fresh output copy.
+
+        ``trim`` keeps only the first ``trim`` rows of the result — the
+        slice-back half of batch bucketing, taken before the copy so a
+        padded batch never materialises its padding rows twice.
 
         References to the caller's input (and all per-run step outputs) are
         dropped from the slot table after the run so an idle plan does not
         pin the last batch it served.
         """
         with self._exec_lock:
-            result = self.execute(array).copy()
+            result = self.execute(array)
+            if trim is not None:
+                result = result[:trim]
+            result = result.copy()
             values = self._values
             for slot in self._transient_slots:
                 values[slot] = None
@@ -127,6 +243,14 @@ class CompiledModel:
     micro-batcher produces coalesced batches of many different sizes under
     bursty traffic, and each plan owns workspace proportional to its batch,
     so an unbounded cache would grow memory for the life of the service.
+    **Batch bucketing** bounds what that cache has to hold: ragged batches
+    are padded along axis 0 up to the next power-of-two bucket (by
+    replicating the first row — always finite, and sliced back off the
+    output), so the LRU sees O(log max_batch) distinct shapes instead of
+    one per observed size.  Disable or cap it with ``bucket_batches`` or
+    the ``REPRO_RUNTIME_BUCKETS`` environment variable (see
+    :func:`resolve_bucket_cap`); batches above the cap serve exact-shape
+    plans.
 
     Example
     -------
@@ -135,12 +259,21 @@ class CompiledModel:
     >>> assert np.allclose(forecast, model(Tensor(window[None])).data)
     """
 
-    def __init__(self, module, fold_constants: bool = True, max_plans: int = 16) -> None:
+    def __init__(
+        self,
+        module,
+        fold_constants: bool = True,
+        max_plans: int = 16,
+        fuse: bool = True,
+        bucket_batches: Union[None, bool, int] = None,
+    ) -> None:
         if max_plans <= 0:
             raise ValueError("max_plans must be positive")
         module.eval()
         self._module = module
         self._fold_constants = fold_constants
+        self._fuse = fuse
+        self._bucket_cap = resolve_bucket_cap(bucket_batches)
         self._max_plans = max_plans
         self._plans: "OrderedDict[Tuple[int, ...], Plan]" = OrderedDict()
         self._lock = threading.Lock()
@@ -153,14 +286,22 @@ class CompiledModel:
     def __call__(self, x) -> np.ndarray:
         """Forward ``x`` (Tensor or array-like); returns a fresh ndarray.
 
-        The model-wide lock only guards plan-cache lookups and inserts —
-        never a compile and never an execution — so requests for already
-        compiled shapes proceed while a new shape compiles, and requests
-        with different batch shapes run concurrently (their workspaces are
-        disjoint; same-shape requests serialise on the plan's own lock).
+        Ragged batch sizes are padded up to their bucket and the output
+        sliced back, so callers (micro-batcher, serving paths) can pass any
+        batch through unchanged.  The model-wide lock only guards
+        plan-cache lookups and inserts — never a compile and never an
+        execution — so requests for already compiled shapes proceed while a
+        new shape compiles, and requests with different batch shapes run
+        concurrently (their workspaces are disjoint; same-shape requests
+        serialise on the plan's own lock).
         """
         array = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
-        return self._get_or_compile(array).call(array)
+        array, trim = self._pad_to_bucket(array)
+        return self._get_or_compile(array).call(array, trim=trim)
+
+    def _pad_to_bucket(self, array: np.ndarray) -> Tuple[np.ndarray, Optional[int]]:
+        """Pad axis 0 up to this model's bucket; see :func:`pad_batch_to_bucket`."""
+        return pad_batch_to_bucket(array, self._bucket_cap)
 
     def _get_or_compile(self, array: np.ndarray) -> Plan:
         """Fetch the plan for ``array.shape``, compiling outside the cache lock.
@@ -189,11 +330,18 @@ class CompiledModel:
     def _compile(self, array: np.ndarray) -> Plan:
         from .compiler import compile_plan
 
-        return compile_plan(self._module, array, fold_constants=self._fold_constants)
+        return compile_plan(
+            self._module, array, fold_constants=self._fold_constants, fuse=self._fuse
+        )
 
     def compile_for(self, example) -> PlanStats:
-        """Eagerly compile a plan for ``example``'s shape; returns its stats."""
+        """Eagerly compile the plan that would serve ``example``'s shape.
+
+        The example is bucketed exactly like a live request, so the
+        returned stats describe the plan requests of this size will hit.
+        """
         array = example.data if isinstance(example, Tensor) else np.asarray(example, dtype=np.float64)
+        array, _ = self._pad_to_bucket(array)
         return self._get_or_compile(array).stats
 
     def recompile(self) -> None:

@@ -10,6 +10,11 @@ requests into one ``(B, T, N, F)`` forward pass under ``no_grad`` and
 distributes the per-sample slices back to the callers — the standard
 dynamic-batching pattern of inference servers, in synchronous form.
 
+The batcher is deliberately ignorant of batch *shapes* beyond equality
+checks: whatever ragged coalesced size a flush produces is handed to the
+forward callable unchanged, and the compiled runtime's batch bucketing
+(see ``docs/runtime.md``) pads it to a power-of-two plan internally.
+
 Usage::
 
     batcher = MicroBatcher(model, max_batch_size=64)

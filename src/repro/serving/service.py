@@ -14,9 +14,14 @@ cache, and exposes raw-scale queries:
 
 Forwards run through the **graph-free compiled runtime**
 (:mod:`repro.runtime`) by default: the model's forward pass is compiled
-once per batch shape into a flat kernel plan replayed on raw arrays with
-reused workspace buffers.  The escape hatch back to autograd forwards is
-the ``runtime="autograd"`` argument or ``REPRO_RUNTIME=autograd`` in the
+once per batch shape into a flat kernel plan — elementwise chains fused
+into blocked single-buffer sweeps — replayed on raw arrays with reused
+workspace buffers.  The service itself passes whatever batch the cache
+misses produce straight through: ragged sizes are padded to power-of-two
+buckets (and sliced back) inside the runtime, so the plan cache stays
+O(log max_batch) under bursty traffic (``REPRO_RUNTIME_BUCKETS`` caps or
+disables this).  The escape hatch back to autograd forwards is the
+``runtime="autograd"`` argument or ``REPRO_RUNTIME=autograd`` in the
 environment (see ``docs/runtime.md``).
 
 Warm start: :meth:`save_buffer_state` persists the rolling buffer next to

@@ -39,6 +39,7 @@ import numpy as np
 __all__ = [
     "KERNELS",
     "VIEW_OPS",
+    "FUSABLE_ELEMENTWISE",
     "add",
     "reshape_copy",
     "sub",
@@ -75,6 +76,14 @@ __all__ = [
     "log_softmax",
     "layer_norm",
     "layer_norm_stats",
+    "fused_elementwise",
+    "tanh_backward",
+    "sigmoid_backward",
+    "relu_backward",
+    "leaky_relu_backward",
+    "softmax_backward",
+    "log_softmax_backward",
+    "layer_norm_backward",
 ]
 
 
@@ -346,6 +355,100 @@ def pad(a: np.ndarray, out: Optional[np.ndarray] = None, *, pad_width=(), value:
 
 
 # ----------------------------------------------------------------------
+# Fused elementwise chains
+# ----------------------------------------------------------------------
+
+#: Ops the runtime compiler may merge into one ``fused_elementwise`` step.
+#: All of them are shape-preserving elementwise kernels whose ``out=`` form
+#: may alias an input, which is what lets a chain run in a single buffer.
+FUSABLE_ELEMENTWISE = frozenset(
+    {
+        "add", "sub", "mul", "div", "neg", "pow", "exp", "sqrt", "abs",
+        "tanh", "sigmoid", "relu", "leaky_relu", "clip",
+    }
+)
+
+#: Block size (elements) of the chain interpreter and the blocked
+#: ``layer_norm``: 65536 float64 = 512 KiB, small enough to stay resident
+#: in L2 across every instruction of a chain while amortising the
+#: per-block ufunc dispatch (measured best on the benchmark box among
+#: 4K-1M element blocks).
+_BLOCK_ELEMENTS = 65536
+
+
+def fused_elementwise(*arrays, out: Optional[np.ndarray] = None, chain=()) -> np.ndarray:
+    """Run a pre-compiled chain of elementwise kernels in one buffer.
+
+    ``chain`` is a tuple of ``(name, kernel, operand_refs, kwargs)``
+    instructions produced by the runtime compiler's fusion pass.  An operand
+    reference is an index into ``arrays`` (the chain's external inputs) or
+    ``-1`` for the running value of the chain.  Every instruction writes
+    into the same destination, so a chain of N ops allocates nothing and —
+    on the blocked path — touches main memory like a single pass: the
+    destination is processed in L2-sized row blocks, and all N instructions
+    run on a block while it is cache-resident before moving on.
+
+    Because every instruction executes the same kernel on the same operand
+    values as the unfused plan (NumPy elementwise ufuncs are well-defined
+    under output aliasing and independent across elements), fused results
+    are bit-identical to the unfused — and therefore to the autograd —
+    forward pass.
+
+    The blocked path requires external operands that either match the
+    output shape (sliced along axis 0 with the block) or broadcast without
+    involving axis 0 (passed whole); anything else falls back to whole-array
+    execution, which is numerically identical.
+    """
+    if out is None:
+        _, kernel, refs, kwargs = chain[0]
+        acc = kernel(*[arrays[ref] for ref in refs], **kwargs)
+        for _, kernel, refs, kwargs in chain[1:]:
+            kernel(*[acc if ref < 0 else arrays[ref] for ref in refs], out=acc, **kwargs)
+        return acc
+
+    rows = out.shape[0] if out.ndim else 0
+    row_elements = out.size // rows if rows else 0
+    blockable = (
+        rows > 1
+        and row_elements > 0
+        and out.flags.c_contiguous
+        and out.size > _BLOCK_ELEMENTS
+    )
+    sliced: Tuple[bool, ...] = ()
+    if blockable:
+        flags = []
+        for array in arrays:
+            if array.shape == out.shape:
+                flags.append(True)
+            elif array.ndim < out.ndim or array.ndim == 0 or array.shape[0] == 1:
+                flags.append(False)  # broadcasts identically within any block
+            else:
+                blockable = False
+                break
+        sliced = tuple(flags)
+
+    if not blockable:
+        for _, kernel, refs, kwargs in chain:
+            kernel(*[out if ref < 0 else arrays[ref] for ref in refs], out=out, **kwargs)
+        return out
+
+    step = max(1, _BLOCK_ELEMENTS // row_elements)
+    for start in range(0, rows, step):
+        window = slice(start, start + step)
+        acc = out[window]
+        for _, kernel, refs, kwargs in chain:
+            kernel(
+                *[
+                    acc if ref < 0 else (arrays[ref][window] if sliced[ref] else arrays[ref])
+                    for ref in refs
+                ],
+                out=acc,
+                **kwargs,
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
 # Fused neural-network kernels
 # ----------------------------------------------------------------------
 def softmax(a: np.ndarray, out: Optional[np.ndarray] = None, *, axis: int = -1) -> np.ndarray:
@@ -414,12 +517,108 @@ def layer_norm(
         out = np.multiply(x_hat, weight)
         np.add(out, bias, out=out)
         return out
+    # Rows (leading axis entries) are normalised independently whenever the
+    # reduction axes exclude axis 0, so the five passes below can run on
+    # L2-sized row blocks: every pass over a block hits cache instead of
+    # main memory, and the per-row reductions are untouched, keeping the
+    # result bit-identical to the whole-array sequence.
+    rows = a.shape[0] if a.ndim else 0
+    row_elements = a.size // rows if rows else 0
+    if (
+        rows > 1
+        and row_elements > 0
+        and a.size > _BLOCK_ELEMENTS
+        and all(axis > 0 for axis in axes)
+    ):
+        step = max(1, _BLOCK_ELEMENTS // row_elements)
+        if step < rows:
+            # One squared-values scratch reused by every block: the
+            # centred-square pass would otherwise allocate a block-sized
+            # temporary per block (tens of MB of allocator traffic per
+            # forward at PEMS08 scale).
+            square = np.empty((step,) + a.shape[1:], dtype=out.dtype)
+            for start in range(0, rows, step):
+                window = slice(start, start + step)
+                block = out[window]
+                _layer_norm_into(
+                    a[window], weight, bias, block, axes, eps,
+                    square=square[: block.shape[0]],
+                )
+            return out
+    _layer_norm_into(a, weight, bias, out, axes, eps)
+    return out
+
+
+def _layer_norm_into(
+    a: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    out: np.ndarray,
+    axes: Tuple[int, ...],
+    eps: float,
+    square: Optional[np.ndarray] = None,
+) -> None:
+    """The in-buffer layer-norm pass sequence (centre, scale, affine)."""
     np.subtract(a, np.mean(a, axis=axes, keepdims=True), out=out)
-    variance = np.mean(np.multiply(out, out), axis=axes, keepdims=True)
+    squared = np.multiply(out, out, out=square)
+    variance = np.mean(squared, axis=axes, keepdims=True)
     np.divide(out, np.sqrt(variance + eps), out=out)
     np.multiply(out, weight, out=out)
     np.add(out, bias, out=out)
-    return out
+
+
+# ----------------------------------------------------------------------
+# Analytic backwards shared by the autograd engine and the recorded-tape
+# training runtime.  Each maps the output gradient plus the saved forward
+# values to the input gradient with the exact op sequence the historical
+# autograd closures used, so both consumers produce the same numbers.
+# ----------------------------------------------------------------------
+def tanh_backward(grad: np.ndarray, output: np.ndarray) -> np.ndarray:
+    """``d tanh``: ``g * (1 - y^2)`` from the saved output ``y``."""
+    return grad * (1.0 - output ** 2)
+
+
+def sigmoid_backward(grad: np.ndarray, output: np.ndarray) -> np.ndarray:
+    """``d sigmoid``: ``g * y * (1 - y)`` from the saved output ``y``."""
+    return grad * output * (1.0 - output)
+
+
+def relu_backward(grad: np.ndarray, value: np.ndarray) -> np.ndarray:
+    """``d relu``: gradient gated by the positive mask of the input."""
+    return grad * (value > 0)
+
+
+def leaky_relu_backward(
+    grad: np.ndarray, value: np.ndarray, *, negative_slope: float = 0.01
+) -> np.ndarray:
+    """``d leaky_relu``: slope mask of the input applied to the gradient."""
+    return grad * np.where(value > 0, 1.0, negative_slope)
+
+
+def softmax_backward(grad: np.ndarray, output: np.ndarray, *, axis: int = -1) -> np.ndarray:
+    """``d softmax``: the classic ``y * (g - sum(g * y))`` along ``axis``."""
+    inner = (grad * output).sum(axis=axis, keepdims=True)
+    return output * (grad - inner)
+
+
+def log_softmax_backward(grad: np.ndarray, output: np.ndarray, *, axis: int = -1) -> np.ndarray:
+    """``d log_softmax``: ``g - exp(y) * sum(g)`` along ``axis``."""
+    return grad - np.exp(output) * grad.sum(axis=axis, keepdims=True)
+
+
+def layer_norm_backward(
+    grad: np.ndarray,
+    x_hat: np.ndarray,
+    sigma: np.ndarray,
+    weight: np.ndarray,
+    *,
+    axes: Tuple[int, ...],
+) -> np.ndarray:
+    """Input gradient of the fused layer norm from its saved statistics."""
+    g_w = grad * weight
+    mean_g = g_w.mean(axis=axes, keepdims=True)
+    mean_gx = (g_w * x_hat).mean(axis=axes, keepdims=True)
+    return (g_w - mean_g - x_hat * mean_gx) / sigma
 
 
 #: Op name (as recorded by the autograd layer) -> kernel callable.
@@ -459,6 +658,7 @@ KERNELS: Dict[str, object] = {
     "softmax": softmax,
     "log_softmax": log_softmax,
     "layer_norm": layer_norm,
+    "fused_elementwise": fused_elementwise,
 }
 
 #: Ops whose kernels return views of their input — the runtime allocates no

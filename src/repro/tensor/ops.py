@@ -233,10 +233,7 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
     weight_data = weight.data
 
     def grad_x(g: np.ndarray) -> np.ndarray:
-        g_w = g * weight_data
-        mean_g = g_w.mean(axis=axes, keepdims=True)
-        mean_gx = (g_w * x_hat).mean(axis=axes, keepdims=True)
-        return (g_w - mean_g - x_hat * mean_gx) / sigma
+        return K.layer_norm_backward(g, x_hat, sigma, weight_data, axes=axes)
 
     def grad_weight(g: np.ndarray) -> np.ndarray:
         return _unbroadcast(g * x_hat, weight.shape)

@@ -660,13 +660,15 @@ class Tensor:
     def tanh(self) -> "Tensor":
         """Element-wise hyperbolic tangent."""
         data = K.tanh(self.data)
-        return Tensor._make(data, (self,), (lambda g: g * (1.0 - data ** 2),), op=("tanh", {}))
+        return Tensor._make(
+            data, (self,), (lambda g: K.tanh_backward(g, data),), op=("tanh", {})
+        )
 
     def sigmoid(self) -> "Tensor":
         """Element-wise logistic sigmoid."""
         data = K.sigmoid(self.data)
         return Tensor._make(
-            data, (self,), (lambda g: g * data * (1.0 - data),), op=("sigmoid", {})
+            data, (self,), (lambda g: K.sigmoid_backward(g, data),), op=("sigmoid", {})
         )
 
     def relu(self) -> "Tensor":
@@ -734,8 +736,7 @@ class Tensor:
         data = K.softmax(self.data, axis=axis)
 
         def grad_fn(g: np.ndarray) -> np.ndarray:
-            inner = (g * data).sum(axis=axis, keepdims=True)
-            return data * (g - inner)
+            return K.softmax_backward(g, data, axis=axis)
 
         return Tensor._make(data, (self,), (grad_fn,), op=("softmax", {"axis": axis}))
 
@@ -744,7 +745,7 @@ class Tensor:
         data = K.log_softmax(self.data, axis=axis)
 
         def grad_fn(g: np.ndarray) -> np.ndarray:
-            return g - np.exp(data) * g.sum(axis=axis, keepdims=True)
+            return K.log_softmax_backward(g, data, axis=axis)
 
         return Tensor._make(data, (self,), (grad_fn,), op=("log_softmax", {"axis": axis}))
 

@@ -52,6 +52,12 @@ class TrainerConfig:
     null_value: Optional[float] = 0.0
     shuffle: bool = True
     verbose: bool = False
+    #: Replay the training forward through the compiled runtime when the
+    #: model is eligible (no active dropout / batch norm — see
+    #: :func:`repro.runtime.plan_trainable`); ineligible models fall back
+    #: to plain autograd automatically.  ``REPRO_RUNTIME=autograd`` also
+    #: disables it.
+    compiled_training: bool = True
 
     def __post_init__(self) -> None:
         if self.max_epochs <= 0 or self.batch_size <= 0:
@@ -102,24 +108,65 @@ class Trainer:
             model.parameters(), lr=self.config.learning_rate, weight_decay=self.config.weight_decay
         )
         self.history = TrainingHistory()
+        # Compiled-plan caches.  Inference plans fold parameter-derived
+        # constants, so they are keyed by a parameter-version token and
+        # rebuilt after weight updates; the training runtime captures
+        # parameters by reference (nothing folded) and never goes stale.
+        self._inference_runtime = None
+        self._inference_token = None
+        self._training_runtime = None
+        self._training_runtime_resolved = False
 
     # ------------------------------------------------------------------
     def _normalise_targets(self, targets: np.ndarray) -> np.ndarray:
         return self.data.scaler.transform(targets)
 
     def _train_epoch(self, loader: DataLoader) -> float:
+        """One optimisation pass over the training split.
+
+        When the model is eligible (see :attr:`TrainerConfig.compiled_training`)
+        the forward replays the fused kernel plan of the compiled training
+        runtime: autograd re-attaches only at the loss boundary (the
+        predictions become a leaf tensor), and the plan's recorded-tape
+        backward routes ``d loss / d predictions`` to the parameter
+        gradients — after which clipping and the optimiser run unchanged.
+        """
         self.model.train()
+        runtime = self._training_forward_runtime()
         losses: List[float] = []
         for inputs, targets in loader:
             self.optimizer.zero_grad()
-            predictions = self.model(Tensor(inputs))
+            step = None
+            if runtime is not None:
+                step = runtime.step(inputs)
+                predictions = Tensor(step.predictions, requires_grad=True)
+            else:
+                predictions = self.model(Tensor(inputs))
             loss = self.loss_fn(predictions, Tensor(self._normalise_targets(targets)))
             loss.backward()
+            if step is not None:
+                step.backward(predictions.grad)
             if self.config.gradient_clip is not None:
                 clip_grad_norm(self.optimizer.parameters, self.config.gradient_clip)
             self.optimizer.step()
             losses.append(loss.item())
         return float(np.mean(losses)) if losses else 0.0
+
+    def _training_forward_runtime(self):
+        """The compiled training runtime, or ``None`` for plain autograd."""
+        if not self.config.compiled_training:
+            return None
+        from ..runtime import resolve_runtime_mode
+
+        if resolve_runtime_mode(None) != "compiled":
+            return None
+        if not self._training_runtime_resolved:
+            self._training_runtime_resolved = True
+            from ..runtime import compile_training_model, plan_trainable
+
+            if plan_trainable(self.model)[0]:
+                self._training_runtime = compile_training_model(self.model)
+        return self._training_runtime
 
     def predict(
         self,
@@ -131,10 +178,14 @@ class Trainer:
 
         Inference runs through the graph-free compiled runtime by default
         (``runtime="autograd"`` or ``REPRO_RUNTIME=autograd`` falls back to
-        plain ``no_grad`` forwards; both agree within 1e-10).  Plans are
-        compiled fresh per call so they always see the current weights;
-        the one-time trace costs about one autograd forward and amortises
-        over the remaining batches of the split.
+        plain ``no_grad`` forwards; both agree within 1e-10).  The compiled
+        model is cached against a parameter-version token
+        ``(optimizer.step_count, model.weights_version)``: repeated
+        ``predict`` / ``evaluate`` calls between weight updates reuse the
+        same plans instead of re-tracing per call, and any ``step()`` or
+        ``load_state_dict`` invalidates the cache (direct in-place edits of
+        ``parameter.data`` bypass the token — mutate through the optimiser
+        or a state dict, or construct a fresh trainer).
 
         Parameters
         ----------
@@ -151,12 +202,14 @@ class Trainer:
         numpy.ndarray
             Predictions of shape ``(samples, T', N)`` on the original scale.
         """
-        from ..runtime import compile_module, resolve_runtime_mode
+        from ..runtime import resolve_runtime_mode
 
         self.model.eval()
         batch_size = batch_size or self.config.batch_size
         compiled = (
-            compile_module(self.model) if resolve_runtime_mode(runtime) == "compiled" else None
+            self._compiled_for_inference()
+            if resolve_runtime_mode(runtime) == "compiled"
+            else None
         )
         outputs: List[np.ndarray] = []
         with no_grad():
@@ -168,6 +221,21 @@ class Trainer:
                     outputs.append(self.model(Tensor(batch)).data)
         stacked = np.concatenate(outputs, axis=0) if outputs else np.empty((0,))
         return self.data.inverse_transform(stacked)
+
+    def _compiled_for_inference(self):
+        """Version-cached :class:`~repro.runtime.CompiledModel` of the model.
+
+        Inference plans bake folded parameter values, so the cache key is
+        the parameter-version token; a stale token drops every plan and
+        recompiles lazily on the next forward.
+        """
+        from ..runtime import compile_module
+
+        token = (self.optimizer.step_count, self.model.weights_version)
+        if self._inference_runtime is None or self._inference_token != token:
+            self._inference_runtime = compile_module(self.model)
+            self._inference_token = token
+        return self._inference_runtime
 
     def evaluate(self, split: str = "test") -> ForecastMetrics:
         """Evaluate MAE / RMSE / MAPE on one split (original scale)."""
