@@ -79,15 +79,24 @@ def compile_module(
     fold_constants: bool = True,
     fuse: bool = True,
     bucket_batches=None,
+    output_slice=None,
 ) -> CompiledModel:
     """Wrap ``module`` (switched to eval mode) in a :class:`CompiledModel`.
 
     ``fuse`` toggles the elementwise-chain fusion pass; ``bucket_batches``
     sets the batch-bucketing policy (see
-    :func:`repro.runtime.engine.resolve_bucket_cap`).
+    :func:`repro.runtime.engine.resolve_bucket_cap`); ``output_slice``
+    restricts the plan to columns ``[lo, hi)`` of the output's trailing
+    node axis — the per-shard plans of
+    :class:`repro.serving.ShardedForecastService` (plan-cache keys carry
+    the slice, so shard plans never alias full-network plans).
     """
     return CompiledModel(
-        module, fold_constants=fold_constants, fuse=fuse, bucket_batches=bucket_batches
+        module,
+        fold_constants=fold_constants,
+        fuse=fuse,
+        bucket_batches=bucket_batches,
+        output_slice=output_slice,
     )
 
 

@@ -100,6 +100,10 @@ def pad_batch_to_bucket(array: np.ndarray, cap: Optional[int]):
     batch rows independently — true of every forward in this library
     (evaluation mode uses running statistics, and no model reduces over
     axis 0).
+
+    Edge shapes are served without padding: an empty batch has no row to
+    replicate (:class:`CompiledModel` short-circuits it before reaching
+    here), and a batch above the cap keeps its exact size.
     """
     if array.ndim == 0 or array.shape[0] == 0:
         return array, None
@@ -227,6 +231,31 @@ class Plan:
             return result
 
 
+class _SlicedForward:
+    """Trace adapter producing ``module(x)[..., lo:hi]`` — the node-sharded plan.
+
+    Slicing the traced output keeps every upstream step bit-identical to
+    the full forward (the slice is a zero-copy view of the same computed
+    array) while the plan only ever copies the owned columns out of the
+    workspace — the contract that lets a sharded service concatenate
+    per-shard outputs back into exactly the single-worker result.
+    """
+
+    __slots__ = ("_module", "_lo", "_hi")
+
+    def __init__(self, module, lo: int, hi: int) -> None:
+        self._module = module
+        self._lo = lo
+        self._hi = hi
+
+    @property
+    def training(self) -> bool:
+        return getattr(self._module, "training", False)
+
+    def __call__(self, x):
+        return self._module(x)[..., self._lo : self._hi]
+
+
 class CompiledModel:
     """Graph-free inference wrapper around a :class:`~repro.nn.Module`.
 
@@ -266,22 +295,48 @@ class CompiledModel:
         max_plans: int = 16,
         fuse: bool = True,
         bucket_batches: Union[None, bool, int] = None,
+        output_slice: Optional[Tuple[int, int]] = None,
     ) -> None:
         if max_plans <= 0:
             raise ValueError("max_plans must be positive")
+        if output_slice is not None:
+            lo, hi = (int(bound) for bound in output_slice)
+            if not 0 <= lo < hi:
+                raise ValueError(f"output_slice must satisfy 0 <= lo < hi; got {output_slice}")
+            output_slice = (lo, hi)
         module.eval()
         self._module = module
         self._fold_constants = fold_constants
         self._fuse = fuse
         self._bucket_cap = resolve_bucket_cap(bucket_batches)
+        self._output_slice = output_slice
         self._max_plans = max_plans
-        self._plans: "OrderedDict[Tuple[int, ...], Plan]" = OrderedDict()
+        self._plans: "OrderedDict[Tuple, Plan]" = OrderedDict()
+        # Per-trailing-shape output shapes learned from the first empty-batch
+        # probe, so repeated B == 0 calls answer without running the model.
+        self._empty_output_shapes: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         self._lock = threading.Lock()
 
     @property
     def module(self):
         """The wrapped module (left in evaluation mode)."""
         return self._module
+
+    @property
+    def output_slice(self) -> Optional[Tuple[int, int]]:
+        """``(lo, hi)`` bounds on the output's trailing node axis, if sharded."""
+        return self._output_slice
+
+    def _plan_key(self, shape: Tuple[int, ...]) -> Tuple:
+        """Plan-cache key: the input shape, tagged with the shard slice.
+
+        A node-sharded service compiles one plan per (shape, shard slice)
+        pair; tagging the key keeps shard plans disjoint even if model
+        wrappers are ever shared across shards.
+        """
+        if self._output_slice is None:
+            return shape
+        return (shape, self._output_slice)
 
     def __call__(self, x) -> np.ndarray:
         """Forward ``x`` (Tensor or array-like); returns a fresh ndarray.
@@ -294,8 +349,24 @@ class CompiledModel:
         new shape compiles, and requests with different batch shapes run
         concurrently (their workspaces are disjoint; same-shape requests
         serialise on the plan's own lock).
+
+        Edge shapes are hardened rather than special plans: an empty batch
+        (``B == 0``) replays the single-row bucket plan on a probe row and
+        trims everything back off — tracing a degenerate ``(0, ...)`` shape
+        or letting it churn the plan LRU would buy nothing — and a batch
+        above the bucket cap runs an exact-shape plan (see
+        :func:`pad_batch_to_bucket`).
         """
         array = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+        if array.ndim > 0 and array.shape[0] == 0:
+            tail = array.shape[1:]
+            known = self._empty_output_shapes.get(tail)
+            if known is not None:
+                return np.empty((0,) + known, dtype=np.float64)
+            probe = np.zeros((1,) + tail, dtype=array.dtype)
+            result = self._get_or_compile(probe).call(probe, trim=0)
+            self._empty_output_shapes[tail] = result.shape[1:]
+            return result
         array, trim = self._pad_to_bucket(array)
         return self._get_or_compile(array).call(array, trim=trim)
 
@@ -310,18 +381,19 @@ class CompiledModel:
         first insert wins and the duplicate is dropped — wasted work, never
         wrong results, and no stall for shapes that are already cached.
         """
+        key = self._plan_key(array.shape)
         with self._lock:
-            plan = self._plans.get(array.shape)
+            plan = self._plans.get(key)
             if plan is not None:
-                self._plans.move_to_end(array.shape)
+                self._plans.move_to_end(key)
                 return plan
         plan = self._compile(array)
         with self._lock:
-            existing = self._plans.get(array.shape)
+            existing = self._plans.get(key)
             if existing is not None:
-                self._plans.move_to_end(array.shape)
+                self._plans.move_to_end(key)
                 return existing
-            self._plans[array.shape] = plan
+            self._plans[key] = plan
             while len(self._plans) > self._max_plans:
                 self._plans.popitem(last=False)
             return plan
@@ -330,8 +402,11 @@ class CompiledModel:
     def _compile(self, array: np.ndarray) -> Plan:
         from .compiler import compile_plan
 
+        module = self._module
+        if self._output_slice is not None:
+            module = _SlicedForward(module, *self._output_slice)
         return compile_plan(
-            self._module, array, fold_constants=self._fold_constants, fuse=self._fuse
+            module, array, fold_constants=self._fold_constants, fuse=self._fuse
         )
 
     def compile_for(self, example) -> PlanStats:
@@ -348,6 +423,7 @@ class CompiledModel:
         """Drop all cached plans (required after parameter updates)."""
         with self._lock:
             self._plans.clear()
+            self._empty_output_shapes.clear()
 
     def plan_stats(self) -> List[PlanStats]:
         """Stats of every cached plan (one per input shape seen)."""

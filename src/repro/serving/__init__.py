@@ -1,15 +1,20 @@
-"""Forecast-serving subsystem: batched, cached, streaming inference.
+"""Forecast-serving subsystem: batched, cached, streaming, sharded inference.
 
 The training-side layers of the library reproduce the paper; this package
 turns a trained model into something that can answer production traffic —
 the ROADMAP's "serve heavy traffic" north star:
 
-* :class:`ForecastService` — front end: loads a self-describing checkpoint,
-  answers raw-scale forecast queries through the compiled graph-free
-  runtime (:mod:`repro.runtime`) by default, with ``runtime="autograd"`` /
-  ``REPRO_RUNTIME=autograd`` as the escape hatch;
+* :class:`ForecastService` — single-worker front end: loads a
+  self-describing checkpoint, answers raw-scale forecast queries through
+  the compiled graph-free runtime (:mod:`repro.runtime`) by default, with
+  ``runtime="autograd"`` / ``REPRO_RUNTIME=autograd`` as the escape hatch;
+* :class:`ShardedForecastService` — the same query surface served by
+  ``num_shards`` concurrent workers (sensor-set or replica sharding),
+  bit-identical to the single-worker service;
 * :class:`MicroBatcher` — coalesces concurrent single-window requests into
   one ``(B, T, N, F)`` forward pass;
+* :class:`BackgroundFlusher` — drains micro-batchers on a time-based
+  linger so asynchronous trickle traffic never waits for a size threshold;
 * :class:`RollingWindowBuffer` — ingests streaming detector readings,
   materialises normalised model windows incrementally, versions its content
   for O(1) cache keys, and persists/restores its state for warm-started
@@ -19,21 +24,42 @@ the ROADMAP's "serve heavy traffic" north star:
   accounting.
 
 See ``examples/serve_forecasts.py`` for an end-to-end walkthrough and
-``benchmarks/bench_serving_throughput.py`` for the micro-batching speedup
-measurement.
+``benchmarks/bench_serving_throughput.py`` for the micro-batching,
+runtime and shard-sweep measurements.
 """
 
-from .batching import BatcherStats, MicroBatcher, PendingForecast
+from .batching import (
+    AsyncForecast,
+    BackgroundFlusher,
+    BatcherStats,
+    FlusherStats,
+    MicroBatcher,
+    PendingForecast,
+)
 from .buffer import RollingWindowBuffer
 from .cache import CacheStats, ForecastCache, hash_window
-from .service import ForecastService, ServiceStats
+from .service import ForecastFrontend, ForecastService, ServiceStats
+from .sharding import (
+    SHARDING_MODES,
+    ShardedForecastService,
+    ShardedServiceStats,
+    partition_nodes,
+)
 
 __all__ = [
+    "ForecastFrontend",
     "ForecastService",
     "ServiceStats",
+    "ShardedForecastService",
+    "ShardedServiceStats",
+    "SHARDING_MODES",
+    "partition_nodes",
     "MicroBatcher",
     "PendingForecast",
+    "AsyncForecast",
+    "BackgroundFlusher",
     "BatcherStats",
+    "FlusherStats",
     "RollingWindowBuffer",
     "ForecastCache",
     "CacheStats",

@@ -1,4 +1,4 @@
-"""Micro-batching request queue.
+"""Micro-batching request queue and the background linger flusher.
 
 A production forecast endpoint receives many concurrent *single-window*
 queries.  Running the model once per request wastes most of the time in
@@ -8,7 +8,7 @@ size, while the matmuls themselves vectorise almost for free along the
 batch dimension.  The :class:`MicroBatcher` therefore coalesces pending
 requests into one ``(B, T, N, F)`` forward pass under ``no_grad`` and
 distributes the per-sample slices back to the callers — the standard
-dynamic-batching pattern of inference servers, in synchronous form.
+dynamic-batching pattern of inference servers.
 
 The batcher is deliberately ignorant of batch *shapes* beyond equality
 checks: whatever ragged coalesced size a flush produces is handed to the
@@ -24,19 +24,40 @@ Usage::
 
 ``PendingForecast.result()`` flushes lazily when needed, so callers that
 do not control the flush cadence still always get an answer.
+
+Two pieces turn this synchronous queue into an asynchronous ingestion
+loop (see ``docs/serving_quickstart.md``):
+
+* :class:`BackgroundFlusher` — a daemon thread that drains batchers on a
+  time-based linger: a request that has waited ``linger_ms`` is flushed
+  even when the ``auto_flush_at`` threshold was never reached, so trickle
+  traffic stops waiting for the next submit (or for its caller to block
+  in ``result()``);
+* :class:`AsyncForecast` — a composite handle assembling one forecast
+  from one or more :class:`PendingForecast` parts (the per-shard outputs
+  of a sharded service) plus a finalisation hook (denormalisation, cache
+  insertion).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..tensor import Tensor, no_grad
 
-__all__ = ["PendingForecast", "BatcherStats", "MicroBatcher"]
+__all__ = [
+    "PendingForecast",
+    "AsyncForecast",
+    "BatcherStats",
+    "MicroBatcher",
+    "FlusherStats",
+    "BackgroundFlusher",
+]
 
 
 class PendingForecast:
@@ -79,6 +100,52 @@ class PendingForecast:
         return self._value
 
 
+class AsyncForecast:
+    """One forecast assembled from pending parts plus a finalisation hook.
+
+    ``parts`` are the :class:`PendingForecast` handles this forecast is
+    built from — one per owning shard in a sharded service, exactly one
+    for a single-worker service.  ``finalize`` maps the settled part
+    arrays to the caller-facing forecast (shard merging, denormalisation,
+    horizon truncation, cache insertion).  :meth:`result` drives the same
+    lazy-flush semantics as :class:`PendingForecast`, so a handle is
+    always answerable even when no background flusher is running.
+    """
+
+    def __init__(
+        self,
+        parts: Sequence[PendingForecast],
+        finalize: Callable[[List[np.ndarray]], np.ndarray],
+    ) -> None:
+        self._parts = list(parts)
+        self._finalize = finalize
+        self._value: Optional[np.ndarray] = None
+        self._settled = False
+
+    @classmethod
+    def completed(cls, value: np.ndarray) -> "AsyncForecast":
+        """A handle that is already settled (e.g. answered from the cache)."""
+        handle = cls((), lambda parts: value)
+        handle._value = value
+        handle._settled = True
+        return handle
+
+    @property
+    def done(self) -> bool:
+        """Whether every part has been computed (or failed)."""
+        return self._settled or all(part.done for part in self._parts)
+
+    def result(self) -> np.ndarray:
+        """The raw-scale forecast; triggers lazy flushes if parts are pending.
+
+        Re-raises the underlying forward error if any part failed.
+        """
+        if not self._settled:
+            self._value = self._finalize([part.result() for part in self._parts])
+            self._settled = True
+        return self._value
+
+
 @dataclass
 class BatcherStats:
     """Running counters of how well requests were amortised into batches.
@@ -91,16 +158,24 @@ class BatcherStats:
     flushes: int = 0
     coalesced: int = 0
     largest_batch: int = 0
+    #: Chunk forwards that raised; their requests are counted in
+    #: ``failed_requests`` and never in ``coalesced``.
+    failed_flushes: int = 0
+    failed_requests: int = 0
 
     @property
     def mean_batch_size(self) -> float:
-        """Average number of requests amortised per forward pass."""
+        """Average number of requests amortised per successful forward pass."""
         return self.coalesced / self.flushes if self.flushes else 0.0
 
     def _record_flush(self, batch_size: int) -> None:
         self.flushes += 1
         self.coalesced += batch_size
         self.largest_batch = max(self.largest_batch, batch_size)
+
+    def _record_failure(self, batch_size: int) -> None:
+        self.failed_flushes += 1
+        self.failed_requests += batch_size
 
 
 class MicroBatcher:
@@ -123,6 +198,10 @@ class MicroBatcher:
 
     All entry points are thread-safe; the forward pass itself runs outside
     the queue lock so new requests can keep arriving while a batch computes.
+
+    ``submit_listener`` (an attribute, set by :class:`BackgroundFlusher`)
+    is invoked after every enqueue, outside all locks — the hook a linger
+    flusher uses to re-arm its timer when the queue goes non-empty.
     """
 
     def __init__(
@@ -138,7 +217,8 @@ class MicroBatcher:
         self.forward_fn = forward_fn
         self.max_batch_size = max_batch_size
         self.auto_flush_at = auto_flush_at
-        self._queue: List[Tuple[np.ndarray, PendingForecast]] = []
+        self.submit_listener: Optional[Callable[[], None]] = None
+        self._queue: List[Tuple[np.ndarray, PendingForecast, float]] = []
         self._queue_lock = threading.Lock()
         self._flush_lock = threading.Lock()
         self._stats_lock = threading.Lock()
@@ -149,6 +229,21 @@ class MicroBatcher:
         """Number of enqueued, not yet computed requests."""
         with self._queue_lock:
             return len(self._queue)
+
+    def oldest_pending_at(self) -> Optional[float]:
+        """``time.monotonic()`` timestamp of the oldest queued request.
+
+        ``None`` when the queue is empty.  A linger flusher drains the
+        queue once ``time.monotonic() - oldest_pending_at()`` exceeds its
+        linger window.
+        """
+        with self._queue_lock:
+            return self._queue[0][2] if self._queue else None
+
+    def oldest_pending_age(self) -> Optional[float]:
+        """Seconds the oldest queued request has waited (``None`` if empty)."""
+        oldest = self.oldest_pending_at()
+        return None if oldest is None else max(0.0, time.monotonic() - oldest)
 
     def submit(self, window: np.ndarray) -> PendingForecast:
         """Enqueue one observation window ``(T, N, F)`` for forecasting."""
@@ -162,10 +257,17 @@ class MicroBatcher:
                     f"window shape {window.shape} differs from the pending batch "
                     f"shape {self._queue[0][0].shape}"
                 )
-            self._queue.append((window, handle))
+            was_empty = not self._queue
+            self._queue.append((window, handle, time.monotonic()))
             should_flush = self.auto_flush_at is not None and len(self._queue) >= self.auto_flush_at
         with self._stats_lock:
             self.stats.requests += 1
+        # Only the first request of a batch establishes a new earliest
+        # linger deadline, so only the empty->non-empty transition needs to
+        # wake a watching flusher — later submits would wake it for nothing.
+        listener = self.submit_listener
+        if was_empty and listener is not None:
+            listener()
         if should_flush:
             self.flush()
         return handle
@@ -175,8 +277,12 @@ class MicroBatcher:
 
         If the model raises on a chunk, every handle of that chunk is failed
         with the error (so waiting callers see the real cause from
-        :meth:`PendingForecast.result`) and the exception propagates;
-        requests in later chunks stay queued for the next flush.
+        :meth:`PendingForecast.result`), the failure is recorded in
+        :attr:`stats` (``failed_flushes`` / ``failed_requests``) and the
+        exception propagates with the number of requests fulfilled by the
+        earlier, successful chunks attached as ``fulfilled_before_error`` —
+        partial progress is never silently discarded.  Requests in later
+        chunks stay queued for the next flush.
         """
         fulfilled = 0
         with self._flush_lock:
@@ -187,7 +293,7 @@ class MicroBatcher:
                 if not chunk:
                     return fulfilled
                 try:
-                    windows = np.stack([window for window, _ in chunk], axis=0)
+                    windows = np.stack([window for window, _, _ in chunk], axis=0)
                     with no_grad():
                         outputs = self.forward_fn(Tensor(windows))
                     predictions = outputs.data if isinstance(outputs, Tensor) else np.asarray(outputs)
@@ -197,10 +303,16 @@ class MicroBatcher:
                             f"batch of {len(chunk)}"
                         )
                 except BaseException as error:
-                    for _, handle in chunk:
+                    for _, handle, _ in chunk:
                         handle._fail(error)
+                    with self._stats_lock:
+                        self.stats._record_failure(len(chunk))
+                    try:
+                        error.fulfilled_before_error = fulfilled
+                    except (AttributeError, TypeError):  # exceptions with __slots__
+                        pass
                     raise
-                for index, (_, handle) in enumerate(chunk):
+                for index, (_, handle, _) in enumerate(chunk):
                     handle._fulfil(predictions[index].copy())
                 with self._stats_lock:
                     self.stats._record_flush(len(chunk))
@@ -222,3 +334,153 @@ class MicroBatcher:
             self.stats.requests += windows.shape[0]
             self.stats._record_flush(windows.shape[0])
         return predictions
+
+
+@dataclass(frozen=True)
+class FlusherStats:
+    """Counters of a background flusher's timed drains."""
+
+    timed_flushes: int
+    errors: int
+    linger_ms: float
+
+
+class BackgroundFlusher:
+    """Daemon thread draining micro-batchers on a time-based linger.
+
+    ``auto_flush_at`` bounds how *many* requests wait; the linger bounds
+    how *long* they wait.  Without it, traffic that never reaches the
+    threshold sits in the queue until the next submit happens to cross it
+    or a caller blocks in ``result()`` — with it, any request is flushed
+    at most ``linger_ms`` after enqueue.
+
+    Parameters
+    ----------
+    targets:
+        The batchers to watch.  Each entry is either a
+        :class:`MicroBatcher` (drained with its own :meth:`~MicroBatcher.flush`
+        on the flusher thread) or a ``(batcher, flush)`` pair — a sharded
+        service passes the shard worker's asynchronous flush so drains run
+        on the worker thread and a slow shard cannot block the timer.
+    linger_ms:
+        Maximum milliseconds a request may wait before its batcher is
+        drained.
+
+    Forward errors during a timed drain never kill the thread: the failed
+    chunk's handles already carry the error (see
+    :meth:`MicroBatcher.flush`), the batcher's stats record the failure,
+    and the flusher counts it in :attr:`stats` and keeps serving.
+    :meth:`close` stops the thread and drains every batcher one final
+    time, so no pending handle is left waiting on a dead timer.
+    """
+
+    def __init__(self, targets, linger_ms: float = 25.0) -> None:
+        if linger_ms <= 0:
+            raise ValueError("linger_ms must be positive")
+        self._linger = linger_ms / 1000.0
+        self.linger_ms = float(linger_ms)
+        self._targets: List[Tuple[MicroBatcher, Callable[[], object]]] = []
+        for target in targets:
+            if isinstance(target, MicroBatcher):
+                self._targets.append((target, target.flush))
+            else:
+                batcher, flush = target
+                self._targets.append((batcher, flush))
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._stats_lock = threading.Lock()
+        self._timed_flushes = 0
+        self._errors = 0
+        for batcher, _ in self._targets:
+            batcher.submit_listener = self._wake.set
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-linger-flusher", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def running(self) -> bool:
+        """Whether the flusher thread is alive and serving."""
+        return self._thread.is_alive()
+
+    def stats(self) -> FlusherStats:
+        """Snapshot of the timed-drain counters."""
+        with self._stats_lock:
+            return FlusherStats(
+                timed_flushes=self._timed_flushes,
+                errors=self._errors,
+                linger_ms=self.linger_ms,
+            )
+
+    # ------------------------------------------------------------------
+    def _next_timeout(self, now: float) -> Optional[float]:
+        """Seconds until the earliest linger deadline (None: no pending)."""
+        deadline: Optional[float] = None
+        for batcher, _ in self._targets:
+            oldest = batcher.oldest_pending_at()
+            if oldest is None:
+                continue
+            due = oldest + self._linger
+            if deadline is None or due < deadline:
+                deadline = due
+        if deadline is None:
+            return None
+        return max(deadline - now, 0.0)
+
+    def _drain_due(self, now: float) -> None:
+        # First pass schedules every due drain (asynchronous flush targets
+        # start concurrently on their worker threads), second pass waits for
+        # them — without the wait, a still-queued drain would leave
+        # oldest_pending_at() in the past and spin this loop at timeout 0.
+        scheduled = []
+        for batcher, flush in self._targets:
+            oldest = batcher.oldest_pending_at()
+            if oldest is None or now - oldest < self._linger:
+                continue
+            try:
+                result = flush()
+            except BaseException:
+                # The handles of the failed chunk already carry the error.
+                result = None
+                with self._stats_lock:
+                    self._errors += 1
+            with self._stats_lock:
+                self._timed_flushes += 1
+            if result is not None and hasattr(result, "wait"):
+                scheduled.append(result)
+        for job in scheduled:
+            if job.wait() is not None:
+                with self._stats_lock:
+                    self._errors += 1
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            timeout = self._next_timeout(time.monotonic())
+            self._wake.wait(timeout)
+            if self._stop.is_set():
+                return
+            self._wake.clear()
+            self._drain_due(time.monotonic())
+
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        """Stop the flusher; optionally drain every batcher one last time.
+
+        Idempotent.  The final drain runs synchronously on the calling
+        thread (the workers behind asynchronous flush targets may be
+        stopping too), so after ``close()`` no handle is pending.
+        """
+        already_stopped = self._stop.is_set()
+        self._stop.set()
+        self._wake.set()
+        if self._thread.is_alive():
+            self._thread.join()
+        if already_stopped or not drain:
+            return
+        for batcher, _ in self._targets:
+            batcher.submit_listener = None
+            try:
+                batcher.flush()
+            except BaseException:
+                with self._stats_lock:
+                    self._errors += 1

@@ -124,8 +124,14 @@ class RollingWindowBuffer:
             self._stream.push(step)
 
     def ingest_signal(self, signal: np.ndarray) -> None:
-        """Ingest a raw ``(steps, N, F)`` signal chunk step by step."""
+        """Ingest a raw ``(steps, N, F)`` signal chunk step by step.
+
+        ``(steps, N)`` is accepted when the buffer holds a single feature,
+        mirroring the per-step shapes :meth:`ingest` takes.
+        """
         signal = np.asarray(signal, dtype=float)
+        if signal.ndim == 2 and self.num_features == 1:
+            signal = signal[:, :, None]
         if signal.ndim != 3:
             raise ValueError(f"signal must have shape (steps, N, F); got {signal.shape}")
         for step in signal:

@@ -27,8 +27,26 @@ CacheKey = Tuple[str, str, int]
 
 
 def hash_window(window: np.ndarray) -> str:
-    """Content hash of an observation window (shape-sensitive, bit-exact)."""
-    window = np.ascontiguousarray(window, dtype=float)
+    """Content hash of an observation window (shape-sensitive, bit-exact).
+
+    Two guarantees the serving cache depends on, spelled out as explicit
+    steps (and pinned by regression tests) rather than left to
+    ``ascontiguousarray``'s conversion heuristics:
+
+    * the hash is computed over the float64 representation, so dtypes
+      whose values compare equal (a float32 window and its float64
+      widening, an integer window and its float counterpart) hash
+      identically and share cache entries;
+    * the common serving case — an already C-contiguous float64 window —
+      is hashed in place, with no per-lookup copy of ``T * N * F``
+      doubles; only non-contiguous or non-float64 inputs pay the one
+      conversion.
+    """
+    window = np.asarray(window)
+    if window.dtype != np.float64:
+        window = window.astype(np.float64)
+    if not window.flags.c_contiguous:
+        window = np.ascontiguousarray(window)
     digest = hashlib.sha1()
     digest.update(str(window.shape).encode("utf-8"))
     digest.update(window.tobytes())

@@ -9,6 +9,11 @@ cache, and exposes raw-scale queries:
 * :meth:`forecast` — one raw window in, one ``(T', N)`` forecast out;
 * :meth:`forecast_many` — a batch of windows, answered with cache lookups
   plus a single coalesced forward for the misses;
+* :meth:`submit` — the asynchronous path: enqueue a window, keep going,
+  collect the :class:`~repro.serving.AsyncForecast` handle later.  With
+  ``auto_flush_at`` set, batches fire on a size threshold; with
+  ``linger_ms`` set, a background flusher guarantees no request waits
+  longer than the linger even when the threshold is never reached;
 * :meth:`ingest` / :meth:`forecast_latest` — streaming operation: push
   detector readings as they arrive, forecast from the rolling buffer.
 
@@ -29,6 +34,11 @@ a checkpoint and :meth:`from_checkpoint`'s ``buffer_state=`` (or
 :meth:`restore_buffer_state`) reloads it, so a restarted service serves
 from its first ingest instead of waiting out a ``T``-step cold window.
 
+The shared plumbing (normalisation, cache keys, the rolling buffer,
+checkpoint loading) lives in :class:`ForecastFrontend`, the base class of
+both this single-worker service and the multi-worker
+:class:`~repro.serving.ShardedForecastService`.
+
 All inputs and outputs are on the *original* flow scale (vehicles per five
 minutes); normalisation is an internal concern.
 """
@@ -36,6 +46,7 @@ minutes); normalisation is an internal concern.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Union
@@ -45,11 +56,18 @@ import numpy as np
 from ..nn import Module
 from ..runtime import CompiledModel, resolve_runtime_mode
 from ..tensor import Tensor, no_grad
-from .batching import BatcherStats, MicroBatcher
+from .batching import (
+    AsyncForecast,
+    BackgroundFlusher,
+    BatcherStats,
+    FlusherStats,
+    MicroBatcher,
+    PendingForecast,
+)
 from .buffer import RollingWindowBuffer
 from .cache import CacheStats, ForecastCache
 
-__all__ = ["ServiceStats", "ForecastService"]
+__all__ = ["ServiceStats", "ForecastFrontend", "ForecastService"]
 
 
 def _weights_fingerprint(model: Module) -> str:
@@ -70,39 +88,18 @@ class ServiceStats:
     cache: CacheStats
     batcher: BatcherStats
     runtime: str = "compiled"
+    flusher: Optional[FlusherStats] = None
 
 
-class ForecastService:
-    """Serve per-node traffic forecasts from a trained model.
+class ForecastFrontend:
+    """Shared serving plumbing: scaling, caching, streaming, checkpoints.
 
-    Parameters
-    ----------
-    model:
-        A trained :class:`~repro.core.DyHSL` (any module exposing a
-        ``config`` with ``input_length`` / ``output_length`` / ``num_nodes``
-        / ``input_dim`` works).  The service switches it to evaluation mode.
-    scaler:
-        The scaler fitted on the training flow; ``None`` serves on the
-        normalised scale directly.
-    model_version:
-        Cache namespace for this deployment; defaults to a fingerprint of
-        the weights so a redeploy can never serve stale cached forecasts.
-    cache_entries:
-        LRU capacity (0 disables caching).
-    max_batch_size:
-        Largest coalesced forward pass of the micro-batcher.
-    runtime:
-        ``"compiled"`` (graph-free kernel plans, the default) or
-        ``"autograd"`` (plain ``no_grad`` forwards).  ``None`` consults the
-        ``REPRO_RUNTIME`` environment variable.
-
-    Example
-    -------
-    >>> service = ForecastService.from_checkpoint("dyhsl.npz")
-    >>> forecast = service.forecast(window)          # (T', N), raw scale
-    >>> service.ingest(latest_reading)               # streaming path
-    >>> if service.buffer.ready:
-    ...     forecast = service.forecast_latest()
+    Holds everything a forecast front end needs *around* the model
+    forwards — the fitted scaler, the weights-fingerprint model version,
+    the LRU cache and the rolling streaming buffer — so the single-worker
+    :class:`ForecastService` and the multi-worker
+    :class:`~repro.serving.ShardedForecastService` only differ in how a
+    batch of cache misses is computed.
     """
 
     def __init__(
@@ -111,7 +108,6 @@ class ForecastService:
         scaler: Optional[object] = None,
         model_version: Optional[str] = None,
         cache_entries: int = 1024,
-        max_batch_size: int = 128,
         runtime: Optional[str] = None,
     ) -> None:
         config = getattr(model, "config", None)
@@ -123,14 +119,9 @@ class ForecastService:
         self.scaler = scaler
         self.model_version = model_version or _weights_fingerprint(model)
         self.runtime = resolve_runtime_mode(runtime)
-        # One forward callable for every serving path: the compiled runtime
-        # returns plain arrays, the autograd model returns Tensors; both are
-        # normalised in _predict / MicroBatcher.flush.
-        self._forward = CompiledModel(model) if self.runtime == "compiled" else model
         self.cache: Optional[ForecastCache] = (
             ForecastCache(max_entries=cache_entries) if cache_entries > 0 else None
         )
-        self.batcher = MicroBatcher(self._forward, max_batch_size=max_batch_size)
         self.buffer = RollingWindowBuffer(
             input_length=config.input_length,
             num_nodes=config.num_nodes,
@@ -138,6 +129,7 @@ class ForecastService:
             scaler=scaler,
         )
         self._requests = 0
+        self._requests_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -146,12 +138,15 @@ class ForecastService:
         path: Union[str, Path],
         buffer_state: Optional[Union[str, Path]] = None,
         **kwargs,
-    ) -> "ForecastService":
+    ):
         """Build a service from a :func:`~repro.training.save_model_checkpoint` file.
 
         ``buffer_state`` optionally points at a
         :meth:`save_buffer_state` sidecar; when given, the rolling buffer is
         restored so streaming queries work immediately (warm start).
+        Remaining keyword arguments go to the service constructor, so
+        sharded deployments load the same checkpoints:
+        ``ShardedForecastService.from_checkpoint(path, num_shards=4)``.
         """
         from ..training.checkpoints import load_model_checkpoint
 
@@ -182,11 +177,244 @@ class ForecastService:
             window[..., 0] = self.scaler.transform(window[..., 0])
         return window
 
+    def _normalise_batch(self, windows: np.ndarray) -> List[np.ndarray]:
+        """Validate a raw ``(B, T, N, F)`` batch into normalised windows."""
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim == 3 and self.config.input_dim == 1:
+            windows = windows[..., None]
+        if windows.ndim != 4:
+            raise ValueError(f"windows must have shape (B, T, N, F); got {windows.shape}")
+        return [self._normalise_window(window) for window in windows]
+
     def _denormalise(self, predictions: np.ndarray) -> np.ndarray:
         if self.scaler is not None:
             return self.scaler.inverse_transform(predictions)
         return predictions
 
+    def _check_horizon(self, horizon: Optional[int]) -> int:
+        if horizon is None:
+            return self.config.output_length
+        if not 1 <= horizon <= self.config.output_length:
+            raise ValueError(
+                f"horizon must be in [1, {self.config.output_length}]; got {horizon}"
+            )
+        return int(horizon)
+
+    def _empty_forecasts(self, horizon: int) -> np.ndarray:
+        """The well-formed answer to an empty query batch."""
+        return np.empty((0, horizon, self.config.num_nodes))
+
+    def _count_requests(self, count: int = 1) -> None:
+        """Bump the request counter (locked: query paths race by design)."""
+        with self._requests_lock:
+            self._requests += count
+
+    # ------------------------------------------------------------------
+    # Shared query skeleton.  The cache front, miss deduplication and
+    # finalisation (merge -> denormalise -> horizon -> cache insert) are
+    # identical for every frontend; subclasses provide only the compute:
+    # _compute_misses (synchronous) and _submit_parts (asynchronous).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge(parts: List[np.ndarray]) -> np.ndarray:
+        """Combine one query's pending parts (a single part by default;
+        node-sharded services concatenate per-shard column blocks)."""
+        return parts[0]
+
+    def _compute_misses(self, windows: List[np.ndarray]) -> List[np.ndarray]:
+        """Run the model for deduplicated misses (normalised in and out)."""
+        raise NotImplementedError
+
+    def _submit_parts(self, window: np.ndarray) -> List["PendingForecast"]:
+        """Enqueue one normalised window; returns its pending parts."""
+        raise NotImplementedError
+
+    def _finalize(self, key, horizon: int):
+        """Build the merge -> denormalise -> cache hook for one query."""
+
+        def finalize(parts: List[np.ndarray]) -> np.ndarray:
+            forecast = self._denormalise(self._merge(parts))[:horizon]
+            if self.cache is not None and key is not None:
+                self.cache.put(key, forecast)
+            return forecast.copy()
+
+        return finalize
+
+    def _serve_normalised_batch(self, normalised: List[np.ndarray], horizon: int) -> np.ndarray:
+        """Serve normalised windows: cache hits, deduplicated misses, stack."""
+        results: List[Optional[np.ndarray]] = [None] * len(normalised)
+        # Requests that miss the cache, grouped by key so identical in-flight
+        # windows share one forward slot.
+        miss_groups: "dict[tuple, List[int]]" = {}
+        for index, window in enumerate(normalised):
+            key = ForecastCache.make_key(self.model_version, window, horizon)
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            miss_groups.setdefault(key, []).append(index)
+
+        if miss_groups:
+            groups = list(miss_groups.items())
+            outputs = self._compute_misses([normalised[group[0]] for _, group in groups])
+            for (key, group), output in zip(groups, outputs):
+                forecast = self._denormalise(output)[:horizon]
+                if self.cache is not None:
+                    self.cache.put(key, forecast)
+                results[group[0]] = forecast
+                for index in group[1:]:
+                    results[index] = forecast.copy()
+        return np.stack(results, axis=0)
+
+    def forecast_many(self, windows: np.ndarray, horizon: Optional[int] = None) -> np.ndarray:
+        """Forecast a batch of raw windows with caching plus batched compute.
+
+        Cache hits are answered directly; misses are deduplicated (identical
+        in-flight windows are computed once) and computed by the concrete
+        frontend — one coalesced micro-batched forward on the single-worker
+        service, a routed fan-out on the sharded one.  An empty batch is
+        answered with an empty ``(0, horizon, N)`` array instead of
+        reaching the model.
+        """
+        horizon = self._check_horizon(horizon)
+        normalised = self._normalise_batch(windows)
+        self._count_requests(len(normalised))
+        if not normalised:
+            return self._empty_forecasts(horizon)
+        return self._serve_normalised_batch(normalised, horizon)
+
+    def submit(self, window: np.ndarray, horizon: Optional[int] = None) -> AsyncForecast:
+        """Enqueue one raw window; returns a handle to collect later.
+
+        The batched forward runs when ``auto_flush_at`` requests are
+        pending, when the ``linger_ms`` background flusher fires, or
+        lazily on :meth:`AsyncForecast.result` — whichever happens first.
+        Cache hits return an already-settled handle.  (See the concrete
+        service's ``auto_flush_at`` documentation for *which thread* the
+        size-threshold flush runs on.)
+        """
+        horizon = self._check_horizon(horizon)
+        self._count_requests()
+        normalised = self._normalise_window(window)
+        key = None
+        if self.cache is not None:
+            key = ForecastCache.make_key(self.model_version, normalised, horizon)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return AsyncForecast.completed(cached)
+        parts = self._submit_parts(normalised)
+        return AsyncForecast(parts, self._finalize(key, horizon))
+
+    # ------------------------------------------------------------------
+    # Streaming operation
+    # ------------------------------------------------------------------
+    def ingest(self, observation: np.ndarray) -> None:
+        """Push one raw observation step ``(N, F)`` into the rolling buffer."""
+        self.buffer.ingest(observation)
+
+    def save_buffer_state(self, path: Union[str, Path]) -> Path:
+        """Persist the rolling buffer next to a checkpoint (warm start).
+
+        A restarted service built with ``from_checkpoint(..., buffer_state=...)``
+        (or :meth:`restore_buffer_state`) resumes streaming forecasts
+        immediately instead of waiting out a ``T``-step cold window.
+        """
+        return self.buffer.save(path)
+
+    def restore_buffer_state(self, path: Union[str, Path]) -> None:
+        """Reload a :meth:`save_buffer_state` snapshot into the live buffer."""
+        self.buffer.restore(path)
+
+    # ------------------------------------------------------------------
+    # Lifecycle: subclasses with background threads override close().
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release background resources; the base frontend has none."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+class ForecastService(ForecastFrontend):
+    """Serve per-node traffic forecasts from a trained model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.DyHSL` (any module exposing a
+        ``config`` with ``input_length`` / ``output_length`` / ``num_nodes``
+        / ``input_dim`` works).  The service switches it to evaluation mode.
+    scaler:
+        The scaler fitted on the training flow; ``None`` serves on the
+        normalised scale directly.
+    model_version:
+        Cache namespace for this deployment; defaults to a fingerprint of
+        the weights so a redeploy can never serve stale cached forecasts.
+    cache_entries:
+        LRU capacity (0 disables caching).
+    max_batch_size:
+        Largest coalesced forward pass of the micro-batcher.
+    auto_flush_at:
+        When set, a :meth:`submit` that brings the queue to this size
+        triggers the batched forward immediately.  The size-based flush
+        runs on the *submitting* thread (deliberate backpressure — see
+        the sharded service for fully non-blocking submits).
+    linger_ms:
+        When set, a background flusher drains the queue once its oldest
+        request has waited this long — asynchronous traffic below the
+        ``auto_flush_at`` threshold no longer waits for the next submit.
+        Stop it with :meth:`close` (or use the service as a context
+        manager).
+    runtime:
+        ``"compiled"`` (graph-free kernel plans, the default) or
+        ``"autograd"`` (plain ``no_grad`` forwards).  ``None`` consults the
+        ``REPRO_RUNTIME`` environment variable.
+
+    Example
+    -------
+    >>> service = ForecastService.from_checkpoint("dyhsl.npz")
+    >>> forecast = service.forecast(window)          # (T', N), raw scale
+    >>> service.ingest(latest_reading)               # streaming path
+    >>> if service.buffer.ready:
+    ...     forecast = service.forecast_latest()
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        scaler: Optional[object] = None,
+        model_version: Optional[str] = None,
+        cache_entries: int = 1024,
+        max_batch_size: int = 128,
+        auto_flush_at: Optional[int] = None,
+        linger_ms: Optional[float] = None,
+        runtime: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            model,
+            scaler=scaler,
+            model_version=model_version,
+            cache_entries=cache_entries,
+            runtime=runtime,
+        )
+        # One forward callable for every serving path: the compiled runtime
+        # returns plain arrays, the autograd model returns Tensors; both are
+        # normalised in _predict / MicroBatcher.flush.
+        self._forward = CompiledModel(model) if self.runtime == "compiled" else model
+        self.batcher = MicroBatcher(
+            self._forward, max_batch_size=max_batch_size, auto_flush_at=auto_flush_at
+        )
+        self.flusher: Optional[BackgroundFlusher] = (
+            BackgroundFlusher([self.batcher], linger_ms=linger_ms)
+            if linger_ms is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
     def _predict(self, window: np.ndarray, horizon: int) -> np.ndarray:
         """One uncached forward of a normalised window -> raw-scale forecast."""
         with no_grad():
@@ -225,7 +453,7 @@ class ForecastService:
             Forecast of shape ``(horizon, N)`` on the original flow scale.
         """
         horizon = self._check_horizon(horizon)
-        self._requests += 1
+        self._count_requests()
         return self._forecast_normalised(self._normalise_window(window), horizon)
 
     def forecast_node(self, window: np.ndarray, node: int, horizon: Optional[int] = None) -> np.ndarray:
@@ -234,71 +462,30 @@ class ForecastService:
             raise IndexError(f"node {node} out of range [0, {self.config.num_nodes})")
         return self.forecast(window, horizon=horizon)[:, node]
 
-    def forecast_many(self, windows: np.ndarray, horizon: Optional[int] = None) -> np.ndarray:
-        """Forecast a batch of raw windows with caching plus micro-batching.
+    # ------------------------------------------------------------------
+    # The compute hooks behind the shared forecast_many / submit skeleton
+    # (see ForecastFrontend): misses coalesce into one batched forward
+    # pass, chunked by the batcher's max_batch_size.
+    #
+    # One sizing note on submit(): the single-worker service has no
+    # executor thread, so the auto_flush_at size-threshold flush runs on
+    # the *submitting* thread — the threshold is deliberate backpressure,
+    # bounding how much work a producer can enqueue without paying for
+    # any of it.  Linger drains always run on the background flusher;
+    # ShardedForecastService schedules both kinds of drain onto its
+    # worker threads, so its submit never computes.
+    # ------------------------------------------------------------------
+    def _compute_misses(self, windows: List[np.ndarray]) -> List[np.ndarray]:
+        pending = [self.batcher.submit(window) for window in windows]
+        self.batcher.flush()
+        return [handle.result() for handle in pending]
 
-        Cache hits are answered directly; misses are deduplicated (identical
-        in-flight windows are computed once) and coalesced into a single
-        batched forward pass (chunked by the batcher's ``max_batch_size``),
-        then inserted into the cache.
-        """
-        horizon = self._check_horizon(horizon)
-        windows = np.asarray(windows, dtype=float)
-        if windows.ndim == 3 and self.config.input_dim == 1:
-            windows = windows[..., None]
-        if windows.ndim != 4:
-            raise ValueError(f"windows must have shape (B, T, N, F); got {windows.shape}")
-        self._requests += windows.shape[0]
-
-        normalised = [self._normalise_window(window) for window in windows]
-        results: List[Optional[np.ndarray]] = [None] * len(normalised)
-        # Requests that miss the cache, grouped by key so identical in-flight
-        # windows share one forward slot.
-        miss_groups: "dict[tuple, List[int]]" = {}
-        for index, window in enumerate(normalised):
-            key = ForecastCache.make_key(self.model_version, window, horizon)
-            if self.cache is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    results[index] = cached
-                    continue
-            miss_groups.setdefault(key, []).append(index)
-
-        if miss_groups:
-            pending = {
-                key: self.batcher.submit(normalised[group[0]])
-                for key, group in miss_groups.items()
-            }
-            self.batcher.flush()
-            for key, group in miss_groups.items():
-                forecast = self._denormalise(pending[key].result())[:horizon]
-                if self.cache is not None:
-                    self.cache.put(key, forecast)
-                results[group[0]] = forecast
-                for index in group[1:]:
-                    results[index] = forecast.copy()
-        return np.stack(results, axis=0)
+    def _submit_parts(self, window: np.ndarray) -> List[PendingForecast]:
+        return [self.batcher.submit(window)]
 
     # ------------------------------------------------------------------
     # Streaming operation
     # ------------------------------------------------------------------
-    def ingest(self, observation: np.ndarray) -> None:
-        """Push one raw observation step ``(N, F)`` into the rolling buffer."""
-        self.buffer.ingest(observation)
-
-    def save_buffer_state(self, path: Union[str, Path]) -> Path:
-        """Persist the rolling buffer next to a checkpoint (warm start).
-
-        A restarted service built with ``from_checkpoint(..., buffer_state=...)``
-        (or :meth:`restore_buffer_state`) resumes streaming forecasts
-        immediately instead of waiting out a ``T``-step cold window.
-        """
-        return self.buffer.save(path)
-
-    def restore_buffer_state(self, path: Union[str, Path]) -> None:
-        """Reload a :meth:`save_buffer_state` snapshot into the live buffer."""
-        self.buffer.restore(path)
-
     def forecast_latest(self, horizon: Optional[int] = None) -> np.ndarray:
         """Forecast from the most recent buffered window (streaming path).
 
@@ -308,7 +495,7 @@ class ForecastService:
         window materialisation, no SHA-1 over ``T * N * F`` floats.
         """
         horizon = self._check_horizon(horizon)
-        self._requests += 1
+        self._count_requests()
         if self.cache is None:
             # snapshot(): lock-consistent copy — a racing ingest lands
             # entirely before or after it, never mid-window.
@@ -327,14 +514,21 @@ class ForecastService:
         return forecast.copy()
 
     # ------------------------------------------------------------------
-    def _check_horizon(self, horizon: Optional[int]) -> int:
-        if horizon is None:
-            return self.config.output_length
-        if not 1 <= horizon <= self.config.output_length:
-            raise ValueError(
-                f"horizon must be in [1, {self.config.output_length}]; got {horizon}"
-            )
-        return int(horizon)
+    def close(self) -> None:
+        """Stop the background flusher and drain the queue; idempotent.
+
+        With or without a flusher, no handle is left pending after
+        ``close()`` (a failing final drain is carried by the affected
+        handles, as always).  Synchronous queries keep working after —
+        only the timed drains stop.
+        """
+        if self.flusher is not None:
+            self.flusher.close(drain=True)
+        else:
+            try:
+                self.batcher.flush()
+            except BaseException:
+                pass  # the affected handles carry the error
 
     def stats(self) -> ServiceStats:
         """Operational counters: requests, cache hit rate, batch amortisation."""
@@ -349,4 +543,5 @@ class ForecastService:
             cache=cache_stats,
             batcher=self.batcher.stats,
             runtime=self.runtime,
+            flusher=self.flusher.stats() if self.flusher is not None else None,
         )

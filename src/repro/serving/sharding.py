@@ -1,0 +1,528 @@
+"""Sharded multi-worker forecast serving.
+
+:class:`ShardedForecastService` partitions serving across ``num_shards``
+worker threads, each owning its own forward engine (a per-shard
+:class:`~repro.runtime.CompiledModel` plan cache) and its own
+:class:`~repro.serving.MicroBatcher`, behind the same raw-scale query
+surface as the single-worker :class:`~repro.serving.ForecastService` —
+and with **bit-identical** outputs (``max |diff| == 0``), asserted by
+``tests/serving/test_sharding.py`` and the CI shard-parity job.
+
+Two sharding strategies, selected with ``mode``:
+
+``"nodes"`` (sensor-set sharding)
+    The sensor set is partitioned into contiguous slices, one per worker.
+    Every worker compiles plans for the *full* forward pass sliced to its
+    own output columns (``CompiledModel(output_slice=(lo, hi))`` — DyHSL's
+    graph stages couple all sensors, so each shard's trunk must see the
+    whole window) and a full-network query fans out to every shard, whose
+    column blocks are concatenated back into one ``(B, T', N)`` answer.
+    Because each shard's slice is a view of the same computed output, the
+    merge is exact.  Node-scoped queries (:meth:`forecast_node`) route to
+    the owning shard only.  Fan-out runs the trunk once *per shard*: on a
+    multi-core box the shards compute concurrently (NumPy kernels release
+    the GIL), trading aggregate CPU for wall-clock latency and per-shard
+    memory; single-core deployments should prefer ``"replicas"``.
+
+``"replicas"`` (query sharding)
+    Every worker holds a full-model replica (weights shared by reference;
+    workspaces separate).  Queries are routed round-robin, so a batch of
+    ``B`` misses splits into ``K`` sub-batches computed concurrently —
+    batch rows are independent in every model of this library, which
+    makes sub-batch outputs bit-identical to the coalesced batch.  This
+    is the throughput-scaling mode: work is partitioned, not duplicated.
+
+Asynchronous ingestion is shared with the single-worker service: per-shard
+micro-batchers coalesce :meth:`submit` traffic, a size threshold
+(``auto_flush_at``) fires batches on the owning worker's thread, and one
+:class:`~repro.serving.BackgroundFlusher` guarantees that sub-threshold
+traffic is drained within ``linger_ms``.  Shutdown is explicit and clean:
+:meth:`close` (or leaving the service's context) stops the flusher,
+drains every queue so no handle is left pending, and joins the worker
+threads; forward errors always propagate to the affected
+:class:`~repro.serving.PendingForecast` handles, never into the
+background threads.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Module
+from ..runtime import CompiledModel
+from .batching import (
+    BackgroundFlusher,
+    BatcherStats,
+    FlusherStats,
+    MicroBatcher,
+    PendingForecast,
+)
+from .cache import CacheStats, hash_window
+from .service import ForecastFrontend
+
+__all__ = [
+    "partition_nodes",
+    "ShardedServiceStats",
+    "ShardedForecastService",
+    "SHARDING_MODES",
+]
+
+#: Supported sharding strategies (see the module docstring).
+SHARDING_MODES = ("nodes", "replicas")
+
+
+def partition_nodes(num_nodes: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Split ``[0, num_nodes)`` into ``num_shards`` contiguous balanced slices.
+
+    Shard sizes differ by at most one (the first ``num_nodes % num_shards``
+    shards take the extra sensor), cover every node exactly once and stay
+    in ascending order — concatenating per-shard output columns therefore
+    reconstructs the full node axis.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    if num_shards > num_nodes:
+        raise ValueError(
+            f"cannot partition {num_nodes} sensors into {num_shards} shards; "
+            "use num_shards <= num_nodes (or mode='replicas')"
+        )
+    base, extra = divmod(num_nodes, num_shards)
+    slices: List[Tuple[int, int]] = []
+    start = 0
+    for shard in range(num_shards):
+        stop = start + base + (1 if shard < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
+class _FlushJob:
+    """A flush scheduled onto a shard worker's thread.
+
+    The job never lets an exception escape into the worker loop: the
+    error is captured for :meth:`wait` (and the failed chunk's request
+    handles already carry it — see :meth:`MicroBatcher.flush`).
+    """
+
+    __slots__ = ("_fn", "_event", "error")
+
+    def __init__(self, fn: Callable[[], object]) -> None:
+        self._fn = fn
+        self._event = threading.Event()
+        self.error: Optional[BaseException] = None
+
+    def __call__(self) -> None:
+        try:
+            self._fn()
+        except BaseException as error:
+            self.error = error
+        finally:
+            self._event.set()
+
+    def wait(self) -> Optional[BaseException]:
+        """Block until the flush settled; returns its error (or ``None``)."""
+        self._event.wait()
+        return self.error
+
+
+class _ShardWorker:
+    """One serving shard: a forward engine, its batcher, and an executor thread.
+
+    All forward passes for this shard run on the worker's own thread
+    (jobs are enqueued with :meth:`flush_async`), so ``K`` shards compute
+    concurrently during a fan-out and a slow shard never blocks the
+    linger flusher.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        forward_fn: Callable,
+        node_slice: Optional[Tuple[int, int]],
+        max_batch_size: int,
+    ) -> None:
+        self.index = index
+        self.node_slice = node_slice
+        # Size-threshold flushes are scheduled by the service onto this
+        # worker's thread, so the inner batcher never auto-flushes in the
+        # submitting caller's thread.
+        self.batcher = MicroBatcher(forward_fn, max_batch_size=max_batch_size)
+        self._jobs: "queue.SimpleQueue[Optional[_FlushJob]]" = queue.SimpleQueue()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name=f"repro-shard-{index}", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                return
+            job()
+
+    def _drain_jobs_inline(self) -> None:
+        """Run queued jobs on the calling thread (executor stopping/stopped)."""
+        while True:
+            try:
+                job = self._jobs.get_nowait()
+            except queue.Empty:
+                return
+            if job is None:
+                # The executor loop's stop sentinel: a drain racing close()
+                # must never consume it — the loop only exits on the
+                # sentinel, so stealing it would leave the thread blocked
+                # in get() forever and deadlock close() in join().  Hand
+                # it back (behind any later jobs, which the loop then runs
+                # before exiting) and stop draining.
+                self._jobs.put(None)
+                return
+            job()
+
+    def flush_async(self) -> _FlushJob:
+        """Schedule a queue drain on this worker's thread; returns the job.
+
+        After :meth:`close` the drain degrades to a synchronous flush on
+        the calling thread — a job must never strand a waiter on a dead
+        executor.
+        """
+        job = _FlushJob(self.batcher.flush)
+        if self._closed:
+            job()
+            return job
+        self._jobs.put(job)
+        if self._closed:
+            # close() raced past the put; make sure the job still runs.
+            self._drain_jobs_inline()
+        return job
+
+    def close(self) -> None:
+        """Stop the executor thread (idempotent; no queued job is dropped)."""
+        if not self._closed:
+            self._closed = True
+            self._jobs.put(None)
+            self._thread.join()
+        self._drain_jobs_inline()
+
+
+@dataclass(frozen=True)
+class ShardedServiceStats:
+    """Operational counters of a sharded service, per shard and aggregated."""
+
+    model_version: str
+    mode: str
+    num_shards: int
+    requests: int
+    cache: CacheStats
+    shards: Tuple[BatcherStats, ...]
+    runtime: str = "compiled"
+    flusher: Optional[FlusherStats] = None
+
+    @property
+    def batcher(self) -> BatcherStats:
+        """Aggregate of the per-shard batcher counters.
+
+        In ``"nodes"`` mode every query touches every shard, so the
+        aggregate ``requests`` counts each query once per owning shard.
+        """
+        total = BatcherStats()
+        for stats in self.shards:
+            total.requests += stats.requests
+            total.flushes += stats.flushes
+            total.coalesced += stats.coalesced
+            total.largest_batch = max(total.largest_batch, stats.largest_batch)
+            total.failed_flushes += stats.failed_flushes
+            total.failed_requests += stats.failed_requests
+        return total
+
+
+class ShardedForecastService(ForecastFrontend):
+    """Serve forecasts from ``num_shards`` concurrent workers, bit-identically.
+
+    Parameters
+    ----------
+    model / scaler / model_version / cache_entries / runtime:
+        As for :class:`~repro.serving.ForecastService` (one shared LRU
+        cache and rolling buffer front all shards).
+    num_shards:
+        Worker count.  ``mode="nodes"`` requires ``num_shards <= N``.
+    mode:
+        ``"nodes"`` (sensor-set sharding, the default) or ``"replicas"``
+        (query sharding) — see the module docstring for the trade-off.
+    max_batch_size:
+        Largest coalesced forward per shard flush.
+    auto_flush_at:
+        Size threshold at which a shard's pending queue is flushed on its
+        worker thread (asynchronous traffic only; synchronous queries
+        always drain their own submissions).
+    linger_ms:
+        Time bound for the background flusher: no submitted request waits
+        longer than this for its batch to fire.
+
+    Example
+    -------
+    >>> with ShardedForecastService.from_checkpoint("dyhsl.npz", num_shards=4,
+    ...                                             mode="replicas",
+    ...                                             linger_ms=10.0) as service:
+    ...     handles = [service.submit(w) for w in windows]
+    ...     forecasts = [h.result() for h in handles]
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        scaler: Optional[object] = None,
+        model_version: Optional[str] = None,
+        num_shards: int = 2,
+        mode: str = "nodes",
+        cache_entries: int = 1024,
+        max_batch_size: int = 128,
+        auto_flush_at: Optional[int] = None,
+        linger_ms: Optional[float] = None,
+        runtime: Optional[str] = None,
+    ) -> None:
+        if mode not in SHARDING_MODES:
+            raise ValueError(f"unknown sharding mode {mode!r}; expected one of {SHARDING_MODES}")
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if auto_flush_at is not None and auto_flush_at <= 0:
+            raise ValueError("auto_flush_at must be positive when set")
+        if linger_ms is not None and linger_ms <= 0:
+            # Validate before any worker thread spawns: a constructor that
+            # raises must not leak executors blocked on their job queues.
+            raise ValueError("linger_ms must be positive when set")
+        super().__init__(
+            model,
+            scaler=scaler,
+            model_version=model_version,
+            cache_entries=cache_entries,
+            runtime=runtime,
+        )
+        self.mode = mode
+        self.num_shards = num_shards
+        self.auto_flush_at = auto_flush_at
+        self._workers: List[_ShardWorker] = []
+        if mode == "nodes":
+            from ..runtime.engine import _SlicedForward
+
+            self._slices = partition_nodes(self.config.num_nodes, num_shards)
+            for index, (lo, hi) in enumerate(self._slices):
+                if self.runtime == "compiled":
+                    forward: Callable = CompiledModel(model, output_slice=(lo, hi))
+                else:
+                    # The same trace adapter the compiled plans use, run as
+                    # a plain autograd forward.
+                    forward = _SlicedForward(model, lo, hi)
+                self._workers.append(_ShardWorker(index, forward, (lo, hi), max_batch_size))
+        else:
+            self._slices = []
+            for index in range(num_shards):
+                # Separate CompiledModel per replica: plans and workspace
+                # buffers are per-worker, so replicas execute concurrently;
+                # the weights stay shared by reference.
+                forward = CompiledModel(model) if self.runtime == "compiled" else model
+                self._workers.append(_ShardWorker(index, forward, None, max_batch_size))
+        self._round_robin = 0
+        self._route_lock = threading.Lock()
+        self._closed = False
+        self.flusher: Optional[BackgroundFlusher] = (
+            BackgroundFlusher(
+                [(worker.batcher, worker.flush_async) for worker in self._workers],
+                linger_ms=linger_ms,
+            )
+            if linger_ms is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def node_slices(self) -> List[Tuple[int, int]]:
+        """The ``(lo, hi)`` sensor slice of each shard (empty for replicas)."""
+        return list(self._slices)
+
+    def shard_of(self, node: int) -> int:
+        """Index of the shard owning ``node`` (``"nodes"`` mode only)."""
+        if self.mode != "nodes":
+            raise ValueError("shard_of is only defined for mode='nodes'")
+        if not 0 <= node < self.config.num_nodes:
+            raise IndexError(f"node {node} out of range [0, {self.config.num_nodes})")
+        for index, (lo, hi) in enumerate(self._slices):
+            if lo <= node < hi:
+                return index
+        raise AssertionError("partition_nodes left a gap")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Routing and merging
+    # ------------------------------------------------------------------
+    def _next_worker(self) -> _ShardWorker:
+        with self._route_lock:
+            worker = self._workers[self._round_robin % len(self._workers)]
+            self._round_robin += 1
+        return worker
+
+    def _owning_workers(self) -> List[_ShardWorker]:
+        """The workers a full-network window must be routed to."""
+        if self.mode == "nodes":
+            return self._workers
+        return [self._next_worker()]
+
+    def _route_window(self, window: np.ndarray) -> Tuple[List[PendingForecast], List[_ShardWorker]]:
+        """Submit one normalised window to its owning shards."""
+        workers = self._owning_workers()
+        return [worker.batcher.submit(window) for worker in workers], workers
+
+    @staticmethod
+    def _merge(parts: List[np.ndarray]) -> np.ndarray:
+        """Concatenate per-shard column blocks back into ``(T', N)``."""
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts, axis=-1)
+
+    def _drain(self, workers: Sequence[_ShardWorker]) -> None:
+        """Flush the given shards concurrently; re-raise the first error.
+
+        Every job is waited for before raising, so all touched shards are
+        settled (their handles fulfilled or failed) when the caller sees
+        the exception — matching the single-worker ``flush()`` contract.
+        """
+        jobs = [worker.flush_async() for worker in dict.fromkeys(workers)]
+        first_error: Optional[BaseException] = None
+        for job in jobs:
+            error = job.wait()
+            if error is not None and first_error is None:
+                first_error = error
+        if first_error is not None:
+            raise first_error
+
+    def _maybe_auto_flush(self, workers: Sequence[_ShardWorker]) -> None:
+        """Fire-and-forget size-threshold flushes on the owning workers."""
+        if self.auto_flush_at is None:
+            return
+        for worker in dict.fromkeys(workers):
+            if worker.batcher.pending >= self.auto_flush_at:
+                worker.flush_async()
+
+    # ------------------------------------------------------------------
+    # The compute hooks behind the shared forecast_many / submit skeleton
+    # (see ForecastFrontend): misses route to their owning shards (all
+    # shards in "nodes" mode, round-robin in "replicas" mode), compute
+    # concurrently on the worker threads, and merge back in request
+    # order — bit-identical to the single-worker service.  submit() never
+    # computes in the caller's thread: size-threshold drains are
+    # scheduled onto the owning workers.
+    # ------------------------------------------------------------------
+    def _compute_misses(self, windows: List[np.ndarray]) -> List[np.ndarray]:
+        routed = [self._route_window(window) for window in windows]
+        self._drain([worker for _, workers in routed for worker in workers])
+        return [self._merge([part.result() for part in parts]) for parts, _ in routed]
+
+    def _submit_parts(self, window: np.ndarray) -> List[PendingForecast]:
+        parts, workers = self._route_window(window)
+        self._maybe_auto_flush(workers)
+        return parts
+
+    # ------------------------------------------------------------------
+    # Synchronous queries
+    # ------------------------------------------------------------------
+    def forecast(self, window: np.ndarray, horizon: Optional[int] = None) -> np.ndarray:
+        """Forecast one raw window: ``(horizon, N)``, bit-identical to
+        :meth:`ForecastService.forecast`."""
+        return self.forecast_many(np.asarray(window, dtype=float)[None], horizon=horizon)[0]
+
+    def forecast_node(self, window: np.ndarray, node: int, horizon: Optional[int] = None) -> np.ndarray:
+        """Forecast a single sensor: returns shape ``(horizon,)``.
+
+        In ``"nodes"`` mode only the owning shard computes (and the result
+        is cached under a shard-scoped key); other modes serve the full
+        network and slice.
+        """
+        if not 0 <= node < self.config.num_nodes:
+            raise IndexError(f"node {node} out of range [0, {self.config.num_nodes})")
+        if self.mode != "nodes":
+            return self.forecast(window, horizon=horizon)[:, node]
+        horizon = self._check_horizon(horizon)
+        self._count_requests()
+        normalised = self._normalise_window(window)
+        worker = self._workers[self.shard_of(node)]
+        lo, hi = worker.node_slice
+        key = None
+        if self.cache is not None:
+            key = (self.model_version, f"{hash_window(normalised)}:nodes{lo}-{hi}", horizon)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached[:, node - lo]
+        handle = worker.batcher.submit(normalised)
+        self._drain([worker])
+        shard_forecast = self._denormalise(handle.result())[:horizon]
+        if self.cache is not None:
+            self.cache.put(key, shard_forecast)
+        return shard_forecast[:, node - lo].copy()
+
+    # ------------------------------------------------------------------
+    # Streaming operation
+    # ------------------------------------------------------------------
+    def forecast_latest(self, horizon: Optional[int] = None) -> np.ndarray:
+        """Forecast from the rolling buffer via the shard workers.
+
+        Keyed on the buffer's O(1) version token exactly like the
+        single-worker streaming path.
+        """
+        horizon = self._check_horizon(horizon)
+        self._count_requests()
+        if self.cache is not None:
+            key = (self.model_version, self.buffer.cache_token(), horizon)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        window, token = self.buffer.snapshot()
+        parts, workers = self._route_window(window)
+        self._drain(workers)
+        forecast = self._denormalise(self._merge([p.result() for p in parts]))[:horizon]
+        if self.cache is not None:
+            self.cache.put((self.model_version, token, horizon), forecast)
+        return forecast.copy()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the queues, stop the flusher and join the workers.
+
+        Idempotent.  After ``close()`` no handle is left pending, and
+        late ``result()`` calls still answer via the lazy synchronous
+        flush (the batchers outlive the worker threads).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.flusher is not None:
+            self.flusher.close(drain=True)
+        else:
+            for worker in self._workers:
+                try:
+                    worker.batcher.flush()
+                except BaseException:
+                    pass  # the affected handles carry the error
+        for worker in self._workers:
+            worker.close()
+
+    def stats(self) -> ShardedServiceStats:
+        """Per-shard and aggregate counters of the running service."""
+        cache_stats = (
+            self.cache.stats()
+            if self.cache is not None
+            else CacheStats(hits=0, misses=0, evictions=0, size=0, max_entries=0)
+        )
+        return ShardedServiceStats(
+            model_version=self.model_version,
+            mode=self.mode,
+            num_shards=self.num_shards,
+            requests=self._requests,
+            cache=cache_stats,
+            shards=tuple(worker.batcher.stats for worker in self._workers),
+            runtime=self.runtime,
+            flusher=self.flusher.stats() if self.flusher is not None else None,
+        )

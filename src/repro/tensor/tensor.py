@@ -47,8 +47,18 @@ OpSpec = Tuple[str, Dict[str, Any]]
 
 _DEFAULT_DTYPE = np.float64
 
-# Global autograd switch, toggled by the ``no_grad`` context manager.
-_GRAD_ENABLED = True
+# Autograd switch, toggled by the ``no_grad`` context manager.  The state
+# is **thread-local**: concurrent serving threads (shard workers, linger
+# flushers, micro-batcher callers) each run their own no_grad blocks, and
+# with a process-global flag two interleaved blocks can restore each
+# other's saved state — leaving gradients disabled (or enabled) for every
+# thread long after both blocks exited.  Each thread starts with gradients
+# enabled (the class attribute default).
+class _GradMode(threading.local):
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 # Trace hooks installed by the runtime compiler, keyed by thread id so a
 # compilation only records ops executed by its own thread — tensor work on
@@ -86,19 +96,17 @@ class no_grad:
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_MODE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Return ``True`` when operations record gradient information."""
-    return _GRAD_ENABLED
+    """Return ``True`` when operations on this thread record gradients."""
+    return _GRAD_MODE.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -282,7 +290,7 @@ class Tensor:
         parents: Sequence["Tensor"],
         grad_fns: Sequence[Callable[[np.ndarray], np.ndarray]],
     ) -> "Tensor":
-        requires_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires_grad = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires_grad)
         if requires_grad:
             kept_parents: List[Tensor] = []

@@ -137,6 +137,49 @@ class TestBucketedServing:
         assert stats.input_shape[0] == 8
 
 
+class TestEdgeShapes:
+    """Bucketing edge shapes must serve, not crash (ISSUE 4 satellite)."""
+
+    def test_empty_batch_serves_empty_output(self, model):
+        compiled = compile_module(model)
+        produced = compiled(np.zeros((0, 12, NUM_NODES, 1)))
+        assert produced.shape == (0, 12, NUM_NODES)
+        assert np.array_equal(produced, _reference(model, np.zeros((0, 12, NUM_NODES, 1))))
+
+    def test_empty_batch_reuses_the_single_row_bucket(self, model):
+        """B == 0 must not trace a degenerate (0, ...) plan into the LRU."""
+        compiled = compile_module(model)
+        compiled(np.zeros((0, 12, NUM_NODES, 1)))
+        assert [stats.input_shape[0] for stats in compiled.plan_stats()] == [1]
+        # A later real single-row request replays that same plan.
+        rng = np.random.default_rng(88)
+        x = rng.normal(size=(1, 12, NUM_NODES, 1))
+        assert np.array_equal(compiled(x), _reference(model, x))
+        assert len(compiled.plan_stats()) == 1
+
+    def test_empty_batch_with_bucketing_disabled(self, model):
+        compiled = CompiledModel(model, bucket_batches=False)
+        assert compiled(np.zeros((0, 12, NUM_NODES, 1))).shape == (0, 12, NUM_NODES)
+
+    def test_over_cap_batch_is_bit_identical(self, model):
+        """A batch above the cap takes the exact-shape path, unpadded."""
+        compiled = CompiledModel(model, bucket_batches=4)
+        rng = np.random.default_rng(89)
+        x = rng.normal(size=(9, 12, NUM_NODES, 1))
+        assert np.array_equal(compiled(x), _reference(model, x))
+        assert [stats.input_shape[0] for stats in compiled.plan_stats()] == [9]
+
+    def test_pad_helper_leaves_edge_shapes_alone(self):
+        from repro.runtime.engine import pad_batch_to_bucket
+
+        empty = np.zeros((0, 3))
+        padded, trim = pad_batch_to_bucket(empty, 16)
+        assert padded is empty and trim is None
+        over = np.zeros((20, 3))
+        padded, trim = pad_batch_to_bucket(over, 16)
+        assert padded is over and trim is None
+
+
 class TestServingPathsPassRaggedThrough:
     """ForecastService / MicroBatcher need no changes: any coalesced batch
     size funnels into the bucketed CompiledModel unchanged."""

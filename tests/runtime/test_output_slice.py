@@ -1,0 +1,81 @@
+"""Node-sliced plans: ``CompiledModel(output_slice=...)`` for shard serving.
+
+A node-sharded service compiles one plan per shard that computes the full
+forward pass (DyHSL's graph stages couple all sensors) and copies only the
+owned output columns out of the workspace.  Because the slice is a view of
+the same computed array, concatenating the per-shard blocks must
+reconstruct the full-network output bit-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DyHSL, DyHSLConfig
+from repro.runtime import CompiledModel, compile_module
+from repro.tensor import Tensor, no_grad
+from repro.tensor import seed as seed_everything
+
+NUM_NODES = 9
+
+
+@pytest.fixture(scope="module")
+def model():
+    seed_everything(91)
+    rng = np.random.default_rng(91)
+    adjacency = (rng.random((NUM_NODES, NUM_NODES)) < 0.5).astype(float)
+    np.fill_diagonal(adjacency, 0.0)
+    config = DyHSLConfig(
+        num_nodes=NUM_NODES,
+        hidden_dim=10,
+        prior_layers=1,
+        num_hyperedges=5,
+        window_sizes=(1, 4, 12),
+        mhce_layers=1,
+    )
+    return DyHSL(config, adjacency).eval()
+
+
+def _reference(model, x):
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+class TestSlicedPlans:
+    def test_slice_matches_full_output_columns(self, model):
+        rng = np.random.default_rng(92)
+        x = rng.normal(size=(4, 12, NUM_NODES, 1))
+        reference = _reference(model, x)
+        sliced = compile_module(model, output_slice=(2, 6))
+        assert np.array_equal(sliced(x), reference[..., 2:6])
+
+    def test_shard_concatenation_is_bit_identical(self, model):
+        rng = np.random.default_rng(93)
+        x = rng.normal(size=(3, 12, NUM_NODES, 1))
+        reference = _reference(model, x)
+        bounds = [(0, 3), (3, 6), (6, 9)]
+        parts = [compile_module(model, output_slice=pair)(x) for pair in bounds]
+        assert np.array_equal(np.concatenate(parts, axis=-1), reference)
+
+    def test_plan_key_carries_the_slice(self, model):
+        sliced = CompiledModel(model, output_slice=(0, 4))
+        rng = np.random.default_rng(94)
+        x = rng.normal(size=(2, 12, NUM_NODES, 1))
+        sliced(x)
+        assert sliced.output_slice == (0, 4)
+        ((key, _),) = list(sliced._plans.items())
+        assert key[-1] == (0, 4)
+
+    def test_sliced_plan_buckets_like_the_full_plan(self, model):
+        sliced = compile_module(model, output_slice=(1, 5))
+        rng = np.random.default_rng(95)
+        x = rng.normal(size=(5, 12, NUM_NODES, 1))  # pads to the 8-bucket
+        assert np.array_equal(sliced(x), _reference(model, x)[..., 1:5])
+        assert [stats.input_shape[0] for stats in sliced.plan_stats()] == [8]
+
+    def test_invalid_slice_is_rejected(self, model):
+        with pytest.raises(ValueError, match="output_slice"):
+            CompiledModel(model, output_slice=(4, 4))
+        with pytest.raises(ValueError, match="output_slice"):
+            CompiledModel(model, output_slice=(-1, 3))

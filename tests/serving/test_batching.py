@@ -106,6 +106,52 @@ class TestFailurePropagation:
         with pytest.raises(RuntimeError):
             handle.result()
 
+    def test_partial_progress_is_recorded_not_discarded(self, forecasting_data):
+        """Regression (ISSUE 4): a failing later chunk must not erase the
+        earlier chunks' fulfilled count from the stats, and the raised
+        error must carry how many requests *did* succeed."""
+        calls = {"count": 0}
+
+        def fails_on_second_chunk(batch):
+            calls["count"] += 1
+            if calls["count"] == 2:
+                raise RuntimeError("second chunk exploded")
+            data = batch.data
+            return np.zeros((data.shape[0], 12, data.shape[2]))
+
+        batcher = MicroBatcher(fails_on_second_chunk, max_batch_size=3)
+        windows = _windows(forecasting_data, 8)
+        pending = [batcher.submit(window) for window in windows]
+        with pytest.raises(RuntimeError, match="second chunk exploded") as excinfo:
+            batcher.flush()
+        # The first chunk's progress survives on the error and in the stats.
+        assert excinfo.value.fulfilled_before_error == 3
+        assert batcher.stats.flushes == 1
+        assert batcher.stats.coalesced == 3
+        assert batcher.stats.failed_flushes == 1
+        assert batcher.stats.failed_requests == 3
+        # First chunk fulfilled, second failed, third still queued.
+        assert [handle.done for handle in pending] == [True] * 6 + [False] * 2
+        assert batcher.pending == 2
+        # The remaining chunk drains on the next flush.
+        assert batcher.flush() == 2
+        assert batcher.stats.coalesced == 5
+
+    def test_failed_requests_never_count_as_coalesced(self, forecasting_data):
+        def broken_forward(batch):
+            raise RuntimeError("boom")
+
+        batcher = MicroBatcher(broken_forward)
+        batcher.submit(_windows(forecasting_data, 1)[0])
+        with pytest.raises(RuntimeError) as excinfo:
+            batcher.flush()
+        assert excinfo.value.fulfilled_before_error == 0
+        assert batcher.stats.flushes == 0
+        assert batcher.stats.coalesced == 0
+        assert batcher.stats.failed_flushes == 1
+        assert batcher.stats.failed_requests == 1
+        assert batcher.stats.mean_batch_size == 0.0
+
 
 class TestValidation:
     def test_rejects_mismatched_window_shape(self, tiny_model, forecasting_data):

@@ -106,7 +106,16 @@ class TestRollingWindowBuffer:
         with pytest.raises(ValueError, match="target_feature"):
             RollingWindowBuffer(2, num_nodes=3, num_features=1, target_feature=1)
 
-    def test_rejects_bad_bulk_shape(self):
+    def test_two_dimensional_signal_accepted_for_single_feature(self):
+        """ingest_signal mirrors ingest: (steps, N) is valid when F == 1."""
         buffer = RollingWindowBuffer(2, num_nodes=3, num_features=1)
+        buffer.ingest_signal(np.asarray([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]))
+        np.testing.assert_array_equal(buffer.window()[:, :, 0], [[1, 2, 3], [4, 5, 6]])
+
+    def test_rejects_bad_bulk_shape(self):
+        multi = RollingWindowBuffer(2, num_nodes=3, num_features=2)
         with pytest.raises(ValueError, match=r"\(steps, N, F\)"):
-            buffer.ingest_signal(np.zeros((4, 3)))
+            multi.ingest_signal(np.zeros((4, 3)))
+        single = RollingWindowBuffer(2, num_nodes=3, num_features=1)
+        with pytest.raises(ValueError, match=r"\(steps, N, F\)"):
+            single.ingest_signal(np.zeros(4))

@@ -32,6 +32,45 @@ class TestHashWindow:
         strided = window[:, ::2]
         assert hash_window(strided) == hash_window(strided.copy())
 
+    def test_fortran_order_hashes_like_c_order(self):
+        window = np.random.default_rng(5).normal(size=(12, 4, 1))
+        assert hash_window(np.asfortranarray(window)) == hash_window(window)
+
+    def test_dtypes_with_equal_values_hash_identically(self):
+        """Regression (ISSUE 4): a float32 window and its float64 widening
+        compare equal, so they must share one cache entry."""
+        window32 = np.random.default_rng(6).normal(size=(12, 4, 1)).astype(np.float32)
+        window64 = window32.astype(np.float64)
+        assert np.array_equal(window32, window64)
+        assert hash_window(window32) == hash_window(window64)
+        ints = np.arange(24).reshape(6, 4)
+        assert hash_window(ints) == hash_window(ints.astype(np.float64))
+
+    def test_float32_and_noncontiguous_queries_hit_the_cache(self):
+        cache = ForecastCache(max_entries=4)
+        window64 = np.random.default_rng(7).normal(size=(12, 4, 1)).astype(np.float32)
+        key = ForecastCache.make_key("v1", window64.astype(np.float64), 12)
+        cache.put(key, np.zeros((12, 4)))
+        for variant in (window64, np.asfortranarray(window64.astype(np.float64))):
+            assert cache.get(ForecastCache.make_key("v1", variant, 12)) is not None
+        assert cache.stats().hits == 2
+
+    def test_contiguous_float64_is_hashed_without_a_copy(self, monkeypatch):
+        """The serving fast path must not re-copy an already usable window."""
+        calls = {"count": 0}
+        real = np.ascontiguousarray
+
+        def counting(*args, **kwargs):
+            calls["count"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(np, "ascontiguousarray", counting)
+        window = np.random.default_rng(8).normal(size=(12, 4, 1))
+        hash_window(window)
+        assert calls["count"] == 0
+        hash_window(np.asfortranarray(window))
+        assert calls["count"] == 1
+
 
 class TestHitMissSemantics:
     def test_miss_then_hit(self):

@@ -128,6 +128,13 @@ class TestCacheIntegration:
 
 
 class TestForecastMany:
+    def test_empty_batch_returns_empty_forecasts(self, service):
+        """Regression (ISSUE 4): an empty query batch must not crash np.stack."""
+        empty = service.forecast_many(np.zeros((0, 12, 10, 1)))
+        assert empty.shape == (0, 12, 10)
+        truncated = service.forecast_many(np.zeros((0, 12, 10, 1)), horizon=3)
+        assert truncated.shape == (0, 3, 10)
+
     def test_matches_single_request_path(self, service, forecasting_data):
         windows = np.stack([_raw_window(forecasting_data, i) for i in range(4)], axis=0)
         batched = service.forecast_many(windows)

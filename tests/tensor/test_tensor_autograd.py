@@ -92,6 +92,33 @@ class TestNoGrad:
         y = (x * 2.0).detach()
         assert not y.requires_grad
 
+    def test_grad_mode_is_thread_local(self):
+        """Regression (ISSUE 4): interleaved no_grad blocks on concurrent
+        serving threads must never corrupt another thread's grad mode."""
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def worker():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=5.0)
+            observed["after"] = is_grad_enabled()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        entered.wait(timeout=5.0)
+        # The worker sits inside its no_grad block; this thread is unaffected.
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        release.set()
+        thread.join()
+        assert is_grad_enabled()
+        assert observed["after"] is True
+
 
 class TestFiniteDifference:
     @pytest.mark.parametrize(
