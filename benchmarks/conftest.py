@@ -20,6 +20,7 @@ reproduction target and is recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict
 
@@ -126,3 +127,31 @@ def print_table(title: str, rows, columns) -> None:
     print(text)
     with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
         handle.write(text + "\n")
+
+
+#: Machine-readable counterpart of the runtime/serving tables: each
+#: benchmark section merges its rows here, so the perf trajectory is
+#: queryable (req/s, speedup-vs-autograd, precision, workers) instead of
+#: living only in the prose of ``results.txt``.
+BENCH_JSON_PATH = os.path.join(os.path.dirname(__file__), "BENCH_runtime.json")
+
+
+def record_bench(section: str, payload) -> None:
+    """Merge one benchmark section into ``benchmarks/BENCH_runtime.json``.
+
+    ``payload`` must be JSON-serialisable (rows of plain dicts).  Sections
+    are replaced wholesale on re-run; unrelated sections from earlier runs
+    are preserved so partial benchmark invocations don't erase the file.
+    """
+    data: Dict[str, object] = {}
+    if os.path.exists(BENCH_JSON_PATH):
+        try:
+            with open(BENCH_JSON_PATH, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data["schema"] = "bench-runtime/v1"
+    data[section] = payload
+    with open(BENCH_JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

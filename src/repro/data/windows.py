@@ -117,6 +117,11 @@ class StreamingWindows:
         Window length ``T`` fed to the model.
     num_nodes / num_features:
         Spatial and feature dimensions of one observation step.
+    dtype:
+        Element type of the ring (default float64).  A float32 serving
+        deployment (see the runtime's precision policy) can keep its
+        streaming ring at single precision so materialised windows enter
+        the compiled plan without an upcast-then-downcast round trip.
 
     Example
     -------
@@ -126,14 +131,20 @@ class StreamingWindows:
     >>> window = stream.latest()     # (12, 10, 1) view, no copy
     """
 
-    def __init__(self, input_length: int, num_nodes: int, num_features: int) -> None:
+    def __init__(self, input_length: int, num_nodes: int, num_features: int,
+                 dtype=float) -> None:
         if input_length <= 0 or num_nodes <= 0 or num_features <= 0:
             raise ValueError("input_length, num_nodes and num_features must be positive")
         self.input_length = input_length
         self.num_nodes = num_nodes
         self.num_features = num_features
-        self._store = np.zeros((2 * input_length, num_nodes, num_features), dtype=float)
+        self._store = np.zeros((2 * input_length, num_nodes, num_features), dtype=dtype)
         self._count = 0
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element type of the ring (and therefore of every window)."""
+        return self._store.dtype
 
     @property
     def steps_ingested(self) -> int:
@@ -147,7 +158,7 @@ class StreamingWindows:
 
     def push(self, step: np.ndarray) -> None:
         """Ingest one observation step of shape ``(N, F)`` (or ``(N,)`` when F=1)."""
-        step = np.asarray(step, dtype=float)
+        step = np.asarray(step, dtype=self._store.dtype)
         if step.ndim == 1 and self.num_features == 1:
             step = step[:, None]
         if step.shape != (self.num_nodes, self.num_features):
@@ -168,7 +179,7 @@ class StreamingWindows:
             raise RuntimeError("no step has been pushed yet")
         if not 0 <= node < self.num_nodes:
             raise IndexError(f"node {node} out of range [0, {self.num_nodes})")
-        values = np.asarray(values, dtype=float).reshape(self.num_features)
+        values = np.asarray(values, dtype=self._store.dtype).reshape(self.num_features)
         slot = (self._count - 1) % self.input_length
         self._store[slot, node] = values
         self._store[slot + self.input_length, node] = values
@@ -200,7 +211,7 @@ class StreamingWindows:
     def load_state_dict(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot taken from an identically
         shaped stream; the next :meth:`latest` call sees the saved window."""
-        store = np.asarray(state["store"], dtype=float)
+        store = np.asarray(state["store"], dtype=self._store.dtype)
         if store.shape != self._store.shape:
             raise ValueError(
                 f"stored ring shape {store.shape} does not match this stream's {self._store.shape}"

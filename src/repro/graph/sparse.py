@@ -87,6 +87,30 @@ class SparseMatrix:
             self.__dict__["_transposed"] = cached
         return cached
 
+    def with_dtype(self, dtype) -> "SparseMatrix":
+        """This matrix with its values cast to ``dtype``, cached per dtype.
+
+        The compiled runtime's float32 execution mode multiplies plan
+        buffers against graph constants; casting the CSR value array per
+        call would cost O(nnz) on every ``spmm`` step, so the cast copy is
+        built once and cached on the (immutable) instance — same lifetime
+        rationale as :meth:`transposed`.  The float64 request returns
+        ``self`` so the double-precision path keeps its exact arrays.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self._matrix.dtype:
+            return self
+        cache = self.__dict__.setdefault("_dtype_variants", {})
+        variant = cache.get(dtype)
+        if variant is None:
+            # Built around the constructor: __init__ coerces values to
+            # float64 (the autograd engine's dtype), which would undo the
+            # cast this method exists to provide.
+            variant = SparseMatrix.__new__(SparseMatrix)
+            variant._matrix = self._matrix.astype(dtype)
+            cache[dtype] = variant
+        return variant
+
     def dot_array(self, array: np.ndarray) -> np.ndarray:
         """Multiply against a plain NumPy array (no autograd)."""
         return self._matrix @ array

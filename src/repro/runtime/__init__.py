@@ -39,11 +39,16 @@ from .compiler import CompileError, compile_plan, trace_module
 from .engine import (
     BUCKETS_ENV_VAR,
     DEFAULT_BUCKET_CAP,
+    PRECISION_ENV_VAR,
+    PRECISIONS,
+    THREADS_ENV_VAR,
     CompiledModel,
     Plan,
     PlanStats,
     bucket_batch_size,
     resolve_bucket_cap,
+    resolve_precision,
+    resolve_thread_count,
 )
 from .training import CompiledTrainingModel, compile_training_model, plan_trainable
 
@@ -53,17 +58,22 @@ __all__ = [
     "CompiledModel",
     "CompiledTrainingModel",
     "DEFAULT_BUCKET_CAP",
+    "PRECISION_ENV_VAR",
+    "PRECISIONS",
     "Plan",
     "PlanStats",
     "RUNTIME_MODES",
     "RUNTIME_ENV_VAR",
+    "THREADS_ENV_VAR",
     "bucket_batch_size",
     "compile_module",
     "compile_plan",
     "compile_training_model",
     "plan_trainable",
     "resolve_bucket_cap",
+    "resolve_precision",
     "resolve_runtime_mode",
+    "resolve_thread_count",
     "trace_module",
 ]
 
@@ -80,6 +90,8 @@ def compile_module(
     fuse: bool = True,
     bucket_batches=None,
     output_slice=None,
+    precision=None,
+    threads=None,
 ) -> CompiledModel:
     """Wrap ``module`` (switched to eval mode) in a :class:`CompiledModel`.
 
@@ -90,6 +102,10 @@ def compile_module(
     node axis — the per-shard plans of
     :class:`repro.serving.ShardedForecastService` (plan-cache keys carry
     the slice, so shard plans never alias full-network plans).
+    ``precision`` sets the execution-precision policy (``"float64"`` /
+    ``"float32"``, default from ``REPRO_RUNTIME_PRECISION``) and
+    ``threads`` the island-parallel replay width (integer or ``"auto"``,
+    default from ``REPRO_RUNTIME_THREADS``).
     """
     return CompiledModel(
         module,
@@ -97,6 +113,8 @@ def compile_module(
         fuse=fuse,
         bucket_batches=bucket_batches,
         output_slice=output_slice,
+        precision=precision,
+        threads=threads,
     )
 
 

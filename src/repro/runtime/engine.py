@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -32,7 +33,12 @@ __all__ = [
     "CompiledModel",
     "BUCKETS_ENV_VAR",
     "DEFAULT_BUCKET_CAP",
+    "PRECISION_ENV_VAR",
+    "PRECISIONS",
+    "THREADS_ENV_VAR",
     "resolve_bucket_cap",
+    "resolve_precision",
+    "resolve_thread_count",
     "bucket_batch_size",
     "pad_batch_to_bucket",
 ]
@@ -43,6 +49,92 @@ BUCKETS_ENV_VAR = "REPRO_RUNTIME_BUCKETS"
 
 #: Largest padded batch by default; batches beyond it compile exact plans.
 DEFAULT_BUCKET_CAP = 1024
+
+#: Environment variable selecting the default execution precision (see
+#: :func:`resolve_precision`).
+PRECISION_ENV_VAR = "REPRO_RUNTIME_PRECISION"
+
+#: Supported precision policies: plan execution dtypes by policy name.
+PRECISIONS = ("float64", "float32")
+
+#: Environment variable sizing the plan-step thread pool (see
+#: :func:`resolve_thread_count`).
+THREADS_ENV_VAR = "REPRO_RUNTIME_THREADS"
+
+
+def resolve_precision(policy: Union[None, str, np.dtype] = None) -> np.dtype:
+    """Resolve a precision policy to the plan execution dtype.
+
+    ``policy`` may be ``"float64"`` / ``"float32"`` (or the corresponding
+    NumPy dtype), or ``None`` to consult the ``REPRO_RUNTIME_PRECISION``
+    environment variable (defaulting to float64 — the bit-parity mode).
+    """
+    if policy is None:
+        policy = os.environ.get(PRECISION_ENV_VAR, "").strip().lower() or "float64"
+    name = np.dtype(policy).name if not isinstance(policy, str) else policy.lower()
+    if name not in PRECISIONS:
+        raise ValueError(
+            f"unknown precision policy {policy!r}; expected one of {PRECISIONS} "
+            f"(set via argument or the {PRECISION_ENV_VAR} environment variable)"
+        )
+    return np.dtype(name)
+
+
+def resolve_thread_count(policy: Union[None, int, str] = None) -> int:
+    """Resolve the plan-parallelism thread count.
+
+    ``policy`` may be a positive integer, ``"auto"`` (one thread per
+    available core) or ``None`` to consult ``REPRO_RUNTIME_THREADS`` (which
+    accepts the same spellings; unset means 1).  ``1`` — the default — is
+    the exact serial replay of the trace order.
+    """
+    if policy is None:
+        raw = os.environ.get(THREADS_ENV_VAR, "").strip().lower()
+        if not raw:
+            return 1
+        policy = raw
+    if isinstance(policy, str):
+        if policy.lower() == "auto":
+            affinity = getattr(os, "sched_getaffinity", None)
+            return max(1, len(affinity(0)) if affinity else (os.cpu_count() or 1))
+        try:
+            policy = int(policy)
+        except ValueError:
+            raise ValueError(
+                f"cannot parse {THREADS_ENV_VAR}={policy!r}; expected a positive "
+                "integer or 'auto'"
+            ) from None
+    if policy < 1:
+        raise ValueError(f"thread count must be >= 1; got {policy}")
+    return int(policy)
+
+
+#: One process-wide pool shared by every plan: island tasks are short, so a
+#: per-plan (let alone per-call) executor would dominate the win.  Grown on
+#: demand to the largest thread count any model asked for.
+_POOL_LOCK = threading.Lock()
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _shared_pool(threads: int) -> ThreadPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    # The replaying thread runs one island itself, so N-way parallelism
+    # needs N - 1 pool workers.
+    workers = max(1, threads - 1)
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_WORKERS < workers:
+            # Growing replaces the pool WITHOUT shutting the old one down: a
+            # concurrently executing plan may still hold it, and submitting
+            # to a shut-down executor raises.  The orphaned pool keeps
+            # serving its in-flight islands; once the last plan drops its
+            # reference, executor finalisation wakes the idle threads and
+            # they exit (no shutdown needed).
+            _POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-runtime"
+            )
+            _POOL_WORKERS = workers
+        return _POOL
 
 
 def resolve_bucket_cap(policy: Union[None, bool, int] = None) -> Optional[int]:
@@ -132,6 +224,15 @@ class PlanStats:
     #: Length of every fused chain (sorted); empty when fusion was off or
     #: found nothing.
     fused_chain_lengths: Tuple[int, ...] = field(default=())
+    #: Execution precision of the plan's constants and workspace buffers.
+    dtype: str = "float64"
+    #: Dataflow islands (maximal serial chains) the scheduler found.
+    islands: int = 0
+    #: Topological wave count; islands in one wave are mutually independent.
+    waves: int = 0
+    #: Largest number of islands in any single wave — the plan's available
+    #: parallelism (1 means the dataflow is fully serial).
+    max_wave_width: int = 0
 
     @property
     def fused_chains(self) -> int:
@@ -153,10 +254,16 @@ class PlanStats:
                 f"{length}x{count}" for length, count in sorted(self.fused_chain_histogram.items())
             )
             fused = f", fused={self.steps_unfused}->{self.steps} (chains {histogram})"
+        schedule = ""
+        if self.islands:
+            schedule = (
+                f", islands={self.islands} in {self.waves} waves"
+                f" (width {self.max_wave_width})"
+            )
         return (
-            f"Plan(input={self.input_shape}, steps={self.steps}, "
+            f"Plan(input={self.input_shape}, dtype={self.dtype}, steps={self.steps}, "
             f"folded={self.folded}, pruned={self.pruned}, "
-            f"workspace={self.workspace_bytes / 1024:.1f} KiB{fused})"
+            f"workspace={self.workspace_bytes / 1024:.1f} KiB{fused}{schedule})"
         )
 
 
@@ -179,6 +286,12 @@ class Plan:
     serialised by a per-plan lock (:meth:`call`); different plans — and
     therefore different input shapes — run concurrently.  :meth:`execute`
     is the raw, unlocked replay for single-threaded callers.
+
+    ``dtype`` is the plan's execution precision; ``schedule`` the compiler's
+    island/wave partition (same step tuples, grouped).  With ``threads > 1``
+    :meth:`call` replays wave by wave, same-wave islands spread over the
+    shared pool — every step still runs the same kernel on the same operand
+    values, so the result is bit-identical to the serial replay.
     """
 
     def __init__(
@@ -188,11 +301,20 @@ class Plan:
         input_slot: int,
         output_slot: int,
         stats: PlanStats,
+        dtype=np.float64,
+        schedule: Optional[List[List[List[Tuple]]]] = None,
     ) -> None:
         self._steps = steps
         self._values = values
         self._input_slot = input_slot
         self._output_slot = output_slot
+        self.dtype = np.dtype(dtype)
+        # Waves holding more than one island are the only place parallelism
+        # can help; single-island waves run inline either way.
+        self._schedule = schedule
+        self._parallelisable = schedule is not None and any(
+            len(wave) > 1 for wave in schedule
+        )
         # Slots rewritten on every run: the input and each step output
         # (including views of the input).  Cleared after a locked call so an
         # idle plan holds only its constants and pooled buffers, not the
@@ -201,33 +323,69 @@ class Plan:
         self._exec_lock = threading.Lock()
         self.stats = stats
 
-    def execute(self, array: np.ndarray) -> np.ndarray:
-        """Run the plan; the result may alias workspace (copy to retain)."""
+    def _run_island(self, island: List[Tuple]) -> None:
+        values = self._values
+        for kernel, in_slots, kwargs, out_slot, buffer in island:
+            values[out_slot] = kernel(*[values[i] for i in in_slots], out=buffer, **kwargs)
+
+    def execute(self, array: np.ndarray, threads: int = 1) -> np.ndarray:
+        """Run the plan; the result may alias workspace (copy to retain).
+
+        ``threads == 1`` replays the exact serial trace order.  With more
+        threads, independent islands of each wave run concurrently on the
+        shared pool (the caller executes one island itself); waves are
+        barriers, which together with the compiler's wave-aware buffer
+        pooling makes the replay race-free.  Kernels release the GIL inside
+        NumPy/BLAS, so same-wave islands genuinely overlap on multi-core
+        hosts.
+        """
         values = self._values
         values[self._input_slot] = array
-        for kernel, in_slots, kwargs, out_slot, buffer in self._steps:
-            values[out_slot] = kernel(*[values[i] for i in in_slots], out=buffer, **kwargs)
+        if threads <= 1 or not self._parallelisable:
+            for kernel, in_slots, kwargs, out_slot, buffer in self._steps:
+                values[out_slot] = kernel(*[values[i] for i in in_slots], out=buffer, **kwargs)
+            return values[self._output_slot]
+        pool = _shared_pool(threads)
+        for wave in self._schedule:
+            if len(wave) == 1:
+                self._run_island(wave[0])
+                continue
+            futures = [pool.submit(self._run_island, island) for island in wave[1:]]
+            self._run_island(wave[0])
+            for future in futures:
+                future.result()  # barrier; re-raises island errors
         return values[self._output_slot]
 
-    def call(self, array: np.ndarray, trim: Optional[int] = None) -> np.ndarray:
-        """Thread-safe execution returning a fresh output copy.
+    def call(self, array: np.ndarray, trim: Optional[int] = None, threads: int = 1) -> np.ndarray:
+        """Thread-safe execution returning a fresh float64 output copy.
 
         ``trim`` keeps only the first ``trim`` rows of the result — the
         slice-back half of batch bucketing, taken before the copy so a
-        padded batch never materialises its padding rows twice.
+        padded batch never materialises its padding rows twice.  A
+        reduced-precision plan casts its output back to float64 here (the
+        exit half of the precision policy; the cast replaces the copy, so
+        it is free).
 
         References to the caller's input (and all per-run step outputs) are
         dropped from the slot table after the run so an idle plan does not
         pin the last batch it served.
         """
         with self._exec_lock:
-            result = self.execute(array)
-            if trim is not None:
-                result = result[:trim]
-            result = result.copy()
-            values = self._values
-            for slot in self._transient_slots:
-                values[slot] = None
+            try:
+                result = self.execute(array, threads=threads)
+                if trim is not None:
+                    result = result[:trim]
+                # astype always copies here, so both branches detach the
+                # result from the reused workspace.
+                result = (
+                    result.copy()
+                    if result.dtype == np.float64
+                    else result.astype(np.float64)
+                )
+            finally:
+                values = self._values
+                for slot in self._transient_slots:
+                    values[slot] = None
             return result
 
 
@@ -281,6 +439,15 @@ class CompiledModel:
     :func:`resolve_bucket_cap`); batches above the cap serve exact-shape
     plans.
 
+    Two execution knobs (see ``docs/runtime.md`` §Precision & parallelism):
+    ``precision`` selects the plans' execution dtype (``"float64"`` — the
+    default, bit-identical to autograd — or ``"float32"`` for ~2x memory
+    bandwidth; overridable per call), and ``threads`` replays independent
+    dataflow islands of a plan concurrently (``"auto"`` or an integer;
+    default 1 = exact serial replay).  Both default to the
+    ``REPRO_RUNTIME_PRECISION`` / ``REPRO_RUNTIME_THREADS`` environment
+    variables.
+
     Example
     -------
     >>> compiled = CompiledModel(model)          # switches model to eval
@@ -296,6 +463,8 @@ class CompiledModel:
         fuse: bool = True,
         bucket_batches: Union[None, bool, int] = None,
         output_slice: Optional[Tuple[int, int]] = None,
+        precision: Union[None, str, np.dtype] = None,
+        threads: Union[None, int, str] = None,
     ) -> None:
         if max_plans <= 0:
             raise ValueError("max_plans must be positive")
@@ -310,6 +479,8 @@ class CompiledModel:
         self._fuse = fuse
         self._bucket_cap = resolve_bucket_cap(bucket_batches)
         self._output_slice = output_slice
+        self._dtype = resolve_precision(precision)
+        self._threads = resolve_thread_count(threads)
         self._max_plans = max_plans
         self._plans: "OrderedDict[Tuple, Plan]" = OrderedDict()
         # Per-trailing-shape output shapes learned from the first empty-batch
@@ -327,19 +498,40 @@ class CompiledModel:
         """``(lo, hi)`` bounds on the output's trailing node axis, if sharded."""
         return self._output_slice
 
-    def _plan_key(self, shape: Tuple[int, ...]) -> Tuple:
-        """Plan-cache key: the input shape, tagged with the shard slice.
+    @property
+    def precision(self) -> str:
+        """Default execution precision policy (``"float64"`` / ``"float32"``)."""
+        return self._dtype.name
 
-        A node-sharded service compiles one plan per (shape, shard slice)
-        pair; tagging the key keeps shard plans disjoint even if model
+    @property
+    def threads(self) -> int:
+        """Thread count used to replay independent plan islands (1 = serial)."""
+        return self._threads
+
+    def _plan_key(self, shape: Tuple[int, ...], dtype: np.dtype) -> Tuple:
+        """Plan-cache key: input shape, execution dtype, shard slice.
+
+        The dtype tag keeps a float32 plan and the float64 SLA plan of the
+        same batch shape disjoint (they differ in every constant and
+        buffer); the slice tag keeps shard plans disjoint even if model
         wrappers are ever shared across shards.
         """
         if self._output_slice is None:
-            return shape
-        return (shape, self._output_slice)
+            return (shape, dtype.name)
+        return (shape, dtype.name, self._output_slice)
 
-    def __call__(self, x) -> np.ndarray:
-        """Forward ``x`` (Tensor or array-like); returns a fresh ndarray.
+    def _resolve_call_dtype(self, precision) -> np.dtype:
+        return self._dtype if precision is None else resolve_precision(precision)
+
+    def __call__(self, x, precision: Union[None, str, np.dtype] = None) -> np.ndarray:
+        """Forward ``x`` (Tensor or array-like); returns a fresh float64 ndarray.
+
+        ``precision`` overrides the model's default policy for this call
+        only — the per-request escape hatch back to the bit-exact float64
+        path (or down to float32) without a second :class:`CompiledModel`.
+        The input is cast to the plan dtype on entry (a float32 input under
+        a float32 policy is served zero-copy, never bounced through
+        float64) and the output is cast back to float64 on exit.
 
         Ragged batch sizes are padded up to their bucket and the output
         sliced back, so callers (micro-batcher, serving paths) can pass any
@@ -357,18 +549,21 @@ class CompiledModel:
         above the bucket cap runs an exact-shape plan (see
         :func:`pad_batch_to_bucket`).
         """
-        array = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+        dtype = self._resolve_call_dtype(precision)
+        array = x.data if isinstance(x, Tensor) else np.asarray(x)
+        if array.dtype != dtype:
+            array = array.astype(dtype)
         if array.ndim > 0 and array.shape[0] == 0:
             tail = array.shape[1:]
             known = self._empty_output_shapes.get(tail)
             if known is not None:
                 return np.empty((0,) + known, dtype=np.float64)
-            probe = np.zeros((1,) + tail, dtype=array.dtype)
-            result = self._get_or_compile(probe).call(probe, trim=0)
+            probe = np.zeros((1,) + tail, dtype=dtype)
+            result = self._get_or_compile(probe).call(probe, trim=0, threads=self._threads)
             self._empty_output_shapes[tail] = result.shape[1:]
             return result
         array, trim = self._pad_to_bucket(array)
-        return self._get_or_compile(array).call(array, trim=trim)
+        return self._get_or_compile(array).call(array, trim=trim, threads=self._threads)
 
     def _pad_to_bucket(self, array: np.ndarray) -> Tuple[np.ndarray, Optional[int]]:
         """Pad axis 0 up to this model's bucket; see :func:`pad_batch_to_bucket`."""
@@ -377,11 +572,12 @@ class CompiledModel:
     def _get_or_compile(self, array: np.ndarray) -> Plan:
         """Fetch the plan for ``array.shape``, compiling outside the cache lock.
 
+        The array's dtype *is* the plan dtype (the caller cast on entry).
         Two threads racing on the same fresh shape may both compile; the
         first insert wins and the duplicate is dropped — wasted work, never
         wrong results, and no stall for shapes that are already cached.
         """
-        key = self._plan_key(array.shape)
+        key = self._plan_key(array.shape, array.dtype)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
@@ -406,16 +602,25 @@ class CompiledModel:
         if self._output_slice is not None:
             module = _SlicedForward(module, *self._output_slice)
         return compile_plan(
-            module, array, fold_constants=self._fold_constants, fuse=self._fuse
+            module,
+            array,
+            fold_constants=self._fold_constants,
+            fuse=self._fuse,
+            dtype=array.dtype,
+            parallel=self._threads > 1,
         )
 
-    def compile_for(self, example) -> PlanStats:
+    def compile_for(self, example, precision: Union[None, str, np.dtype] = None) -> PlanStats:
         """Eagerly compile the plan that would serve ``example``'s shape.
 
-        The example is bucketed exactly like a live request, so the
-        returned stats describe the plan requests of this size will hit.
+        The example is bucketed and precision-cast exactly like a live
+        request, so the returned stats describe the plan requests of this
+        size (and policy) will hit.
         """
-        array = example.data if isinstance(example, Tensor) else np.asarray(example, dtype=np.float64)
+        dtype = self._resolve_call_dtype(precision)
+        array = example.data if isinstance(example, Tensor) else np.asarray(example)
+        if array.dtype != dtype:
+            array = array.astype(dtype)
         array, _ = self._pad_to_bucket(array)
         return self._get_or_compile(array).stats
 

@@ -15,10 +15,12 @@ variant of a module's forward:
   values are still there when the backward tape replays in reverse —
   cheaper than an autograd forward, which allocates every intermediate
   fresh per batch;
-* **fused chains stay fused** — the forward replays
-  ``fused_elementwise`` steps exactly like the inference plan; their
-  backward recomputes the (cheap, elementwise) chain intermediates from the
-  saved external inputs;
+* **fused chains stay fused, and save their intermediates** — the forward
+  runs each ``fused_elementwise`` chain link by link into dedicated
+  per-link buffers (bit-identical to the blocked single-buffer
+  interpreter, which runs the same kernels on the same operand values), so
+  the backward reads the saved chain values instead of recomputing the
+  whole chain per step — memory traded for epoch time;
 * **recorded-tape backward** — the lowered step list *is* the tape: walking
   it in reverse and applying each kernel's analytic backward (the same
   formulas the autograd closures use, shared via
@@ -147,21 +149,27 @@ def _elementwise_vjp(name: str) -> Callable:
     return vjp
 
 
-def _fused_elementwise_vjp(grad, inputs, output, kwargs, needed):
-    """Backward of a fused chain: recompute intermediates, walk in reverse.
+def _fused_elementwise_vjp(grad, inputs, output, kwargs, needed, saved=None):
+    """Backward of a fused chain from saved (or recomputed) intermediates.
 
-    The fused forward overwrote every interior value in its single buffer,
-    so the chain is re-run (allocating this time) from the saved external
-    inputs; the per-instruction elementwise VJPs then consume those
-    recomputed values exactly as the unfused tape would have.
+    A :class:`TrainingPlan` forward runs each chain link into a dedicated
+    buffer and hands the per-link outputs in as ``saved``, so the backward
+    consumes them directly.  Without ``saved`` (the inference-style fused
+    forward overwrote every interior value in its single buffer) the chain
+    is re-run — allocating this time — from the saved external inputs.
+    Either way the per-instruction elementwise VJPs see exactly the values
+    the unfused tape would have.
     """
     chain = kwargs["chain"]
-    intermediates: List[np.ndarray] = []
-    acc: Optional[np.ndarray] = None
-    for _, kernel, refs, instruction_kwargs in chain:
-        arguments = [acc if ref < 0 else inputs[ref] for ref in refs]
-        acc = kernel(*arguments, **instruction_kwargs)
-        intermediates.append(acc)
+    if saved is not None:
+        intermediates: List[np.ndarray] = list(saved)
+    else:
+        intermediates = []
+        acc: Optional[np.ndarray] = None
+        for _, kernel, refs, instruction_kwargs in chain:
+            arguments = [acc if ref < 0 else inputs[ref] for ref in refs]
+            acc = kernel(*arguments, **instruction_kwargs)
+            intermediates.append(acc)
 
     grads_in: List[Optional[np.ndarray]] = [None] * len(inputs)
     grad_acc: Optional[np.ndarray] = grad
@@ -232,7 +240,9 @@ def _broadcast_vjp(grad, inputs, output, kwargs, needed):
 def _getitem_vjp(grad, inputs, output, kwargs, needed):
     if not needed[0]:
         return (None,)
-    full = np.zeros(inputs[0].shape, dtype=np.float64)
+    # Gradient dtype follows the tape's values (float64 today) instead of
+    # hard-coding it, so a reduced-precision tape would not silently upcast.
+    full = np.zeros(inputs[0].shape, dtype=grad.dtype)
     np.add.at(full, kwargs["index"], grad)
     return (full,)
 
@@ -269,11 +279,11 @@ def _max_vjp(grad, inputs, output, kwargs, needed):
     a = inputs[0]
     axis, keepdims = kwargs.get("axis"), kwargs.get("keepdims", False)
     if axis is None:
-        mask = (a == a.max()).astype(np.float64)
+        mask = (a == a.max()).astype(grad.dtype)
         mask /= mask.sum()
         return (mask * grad,)
     expanded_max = a.max(axis=axis, keepdims=True)
-    mask = (a == expanded_max).astype(np.float64)
+    mask = (a == expanded_max).astype(grad.dtype)
     mask /= mask.sum(axis=axis, keepdims=True)
     expanded = grad if keepdims else np.expand_dims(grad, axis)
     return (mask * expanded,)
@@ -281,9 +291,9 @@ def _max_vjp(grad, inputs, output, kwargs, needed):
 
 def _maximum_vjp(grad, inputs, output, kwargs, needed):
     a, b = inputs
-    self_mask = (a > b).astype(np.float64)
-    tie_mask = (a == b).astype(np.float64) * 0.5
-    other_mask = (b > a).astype(np.float64)
+    self_mask = (a > b).astype(grad.dtype)
+    tie_mask = (a == b).astype(grad.dtype) * 0.5
+    other_mask = (b > a).astype(grad.dtype)
     grad_a = _unbroadcast(grad * (self_mask + tie_mask), a.shape) if needed[0] else None
     grad_b = _unbroadcast(grad * (other_mask + tie_mask), b.shape) if needed[1] else None
     return grad_a, grad_b
@@ -394,7 +404,8 @@ class TrainingPlan:
     consume; a second forward overwrites them.
     """
 
-    def __init__(self, steps, values, input_slot, output_slot, param_slots, requires, stats) -> None:
+    def __init__(self, steps, values, input_slot, output_slot, param_slots, requires, stats,
+                 chain_buffers: Optional[Dict[int, List[np.ndarray]]] = None) -> None:
         self._steps = steps  # (name, kernel, in_slots, kwargs, out_slot, buffer)
         self._values = values
         self._input_slot = input_slot
@@ -405,6 +416,15 @@ class TrainingPlan:
         #: like the autograd closure saves them — recomputing the statistics
         #: in the backward would cost a second normalisation pass per layer.
         self._layer_norm_stats: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        #: out_slot -> dedicated per-link buffers for fused-chain steps: the
+        #: forward writes every chain intermediate into its own buffer (the
+        #: tail link shares the step's main buffer) so the backward reads
+        #: the saved values instead of recomputing the whole chain.
+        self._chain_buffers = chain_buffers or {}
+        #: out_slot -> per-link forward values (the buffers above, in chain
+        #: order), populated by :meth:`forward` and consumed once by
+        #: :meth:`backward`.
+        self._fused_saved: Dict[int, List[np.ndarray]] = {}
         #: Slots rewritten per run: the input and every step output.  View
         #: and alloc steps store arrays aliasing (or derived from) the
         #: caller's batch, so all of them are cleared by :meth:`release` —
@@ -425,6 +445,26 @@ class TrainingPlan:
         saved_stats = self._layer_norm_stats
         values[self._input_slot] = array
         for name, kernel, in_slots, kwargs, out_slot, buffer in self._steps:
+            if name == "fused_elementwise":
+                # Run the chain link by link into the dedicated per-link
+                # buffers (the tail is the step's main buffer) and save the
+                # intermediates for the backward — same kernels on the same
+                # operand values as the blocked single-buffer interpreter,
+                # so the tail is bit-identical; the backward then skips the
+                # chain recompute entirely.
+                link_buffers = self._chain_buffers[out_slot]
+                accumulator: Optional[np.ndarray] = None
+                saved: List[np.ndarray] = []
+                for link, link_buffer in zip(kwargs["chain"], link_buffers):
+                    _, link_kernel, refs, link_kwargs = link
+                    arguments = [
+                        accumulator if ref < 0 else values[in_slots[ref]] for ref in refs
+                    ]
+                    accumulator = link_kernel(*arguments, out=link_buffer, **link_kwargs)
+                    saved.append(accumulator)
+                self._fused_saved[out_slot] = saved
+                values[out_slot] = accumulator
+                continue
             if name == "layer_norm":
                 # Compute through the stats form (bit-identical to the
                 # kernel's in-buffer sequence) and save (x_hat, sigma) for
@@ -463,6 +503,11 @@ class TrainingPlan:
                     output_grad, inputs, kwargs, needed,
                     self._layer_norm_stats.pop(out_slot, None),
                 )
+            elif name == "fused_elementwise":
+                contributions = _fused_elementwise_vjp(
+                    output_grad, inputs, values[out_slot], kwargs, needed,
+                    saved=self._fused_saved.pop(out_slot, None),
+                )
             else:
                 contributions = VJPS[name](output_grad, inputs, values[out_slot], kwargs, needed)
             for slot, contribution in zip(in_slots, contributions):
@@ -490,6 +535,7 @@ class TrainingPlan:
         for slot in self._transient_slots:
             values[slot] = None
         self._layer_norm_stats.clear()
+        self._fused_saved.clear()
 
 
 def compile_training_plan(module, example: np.ndarray, fuse: bool = True) -> TrainingPlan:
@@ -517,12 +563,24 @@ def compile_training_plan(module, example: np.ndarray, fuse: bool = True) -> Tra
 
     classified = classify_steps(lowered.steps, lowered.values, lowered.input_value)
     steps: List[Tuple] = []
+    chain_buffers: Dict[int, List[np.ndarray]] = {}
     workspace_bytes = 0
     for kind, step in classified:
         buffer = None
         if kind == "buffered":
             buffer = np.empty(step.out.data.shape, dtype=step.out.data.dtype)
             workspace_bytes += buffer.nbytes
+            if step.name == "fused_elementwise":
+                # One dedicated buffer per chain link (every link produces
+                # the step's output shape — the fusion invariant), the tail
+                # sharing the step's main buffer: the forward saves every
+                # chain intermediate here so the tape backward reads them
+                # instead of recomputing the chain per step (the
+                # memory-for-epoch-time trade from the roadmap).
+                links = step.kwargs["chain"]
+                interiors = [np.empty_like(buffer) for _ in range(len(links) - 1)]
+                workspace_bytes += sum(interior.nbytes for interior in interiors)
+                chain_buffers[step.out_slot] = interiors + [buffer]
         steps.append((step.name, K.KERNELS[step.name], step.in_slots, step.kwargs, step.out_slot, buffer))
         missing = VJPS.get(step.name) is None
         if missing:
@@ -546,7 +604,8 @@ def compile_training_plan(module, example: np.ndarray, fuse: bool = True) -> Tra
         fused_chain_lengths=lowered.chain_lengths,
     )
     return TrainingPlan(
-        steps, lowered.values, 0, lowered.output_slot, lowered.param_slots, requires, stats
+        steps, lowered.values, 0, lowered.output_slot, lowered.param_slots, requires, stats,
+        chain_buffers=chain_buffers,
     )
 
 

@@ -46,6 +46,11 @@ class RollingWindowBuffer:
         ingest; ``None`` stores observations unnormalised.
     target_feature:
         Which feature channel the scaler applies to (flow = 0).
+    dtype:
+        Element type of the underlying ring (default float64).  A float32
+        serving deployment can keep its streaming buffer at single
+        precision, so the materialised window enters the compiled float32
+        plan without being bounced through float64 on the hot path.
 
     Example
     -------
@@ -62,12 +67,13 @@ class RollingWindowBuffer:
         num_features: int = 1,
         scaler: Optional[object] = None,
         target_feature: int = 0,
+        dtype=float,
     ) -> None:
         if not 0 <= target_feature < num_features:
             raise ValueError(f"target_feature {target_feature} out of range for F={num_features}")
         self.scaler = scaler
         self.target_feature = target_feature
-        self._stream = StreamingWindows(input_length, num_nodes, num_features)
+        self._stream = StreamingWindows(input_length, num_nodes, num_features, dtype=dtype)
         # Cache-versioning counters: corrections counts late per-node
         # updates, epoch increments on reset so recycled step counts can
         # never alias an earlier stream's content, and the (process-local,
@@ -108,8 +114,16 @@ class RollingWindowBuffer:
         return self._stream.ready
 
     # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """Element type of the ring (and every window/snapshot it yields)."""
+        return self._stream.dtype
+
     def _normalise_step(self, step: np.ndarray) -> np.ndarray:
-        step = np.asarray(step, dtype=float)
+        # Normalise at the ring's own dtype: a float32 buffer must not pay
+        # a float64 round trip per ingested step (the dtype-audit rule —
+        # float32 inputs are never silently upcast on the hot path).
+        step = np.asarray(step, dtype=self._stream.dtype)
         if step.ndim == 1 and self.num_features == 1:
             step = step[:, None]
         if self.scaler is not None:
@@ -129,7 +143,7 @@ class RollingWindowBuffer:
         ``(steps, N)`` is accepted when the buffer holds a single feature,
         mirroring the per-step shapes :meth:`ingest` takes.
         """
-        signal = np.asarray(signal, dtype=float)
+        signal = np.asarray(signal, dtype=self._stream.dtype)
         if signal.ndim == 2 and self.num_features == 1:
             signal = signal[:, :, None]
         if signal.ndim != 3:
@@ -139,7 +153,7 @@ class RollingWindowBuffer:
 
     def ingest_node(self, node: int, values: np.ndarray) -> None:
         """Correct the latest step of one node with a late-arriving reading."""
-        values = np.asarray(values, dtype=float).reshape(self.num_features)
+        values = np.asarray(values, dtype=self._stream.dtype).reshape(self.num_features)
         if self.scaler is not None:
             values = values.copy()
             values[self.target_feature] = float(

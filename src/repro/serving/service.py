@@ -54,7 +54,12 @@ from typing import List, Optional, Union
 import numpy as np
 
 from ..nn import Module
-from ..runtime import CompiledModel, resolve_runtime_mode
+from ..runtime import (
+    CompiledModel,
+    resolve_precision,
+    resolve_runtime_mode,
+    resolve_thread_count,
+)
 from ..tensor import Tensor, no_grad
 from .batching import (
     AsyncForecast,
@@ -89,6 +94,10 @@ class ServiceStats:
     batcher: BatcherStats
     runtime: str = "compiled"
     flusher: Optional[FlusherStats] = None
+    #: Default execution precision policy of the forward engine.
+    precision: str = "float64"
+    #: Island-parallel replay width of the compiled plans (1 = serial).
+    threads: int = 1
 
 
 class ForecastFrontend:
@@ -109,6 +118,8 @@ class ForecastFrontend:
         model_version: Optional[str] = None,
         cache_entries: int = 1024,
         runtime: Optional[str] = None,
+        precision: Optional[str] = None,
+        threads: Optional[int] = None,
     ) -> None:
         config = getattr(model, "config", None)
         if config is None:
@@ -119,14 +130,29 @@ class ForecastFrontend:
         self.scaler = scaler
         self.model_version = model_version or _weights_fingerprint(model)
         self.runtime = resolve_runtime_mode(runtime)
+        self.precision = resolve_precision(precision).name
+        self.threads = resolve_thread_count(threads)
+        if self.runtime != "compiled" and self.precision != "float64":
+            raise ValueError(
+                "reduced-precision serving requires the compiled runtime; "
+                f"runtime={self.runtime!r} executes float64 autograd forwards"
+            )
         self.cache: Optional[ForecastCache] = (
             ForecastCache(max_entries=cache_entries) if cache_entries > 0 else None
         )
+        # The streaming ring stores windows at the service's serving
+        # precision.  On the single-worker direct path (_predict hands the
+        # raw array to the compiled plan) a float32 snapshot enters the
+        # float32 plan without an upcast-downcast round trip; batcher-routed
+        # paths (the sharded streaming fan-out) still coalesce through a
+        # float64 Tensor and pay the plan's entry cast — correct either way,
+        # the ring dtype only removes casts where the array flows directly.
         self.buffer = RollingWindowBuffer(
             input_length=config.input_length,
             num_nodes=config.num_nodes,
             num_features=config.input_dim,
             scaler=scaler,
+            dtype=np.float32 if self.precision == "float32" else float,
         )
         self._requests = 0
         self._requests_lock = threading.Lock()
@@ -204,6 +230,41 @@ class ForecastFrontend:
         """The well-formed answer to an empty query batch."""
         return np.empty((0, horizon, self.config.num_nodes))
 
+    # ------------------------------------------------------------------
+    # Precision-policy plumbing.  The service-wide default is fixed at
+    # construction; synchronous queries may override it per request — the
+    # float64 SLA path of a float32 deployment (or an opportunistic
+    # float32 answer from a float64 one).
+    # ------------------------------------------------------------------
+    def _resolve_request_precision(self, precision: Optional[str]) -> Optional[str]:
+        """Normalise a per-request override; ``None`` means the default path.
+
+        Overrides that merely restate the service default collapse to the
+        default path (micro-batched, default cache namespace).  A genuine
+        override requires the compiled runtime — autograd forwards are
+        float64 by construction.
+        """
+        if precision is None:
+            return None
+        name = resolve_precision(precision).name
+        if name == self.precision:
+            return None
+        if self.runtime != "compiled":
+            raise ValueError(
+                "per-request precision overrides require the compiled runtime"
+            )
+        return name
+
+    def _key_version(self, precision: Optional[str] = None) -> str:
+        """Cache namespace for one precision policy.
+
+        Float32 and float64 answers to the same window differ, so they may
+        never alias one cache entry; the float64 namespace stays the bare
+        model version for cache continuity with earlier deployments.
+        """
+        name = precision or self.precision
+        return self.model_version if name == "float64" else f"{self.model_version}:{name}"
+
     def _count_requests(self, count: int = 1) -> None:
         """Bump the request counter (locked: query paths race by design)."""
         with self._requests_lock:
@@ -221,8 +282,16 @@ class ForecastFrontend:
         node-sharded services concatenate per-shard column blocks)."""
         return parts[0]
 
-    def _compute_misses(self, windows: List[np.ndarray]) -> List[np.ndarray]:
-        """Run the model for deduplicated misses (normalised in and out)."""
+    def _compute_misses(
+        self, windows: List[np.ndarray], precision: Optional[str] = None
+    ) -> List[np.ndarray]:
+        """Run the model for deduplicated misses (normalised in and out).
+
+        ``precision`` is a resolved per-request override (never the
+        default): such requests bypass the micro-batch queues — mixing
+        precisions in one coalesced forward would serve some requests at
+        the wrong policy — and compute on the calling thread.
+        """
         raise NotImplementedError
 
     def _submit_parts(self, window: np.ndarray) -> List["PendingForecast"]:
@@ -240,14 +309,25 @@ class ForecastFrontend:
 
         return finalize
 
-    def _serve_normalised_batch(self, normalised: List[np.ndarray], horizon: int) -> np.ndarray:
-        """Serve normalised windows: cache hits, deduplicated misses, stack."""
+    def _serve_normalised_batch(
+        self,
+        normalised: List[np.ndarray],
+        horizon: int,
+        precision: Optional[str] = None,
+    ) -> np.ndarray:
+        """Serve normalised windows: cache hits, deduplicated misses, stack.
+
+        ``precision`` is a resolved per-request override; it namespaces the
+        cache keys (a float32 answer must never satisfy a float64 query)
+        and is forwarded to :meth:`_compute_misses`.
+        """
+        version = self._key_version(precision)
         results: List[Optional[np.ndarray]] = [None] * len(normalised)
         # Requests that miss the cache, grouped by key so identical in-flight
         # windows share one forward slot.
         miss_groups: "dict[tuple, List[int]]" = {}
         for index, window in enumerate(normalised):
-            key = ForecastCache.make_key(self.model_version, window, horizon)
+            key = ForecastCache.make_key(version, window, horizon)
             if self.cache is not None:
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -257,7 +337,9 @@ class ForecastFrontend:
 
         if miss_groups:
             groups = list(miss_groups.items())
-            outputs = self._compute_misses([normalised[group[0]] for _, group in groups])
+            outputs = self._compute_misses(
+                [normalised[group[0]] for _, group in groups], precision=precision
+            )
             for (key, group), output in zip(groups, outputs):
                 forecast = self._denormalise(output)[:horizon]
                 if self.cache is not None:
@@ -267,7 +349,12 @@ class ForecastFrontend:
                     results[index] = forecast.copy()
         return np.stack(results, axis=0)
 
-    def forecast_many(self, windows: np.ndarray, horizon: Optional[int] = None) -> np.ndarray:
+    def forecast_many(
+        self,
+        windows: np.ndarray,
+        horizon: Optional[int] = None,
+        precision: Optional[str] = None,
+    ) -> np.ndarray:
         """Forecast a batch of raw windows with caching plus batched compute.
 
         Cache hits are answered directly; misses are deduplicated (identical
@@ -276,13 +363,19 @@ class ForecastFrontend:
         service, a routed fan-out on the sharded one.  An empty batch is
         answered with an empty ``(0, horizon, N)`` array instead of
         reaching the model.
+
+        ``precision`` overrides the service's execution-precision policy
+        for this query only — e.g. ``precision="float64"`` is the SLA path
+        of a ``precision="float32"`` deployment, served bit-identically to
+        an all-float64 service from its own cache namespace.
         """
         horizon = self._check_horizon(horizon)
+        precision = self._resolve_request_precision(precision)
         normalised = self._normalise_batch(windows)
         self._count_requests(len(normalised))
         if not normalised:
             return self._empty_forecasts(horizon)
-        return self._serve_normalised_batch(normalised, horizon)
+        return self._serve_normalised_batch(normalised, horizon, precision=precision)
 
     def submit(self, window: np.ndarray, horizon: Optional[int] = None) -> AsyncForecast:
         """Enqueue one raw window; returns a handle to collect later.
@@ -299,7 +392,7 @@ class ForecastFrontend:
         normalised = self._normalise_window(window)
         key = None
         if self.cache is not None:
-            key = ForecastCache.make_key(self.model_version, normalised, horizon)
+            key = ForecastCache.make_key(self._key_version(), normalised, horizon)
             cached = self.cache.get(key)
             if cached is not None:
                 return AsyncForecast.completed(cached)
@@ -373,6 +466,16 @@ class ForecastService(ForecastFrontend):
         ``"compiled"`` (graph-free kernel plans, the default) or
         ``"autograd"`` (plain ``no_grad`` forwards).  ``None`` consults the
         ``REPRO_RUNTIME`` environment variable.
+    precision:
+        Execution-precision policy of the compiled plans: ``"float64"``
+        (bit-identical to autograd, the default) or ``"float32"`` (~2x
+        memory-bandwidth headroom; see ``docs/runtime.md``).  ``None``
+        consults ``REPRO_RUNTIME_PRECISION``.  Synchronous queries accept a
+        per-request ``precision=`` override — the float64 SLA path.
+    threads:
+        Island-parallel replay width of the compiled plans (integer or
+        ``"auto"``; ``None`` consults ``REPRO_RUNTIME_THREADS``; 1 — the
+        default — replays serially).
 
     Example
     -------
@@ -393,6 +496,8 @@ class ForecastService(ForecastFrontend):
         auto_flush_at: Optional[int] = None,
         linger_ms: Optional[float] = None,
         runtime: Optional[str] = None,
+        precision: Optional[str] = None,
+        threads: Optional[int] = None,
     ) -> None:
         super().__init__(
             model,
@@ -400,11 +505,17 @@ class ForecastService(ForecastFrontend):
             model_version=model_version,
             cache_entries=cache_entries,
             runtime=runtime,
+            precision=precision,
+            threads=threads,
         )
         # One forward callable for every serving path: the compiled runtime
         # returns plain arrays, the autograd model returns Tensors; both are
         # normalised in _predict / MicroBatcher.flush.
-        self._forward = CompiledModel(model) if self.runtime == "compiled" else model
+        self._forward = (
+            CompiledModel(model, precision=self.precision, threads=self.threads)
+            if self.runtime == "compiled"
+            else model
+        )
         self.batcher = MicroBatcher(
             self._forward, max_batch_size=max_batch_size, auto_flush_at=auto_flush_at
         )
@@ -415,28 +526,49 @@ class ForecastService(ForecastFrontend):
         )
 
     # ------------------------------------------------------------------
-    def _predict(self, window: np.ndarray, horizon: int) -> np.ndarray:
-        """One uncached forward of a normalised window -> raw-scale forecast."""
+    def _predict(
+        self, window: np.ndarray, horizon: int, precision: Optional[str] = None
+    ) -> np.ndarray:
+        """One uncached forward of a normalised window -> raw-scale forecast.
+
+        The compiled runtime takes the raw array (its entry cast owns the
+        dtype handling, so a float32 streaming window is served zero-copy);
+        the autograd fallback wraps in a float64 ``Tensor`` as ever.
+        """
         with no_grad():
-            outputs = self._forward(Tensor(window[None]))
+            if self.runtime == "compiled":
+                outputs = (
+                    self._forward(window[None], precision=precision)
+                    if precision is not None
+                    else self._forward(window[None])
+                )
+            else:
+                outputs = self._forward(Tensor(np.asarray(window, dtype=float)[None]))
         predictions = outputs.data if isinstance(outputs, Tensor) else np.asarray(outputs)
         return self._denormalise(predictions[0])[:horizon]
 
-    def _forecast_normalised(self, window: np.ndarray, horizon: int) -> np.ndarray:
+    def _forecast_normalised(
+        self, window: np.ndarray, horizon: int, precision: Optional[str] = None
+    ) -> np.ndarray:
         """Serve one normalised window, consulting the cache around the model."""
         key = None
         if self.cache is not None:
-            key = ForecastCache.make_key(self.model_version, window, horizon)
+            key = ForecastCache.make_key(self._key_version(precision), window, horizon)
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
-        forecast = self._predict(window, horizon)
+        forecast = self._predict(window, horizon, precision=precision)
         if self.cache is not None:
             self.cache.put(key, forecast)
         return forecast.copy()
 
     # ------------------------------------------------------------------
-    def forecast(self, window: np.ndarray, horizon: Optional[int] = None) -> np.ndarray:
+    def forecast(
+        self,
+        window: np.ndarray,
+        horizon: Optional[int] = None,
+        precision: Optional[str] = None,
+    ) -> np.ndarray:
         """Forecast the next steps from one raw-scale window.
 
         Parameters
@@ -446,6 +578,10 @@ class ForecastService(ForecastFrontend):
             model consumes a single feature).
         horizon:
             Number of future steps wanted (defaults to the model's ``T'``).
+        precision:
+            Per-request override of the service's execution-precision
+            policy (e.g. the float64 SLA path of a float32 deployment);
+            served from its own cache namespace.
 
         Returns
         -------
@@ -453,14 +589,23 @@ class ForecastService(ForecastFrontend):
             Forecast of shape ``(horizon, N)`` on the original flow scale.
         """
         horizon = self._check_horizon(horizon)
+        precision = self._resolve_request_precision(precision)
         self._count_requests()
-        return self._forecast_normalised(self._normalise_window(window), horizon)
+        return self._forecast_normalised(
+            self._normalise_window(window), horizon, precision=precision
+        )
 
-    def forecast_node(self, window: np.ndarray, node: int, horizon: Optional[int] = None) -> np.ndarray:
+    def forecast_node(
+        self,
+        window: np.ndarray,
+        node: int,
+        horizon: Optional[int] = None,
+        precision: Optional[str] = None,
+    ) -> np.ndarray:
         """Forecast a single sensor: returns shape ``(horizon,)``."""
         if not 0 <= node < self.config.num_nodes:
             raise IndexError(f"node {node} out of range [0, {self.config.num_nodes})")
-        return self.forecast(window, horizon=horizon)[:, node]
+        return self.forecast(window, horizon=horizon, precision=precision)[:, node]
 
     # ------------------------------------------------------------------
     # The compute hooks behind the shared forecast_many / submit skeleton
@@ -475,7 +620,20 @@ class ForecastService(ForecastFrontend):
     # ShardedForecastService schedules both kinds of drain onto its
     # worker threads, so its submit never computes.
     # ------------------------------------------------------------------
-    def _compute_misses(self, windows: List[np.ndarray]) -> List[np.ndarray]:
+    def _compute_misses(
+        self, windows: List[np.ndarray], precision: Optional[str] = None
+    ) -> List[np.ndarray]:
+        if precision is not None:
+            # Per-request precision override: direct compiled forwards at
+            # the requested policy, off the (single-policy) batch queue —
+            # chunked like a flush so an override query keeps the same
+            # peak-batch bound as the default path.
+            size = self.batcher.max_batch_size
+            outputs: List[np.ndarray] = []
+            for start in range(0, len(windows), size):
+                chunk = np.stack(windows[start : start + size], axis=0)
+                outputs.extend(self._forward(chunk, precision=precision))
+            return outputs
         pending = [self.batcher.submit(window) for window in windows]
         self.batcher.flush()
         return [handle.result() for handle in pending]
@@ -500,7 +658,7 @@ class ForecastService(ForecastFrontend):
             # snapshot(): lock-consistent copy — a racing ingest lands
             # entirely before or after it, never mid-window.
             return self._predict(self.buffer.snapshot()[0], horizon).copy()
-        key = (self.model_version, self.buffer.cache_token(), horizon)
+        key = (self._key_version(), self.buffer.cache_token(), horizon)
         cached = self.cache.get(key)
         if cached is not None:
             return cached
@@ -508,7 +666,7 @@ class ForecastService(ForecastFrontend):
         # the buffer's mutation lock), so the cache entry always describes
         # exactly the data that was forecast.
         window, token = self.buffer.snapshot()
-        key = (self.model_version, token, horizon)
+        key = (self._key_version(), token, horizon)
         forecast = self._predict(window, horizon)
         self.cache.put(key, forecast)
         return forecast.copy()
@@ -544,4 +702,6 @@ class ForecastService(ForecastFrontend):
             batcher=self.batcher.stats,
             runtime=self.runtime,
             flusher=self.flusher.stats() if self.flusher is not None else None,
+            precision=self.precision,
+            threads=self.threads,
         )

@@ -222,6 +222,10 @@ class ShardedServiceStats:
     shards: Tuple[BatcherStats, ...]
     runtime: str = "compiled"
     flusher: Optional[FlusherStats] = None
+    #: Default execution precision policy of the shard engines.
+    precision: str = "float64"
+    #: Island-parallel replay width of each shard's compiled plans.
+    threads: int = 1
 
     @property
     def batcher(self) -> BatcherStats:
@@ -246,9 +250,12 @@ class ShardedForecastService(ForecastFrontend):
 
     Parameters
     ----------
-    model / scaler / model_version / cache_entries / runtime:
+    model / scaler / model_version / cache_entries / runtime / precision / threads:
         As for :class:`~repro.serving.ForecastService` (one shared LRU
-        cache and rolling buffer front all shards).
+        cache and rolling buffer front all shards; every shard's compiled
+        plans execute at the service's ``precision`` with ``threads``-wide
+        island replay, and synchronous queries accept the same per-request
+        ``precision=`` override).
     num_shards:
         Worker count.  ``mode="nodes"`` requires ``num_shards <= N``.
     mode:
@@ -285,6 +292,8 @@ class ShardedForecastService(ForecastFrontend):
         auto_flush_at: Optional[int] = None,
         linger_ms: Optional[float] = None,
         runtime: Optional[str] = None,
+        precision: Optional[str] = None,
+        threads: Optional[int] = None,
     ) -> None:
         if mode not in SHARDING_MODES:
             raise ValueError(f"unknown sharding mode {mode!r}; expected one of {SHARDING_MODES}")
@@ -302,6 +311,8 @@ class ShardedForecastService(ForecastFrontend):
             model_version=model_version,
             cache_entries=cache_entries,
             runtime=runtime,
+            precision=precision,
+            threads=threads,
         )
         self.mode = mode
         self.num_shards = num_shards
@@ -313,7 +324,12 @@ class ShardedForecastService(ForecastFrontend):
             self._slices = partition_nodes(self.config.num_nodes, num_shards)
             for index, (lo, hi) in enumerate(self._slices):
                 if self.runtime == "compiled":
-                    forward: Callable = CompiledModel(model, output_slice=(lo, hi))
+                    forward: Callable = CompiledModel(
+                        model,
+                        output_slice=(lo, hi),
+                        precision=self.precision,
+                        threads=self.threads,
+                    )
                 else:
                     # The same trace adapter the compiled plans use, run as
                     # a plain autograd forward.
@@ -325,7 +341,11 @@ class ShardedForecastService(ForecastFrontend):
                 # Separate CompiledModel per replica: plans and workspace
                 # buffers are per-worker, so replicas execute concurrently;
                 # the weights stay shared by reference.
-                forward = CompiledModel(model) if self.runtime == "compiled" else model
+                forward = (
+                    CompiledModel(model, precision=self.precision, threads=self.threads)
+                    if self.runtime == "compiled"
+                    else model
+                )
                 self._workers.append(_ShardWorker(index, forward, None, max_batch_size))
         self._round_robin = 0
         self._route_lock = threading.Lock()
@@ -416,7 +436,34 @@ class ShardedForecastService(ForecastFrontend):
     # computes in the caller's thread: size-threshold drains are
     # scheduled onto the owning workers.
     # ------------------------------------------------------------------
-    def _compute_misses(self, windows: List[np.ndarray]) -> List[np.ndarray]:
+    def _compute_misses(
+        self, windows: List[np.ndarray], precision: Optional[str] = None
+    ) -> List[np.ndarray]:
+        if precision is not None:
+            # Per-request precision override: compute directly through the
+            # shard engines at the requested policy (the batch queues are
+            # single-policy), chunked to the batchers' max batch size so
+            # the override path keeps the same peak-batch bound as a
+            # flush.  Nodes mode still merges all shards' column blocks;
+            # replica mode serves each chunk from the next replica — batch
+            # rows are independent, so this matches the routed answer
+            # exactly at the same policy.
+            size = self._workers[0].batcher.max_batch_size
+            outputs: List[np.ndarray] = []
+            for start in range(0, len(windows), size):
+                batch = np.stack(windows[start : start + size], axis=0)
+                if self.mode == "nodes":
+                    parts = [
+                        np.asarray(worker.batcher.forward_fn(batch, precision=precision))
+                        for worker in self._workers
+                    ]
+                    outputs.extend(np.concatenate(parts, axis=-1))
+                else:
+                    worker = self._next_worker()
+                    outputs.extend(
+                        np.asarray(worker.batcher.forward_fn(batch, precision=precision))
+                    )
+            return outputs
         routed = [self._route_window(window) for window in windows]
         self._drain([worker for _, workers in routed for worker in workers])
         return [self._merge([part.result() for part in parts]) for parts, _ in routed]
@@ -429,12 +476,25 @@ class ShardedForecastService(ForecastFrontend):
     # ------------------------------------------------------------------
     # Synchronous queries
     # ------------------------------------------------------------------
-    def forecast(self, window: np.ndarray, horizon: Optional[int] = None) -> np.ndarray:
+    def forecast(
+        self,
+        window: np.ndarray,
+        horizon: Optional[int] = None,
+        precision: Optional[str] = None,
+    ) -> np.ndarray:
         """Forecast one raw window: ``(horizon, N)``, bit-identical to
         :meth:`ForecastService.forecast`."""
-        return self.forecast_many(np.asarray(window, dtype=float)[None], horizon=horizon)[0]
+        return self.forecast_many(
+            np.asarray(window, dtype=float)[None], horizon=horizon, precision=precision
+        )[0]
 
-    def forecast_node(self, window: np.ndarray, node: int, horizon: Optional[int] = None) -> np.ndarray:
+    def forecast_node(
+        self,
+        window: np.ndarray,
+        node: int,
+        horizon: Optional[int] = None,
+        precision: Optional[str] = None,
+    ) -> np.ndarray:
         """Forecast a single sensor: returns shape ``(horizon,)``.
 
         In ``"nodes"`` mode only the owning shard computes (and the result
@@ -444,21 +504,32 @@ class ShardedForecastService(ForecastFrontend):
         if not 0 <= node < self.config.num_nodes:
             raise IndexError(f"node {node} out of range [0, {self.config.num_nodes})")
         if self.mode != "nodes":
-            return self.forecast(window, horizon=horizon)[:, node]
+            return self.forecast(window, horizon=horizon, precision=precision)[:, node]
         horizon = self._check_horizon(horizon)
+        precision = self._resolve_request_precision(precision)
         self._count_requests()
         normalised = self._normalise_window(window)
         worker = self._workers[self.shard_of(node)]
         lo, hi = worker.node_slice
         key = None
         if self.cache is not None:
-            key = (self.model_version, f"{hash_window(normalised)}:nodes{lo}-{hi}", horizon)
+            key = (
+                self._key_version(precision),
+                f"{hash_window(normalised)}:nodes{lo}-{hi}",
+                horizon,
+            )
             cached = self.cache.get(key)
             if cached is not None:
                 return cached[:, node - lo]
-        handle = worker.batcher.submit(normalised)
-        self._drain([worker])
-        shard_forecast = self._denormalise(handle.result())[:horizon]
+        if precision is not None:
+            shard_output = np.asarray(
+                worker.batcher.forward_fn(normalised[None], precision=precision)
+            )[0]
+        else:
+            handle = worker.batcher.submit(normalised)
+            self._drain([worker])
+            shard_output = handle.result()
+        shard_forecast = self._denormalise(shard_output)[:horizon]
         if self.cache is not None:
             self.cache.put(key, shard_forecast)
         return shard_forecast[:, node - lo].copy()
@@ -475,7 +546,7 @@ class ShardedForecastService(ForecastFrontend):
         horizon = self._check_horizon(horizon)
         self._count_requests()
         if self.cache is not None:
-            key = (self.model_version, self.buffer.cache_token(), horizon)
+            key = (self._key_version(), self.buffer.cache_token(), horizon)
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
@@ -484,7 +555,7 @@ class ShardedForecastService(ForecastFrontend):
         self._drain(workers)
         forecast = self._denormalise(self._merge([p.result() for p in parts]))[:horizon]
         if self.cache is not None:
-            self.cache.put((self.model_version, token, horizon), forecast)
+            self.cache.put((self._key_version(), token, horizon), forecast)
         return forecast.copy()
 
     # ------------------------------------------------------------------
@@ -525,4 +596,6 @@ class ShardedForecastService(ForecastFrontend):
             shards=tuple(worker.batcher.stats for worker in self._workers),
             runtime=self.runtime,
             flusher=self.flusher.stats() if self.flusher is not None else None,
+            precision=self.precision,
+            threads=self.threads,
         )

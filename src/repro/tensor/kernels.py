@@ -161,13 +161,22 @@ def spmm(dense: np.ndarray, out: Optional[np.ndarray] = None, *, matrix=None) ->
     directly into the buffer through SciPy's ``csr_matvecs`` (the routine
     the ``@`` operator itself uses, so the numbers are unchanged); otherwise
     the SciPy product is computed and copied.
+
+    Dtype-polymorphic: a non-float64 ``dense`` (a float32 precision-policy
+    plan) multiplies against the matrix's cached same-dtype value array
+    (:meth:`~repro.graph.sparse.SparseMatrix.with_dtype`) so the whole
+    product — values, accumulator, result — runs at the plan's precision
+    instead of silently upcasting the hot path.
     """
+    if matrix.csr.dtype != dense.dtype:
+        matrix = matrix.with_dtype(dense.dtype)
     if (
         out is not None
         and _CSR_MATVECS is not None
         and dense.ndim == 2
         and dense.flags.c_contiguous
         and out.flags.c_contiguous
+        and out.dtype == dense.dtype
     ):
         csr = matrix.csr
         out.fill(0.0)
@@ -305,8 +314,13 @@ def relu(a: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
 
 
 def leaky_relu(a: np.ndarray, out: Optional[np.ndarray] = None, *, negative_slope: float = 0.01) -> np.ndarray:
-    """Leaky ReLU via the same slope-mask multiply the autograd op uses."""
-    mask = np.where(a > 0, 1.0, negative_slope)
+    """Leaky ReLU via the same slope-mask multiply the autograd op uses.
+
+    The mask is built in ``a``'s dtype: ``np.where(a > 0, 1.0, slope)``
+    would materialise a float64 mask for a float32 operand and upcast the
+    multiply off the precision policy's bandwidth budget.
+    """
+    mask = np.where(a > 0, a.dtype.type(1.0), a.dtype.type(negative_slope))
     return np.multiply(a, mask, out=out)
 
 
@@ -451,11 +465,29 @@ def fused_elementwise(*arrays, out: Optional[np.ndarray] = None, chain=()) -> np
 # ----------------------------------------------------------------------
 # Fused neural-network kernels
 # ----------------------------------------------------------------------
+
+def _reduce_dtype(dtype) -> Optional[np.dtype]:
+    """Accumulator dtype for numerically sensitive reductions.
+
+    Float32 plans (the runtime's precision policy) keep every elementwise
+    pass and matmul at single precision for bandwidth, but the *reductions*
+    inside softmax / log-softmax / layer norm — exp-sums and variances over
+    hundreds of elements — accumulate in float64 and cast the (small,
+    keepdims-shaped) result back.  The extra cost is one double-width
+    accumulator register per lane; the alternative is a relative error that
+    grows with the reduction length.  Float64 inputs return ``None`` so the
+    double-precision path stays byte-for-byte what it always was.
+    """
+    return np.float64 if dtype == np.float32 else None
+
+
 def softmax(a: np.ndarray, out: Optional[np.ndarray] = None, *, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis``.
 
     The shift / exp / normalise sequence reproduces the historical composed
     implementation (``x - max``, ``exp``, ``/ sum``) operation for operation.
+    Float32 operands accumulate the exp-sum in float64 (see
+    :func:`_reduce_dtype`).
     """
     shift = np.max(a, axis=axis, keepdims=True)
     if out is None:
@@ -463,20 +495,33 @@ def softmax(a: np.ndarray, out: Optional[np.ndarray] = None, *, axis: int = -1) 
     else:
         np.subtract(a, shift, out=out)
     np.exp(out, out=out)
-    total = np.sum(out, axis=axis, keepdims=True)
+    accumulator = _reduce_dtype(out.dtype)
+    if accumulator is None:
+        total = np.sum(out, axis=axis, keepdims=True)
+    else:
+        total = np.sum(out, axis=axis, keepdims=True, dtype=accumulator).astype(out.dtype)
     np.divide(out, total, out=out)
     return out
 
 
 def log_softmax(a: np.ndarray, out: Optional[np.ndarray] = None, *, axis: int = -1) -> np.ndarray:
-    """Logarithm of the softmax along ``axis`` (stable shifted form)."""
+    """Logarithm of the softmax along ``axis`` (stable shifted form).
+
+    Float32 operands accumulate the exp-sum in float64 (see
+    :func:`_reduce_dtype`).
+    """
     shift = np.max(a, axis=axis, keepdims=True)
     if out is None:
         out = np.subtract(a, shift)
     else:
         np.subtract(a, shift, out=out)
-    total = np.sum(np.exp(out), axis=axis, keepdims=True)
-    np.subtract(out, np.log(total), out=out)
+    accumulator = _reduce_dtype(out.dtype)
+    if accumulator is None:
+        total = np.sum(np.exp(out), axis=axis, keepdims=True)
+        np.subtract(out, np.log(total), out=out)
+    else:
+        total = np.sum(np.exp(out), axis=axis, keepdims=True, dtype=accumulator)
+        np.subtract(out, np.log(total).astype(out.dtype), out=out)
     return out
 
 
@@ -558,11 +603,24 @@ def _layer_norm_into(
     eps: float,
     square: Optional[np.ndarray] = None,
 ) -> None:
-    """The in-buffer layer-norm pass sequence (centre, scale, affine)."""
-    np.subtract(a, np.mean(a, axis=axes, keepdims=True), out=out)
-    squared = np.multiply(out, out, out=square)
-    variance = np.mean(squared, axis=axes, keepdims=True)
-    np.divide(out, np.sqrt(variance + eps), out=out)
+    """The in-buffer layer-norm pass sequence (centre, scale, affine).
+
+    Float32 buffers accumulate the mean and variance in float64 (see
+    :func:`_reduce_dtype`); the five full-size passes stay at the buffer's
+    precision.
+    """
+    accumulator = _reduce_dtype(out.dtype)
+    if accumulator is None:
+        np.subtract(a, np.mean(a, axis=axes, keepdims=True), out=out)
+        squared = np.multiply(out, out, out=square)
+        variance = np.mean(squared, axis=axes, keepdims=True)
+        np.divide(out, np.sqrt(variance + eps), out=out)
+    else:
+        mean = np.mean(a, axis=axes, keepdims=True, dtype=accumulator).astype(out.dtype)
+        np.subtract(a, mean, out=out)
+        squared = np.multiply(out, out, out=square)
+        variance = np.mean(squared, axis=axes, keepdims=True, dtype=accumulator)
+        np.divide(out, np.sqrt(variance + eps).astype(out.dtype), out=out)
     np.multiply(out, weight, out=out)
     np.add(out, bias, out=out)
 

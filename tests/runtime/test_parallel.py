@@ -1,0 +1,173 @@
+"""Island/wave scheduling contracts of the compiled runtime.
+
+The scheduler partitions a plan into maximal serial chains (*islands*) and
+levels them into *waves*; same-wave islands are provably independent, so
+the engine may replay them concurrently (``REPRO_RUNTIME_THREADS``).  The
+contracts:
+
+* **determinism** — the same plan produces bit-identical outputs with one
+  replay thread and with four (every step runs the same kernel on the same
+  operand values; only the interleaving changes);
+* **race-free pooling** — plans compiled for parallel replay never hand a
+  workspace buffer to a step that could run concurrently with the buffer's
+  previous owner (stress-tested against the serial answer);
+* **default invisibility** — ``threads=1`` (the default) compiles exactly
+  the old serial plan: tight index-ordered pooling and no schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DyHSL, DyHSLConfig
+from repro.runtime import (
+    THREADS_ENV_VAR,
+    compile_module,
+    resolve_thread_count,
+)
+from repro.tensor import Tensor, no_grad
+from repro.tensor import seed as seed_everything
+
+NUM_NODES = 11
+
+
+@pytest.fixture(scope="module")
+def model() -> DyHSL:
+    seed_everything(91)
+    rng = np.random.default_rng(91)
+    adjacency = (rng.random((NUM_NODES, NUM_NODES)) < 0.4).astype(float)
+    np.fill_diagonal(adjacency, 0.0)
+    config = DyHSLConfig(
+        num_nodes=NUM_NODES,
+        hidden_dim=12,
+        prior_layers=2,
+        num_hyperedges=6,
+        # Several window scales -> several disjoint DHSL branches, the
+        # dataflow islands the scheduler exists for.
+        window_sizes=(1, 2, 3, 6, 12),
+        mhce_layers=2,
+    )
+    return DyHSL(config, adjacency).eval()
+
+
+class TestResolveThreadCount:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(THREADS_ENV_VAR, raising=False)
+        assert resolve_thread_count() == 1
+
+    def test_explicit_and_environment(self, monkeypatch):
+        assert resolve_thread_count(3) == 3
+        assert resolve_thread_count("2") == 2
+        monkeypatch.setenv(THREADS_ENV_VAR, "4")
+        assert resolve_thread_count() == 4
+        assert resolve_thread_count(2) == 2  # argument beats environment
+
+    def test_auto_maps_to_cores(self):
+        assert resolve_thread_count("auto") >= 1
+
+    def test_rejects_nonsense(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_thread_count(0)
+        with pytest.raises(ValueError):
+            resolve_thread_count(-2)
+        monkeypatch.setenv(THREADS_ENV_VAR, "many")
+        with pytest.raises(ValueError):
+            resolve_thread_count()
+
+
+class TestSchedule:
+    def test_dyhsl_exposes_parallelism(self, model):
+        compiled = compile_module(model, threads=4)
+        batch = np.random.default_rng(1).normal(size=(2, 12, NUM_NODES, 1))
+        compiled(batch)
+        stats = compiled.plan_stats()[0]
+        assert stats.islands > 1
+        assert stats.waves > 1
+        # The per-scale DHSL branches are disjoint -> at least one wave
+        # holds several islands.
+        assert stats.max_wave_width > 1
+
+    def test_serial_plans_carry_no_schedule(self, model):
+        compiled = compile_module(model, threads=1)
+        batch = np.random.default_rng(2).normal(size=(2, 12, NUM_NODES, 1))
+        compiled(batch)
+        plan = next(iter(compiled._plans.values()))
+        assert plan._schedule is None and not plan._parallelisable
+        # Stats still describe the dataflow's available parallelism.
+        assert plan.stats.islands > 0
+
+    def test_parallel_pooling_never_shrinks_below_serial(self, model):
+        """Wave-aware pooling may only add workspace, never corrupt it."""
+        batch = np.random.default_rng(3).normal(size=(2, 12, NUM_NODES, 1))
+        serial = compile_module(model)
+        parallel = compile_module(model, threads=4)
+        serial(batch)
+        parallel(batch)
+        serial_bytes = serial.plan_stats()[0].workspace_bytes
+        parallel_bytes = parallel.plan_stats()[0].workspace_bytes
+        assert parallel_bytes >= serial_bytes
+
+
+class TestSharedPool:
+    def test_growing_the_pool_keeps_the_old_one_usable(self):
+        """A plan mid-execute holds the pool it captured; growing the shared
+        pool for a wider model must not shut that executor down under it."""
+        from repro.runtime.engine import _shared_pool
+
+        small = _shared_pool(2)
+        large = _shared_pool(4)
+        assert small.submit(lambda: 1).result() == 1
+        assert large.submit(lambda: 2).result() == 2
+        # Same width resolves to the same pool (no churn).
+        assert _shared_pool(4) is large
+
+
+class TestDeterminism:
+    """threads=1 vs threads=4: identical numbers, many batches."""
+
+    def test_seeded_multithread_determinism(self, model):
+        serial = compile_module(model, threads=1)
+        parallel = compile_module(model, threads=4)
+        rng = np.random.default_rng(5)
+        for index in range(8):
+            batch = rng.normal(size=(3, 12, NUM_NODES, 1)) * (1.0 + index)
+            expected = serial(batch)
+            produced = parallel(batch)
+            assert np.array_equal(produced, expected), (
+                f"parallel replay diverged on batch {index}"
+            )
+
+    def test_parallel_replay_matches_autograd_bitwise(self, model):
+        compiled = compile_module(model, threads=4)
+        batch = np.random.default_rng(6).normal(size=(4, 12, NUM_NODES, 1))
+        with no_grad():
+            reference = model(Tensor(batch)).data
+        assert np.array_equal(compiled(batch), reference)
+
+    def test_parallel_float32_matches_serial_float32(self, model):
+        """Precision and parallelism compose: same float32 bits either way."""
+        serial = compile_module(model, precision="float32")
+        parallel = compile_module(model, precision="float32", threads=4)
+        batch = np.random.default_rng(7).normal(size=(3, 12, NUM_NODES, 1))
+        assert np.array_equal(parallel(batch), serial(batch))
+
+    def test_repeated_parallel_calls_are_stable(self, model):
+        """Stress the wave-aware pooling: no call may contaminate the next."""
+        compiled = compile_module(model, threads=4)
+        rng = np.random.default_rng(8)
+        first = rng.normal(size=(2, 12, NUM_NODES, 1))
+        second = rng.normal(size=(2, 12, NUM_NODES, 1))
+        expected_first = compiled(first)
+        expected_second = compiled(second)
+        for _ in range(10):
+            assert np.array_equal(compiled(first), expected_first)
+            assert np.array_equal(compiled(second), expected_second)
+
+    def test_bucketing_and_empty_batches_compose(self, model):
+        serial = compile_module(model)
+        parallel = compile_module(model, threads=4)
+        rng = np.random.default_rng(9)
+        for batch_size in (0, 1, 3, 5):
+            batch = rng.normal(size=(batch_size, 12, NUM_NODES, 1))
+            assert np.array_equal(parallel(batch), serial(batch))

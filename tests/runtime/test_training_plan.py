@@ -206,6 +206,61 @@ class TestTapeBackward:
         assert checked > 10
 
 
+class TestSavedChainIntermediates:
+    """The tape saves fused-chain link values instead of recomputing them."""
+
+    def _plan_of(self, runtime, x):
+        runtime.step(x)  # compile
+        return next(iter(runtime._plans.values()))
+
+    def test_chain_buffers_are_allocated_per_link(self):
+        model = _dyhsl()
+        model.train()
+        runtime = compile_training_model(model)
+        x = np.random.default_rng(201).normal(size=(2, 12, NUM_NODES, 1))
+        plan = self._plan_of(runtime, x)
+        fused = [
+            (kwargs, out_slot)
+            for name, _, _, kwargs, out_slot, _ in plan._steps
+            if name == "fused_elementwise"
+        ]
+        assert fused, "DyHSL must compile fused chains"
+        for kwargs, out_slot in fused:
+            buffers = plan._chain_buffers[out_slot]
+            # One buffer per chain link, the tail being the step's own.
+            assert len(buffers) == len(kwargs["chain"])
+            assert len({id(b) for b in buffers}) == len(buffers)
+
+    def test_forward_saves_and_backward_consumes_the_intermediates(self):
+        model = _dyhsl()
+        model.train()
+        runtime = compile_training_model(model)
+        x = np.random.default_rng(202).normal(size=(2, 12, NUM_NODES, 1))
+        step = runtime.step(x)
+        plan = next(iter(runtime._plans.values()))
+        fused_slots = {
+            out_slot for name, _, _, _, out_slot, _ in plan._steps
+            if name == "fused_elementwise"
+        }
+        assert set(plan._fused_saved) == fused_slots
+        predictions = Tensor(step.predictions, requires_grad=True)
+        loss = _mae_like(predictions)
+        loss.backward()
+        step.backward(predictions.grad)
+        # Consumed (popped) by the backward, cleared by release().
+        assert not plan._fused_saved
+
+    def test_gradients_unchanged_by_the_saved_path(self):
+        """Saved-intermediate backward == recompute backward == autograd."""
+        model = _dyhsl(seed=203)
+        model.train()
+        x = np.random.default_rng(204).normal(size=(3, 12, NUM_NODES, 1))
+        _, ref_loss, ref_grads = _autograd_step(model, x, _mae_like)
+        _, tape_loss, tape_grads = _tape_step(model, x, _mae_like)
+        assert tape_loss == pytest.approx(ref_loss, rel=0, abs=1e-12)
+        assert _max_rel_diff(ref_grads, tape_grads) <= 1e-12
+
+
 class TestBucketedTraining:
     def test_ragged_batch_grads_equal_exact_batch_grads(self):
         model = _dyhsl(seed=98)
