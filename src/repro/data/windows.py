@@ -210,8 +210,21 @@ class StreamingWindows:
 
     def load_state_dict(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot taken from an identically
-        shaped stream; the next :meth:`latest` call sees the saved window."""
-        store = np.asarray(state["store"], dtype=self._store.dtype)
+        shaped — and identically typed — stream; the next :meth:`latest`
+        call sees the saved window.
+
+        Dtype and shape must match the live ring exactly: silently casting
+        a float64 snapshot into a float32 ring (or vice versa) would change
+        the serving precision behind the deployment's back, and a ring from
+        a different node count would broadcast garbage into every window.
+        """
+        store = np.asarray(state["store"])
+        if store.dtype != self._store.dtype:
+            raise ValueError(
+                f"stored ring dtype {store.dtype} does not match this stream's "
+                f"{self._store.dtype}; rebuild the stream with dtype={store.dtype} "
+                "or save a snapshot at the serving precision"
+            )
         if store.shape != self._store.shape:
             raise ValueError(
                 f"stored ring shape {store.shape} does not match this stream's {self._store.shape}"

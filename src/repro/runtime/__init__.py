@@ -35,7 +35,8 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from .compiler import CompileError, compile_plan, trace_module
+from .artifacts import ArtifactError, ArtifactStore, trace_hash, weights_fingerprint
+from .compiler import CompileError, build_plan_spec, compile_plan, trace_module
 from .engine import (
     BUCKETS_ENV_VAR,
     DEFAULT_BUCKET_CAP,
@@ -44,7 +45,11 @@ from .engine import (
     THREADS_ENV_VAR,
     CompiledModel,
     Plan,
+    PlanCacheInfo,
+    PlanSpec,
     PlanStats,
+    StepSpec,
+    bind_plan,
     bucket_batch_size,
     resolve_bucket_cap,
     resolve_precision,
@@ -53,6 +58,8 @@ from .engine import (
 from .training import CompiledTrainingModel, compile_training_model, plan_trainable
 
 __all__ = [
+    "ArtifactError",
+    "ArtifactStore",
     "BUCKETS_ENV_VAR",
     "CompileError",
     "CompiledModel",
@@ -61,11 +68,16 @@ __all__ = [
     "PRECISION_ENV_VAR",
     "PRECISIONS",
     "Plan",
+    "PlanCacheInfo",
+    "PlanSpec",
     "PlanStats",
     "RUNTIME_MODES",
     "RUNTIME_ENV_VAR",
+    "StepSpec",
     "THREADS_ENV_VAR",
+    "bind_plan",
     "bucket_batch_size",
+    "build_plan_spec",
     "compile_module",
     "compile_plan",
     "compile_training_model",
@@ -74,7 +86,9 @@ __all__ = [
     "resolve_precision",
     "resolve_runtime_mode",
     "resolve_thread_count",
+    "trace_hash",
     "trace_module",
+    "weights_fingerprint",
 ]
 
 #: Environment variable selecting the serving execution mode.
@@ -92,6 +106,7 @@ def compile_module(
     output_slice=None,
     precision=None,
     threads=None,
+    artifact_dir=None,
 ) -> CompiledModel:
     """Wrap ``module`` (switched to eval mode) in a :class:`CompiledModel`.
 
@@ -105,7 +120,9 @@ def compile_module(
     ``precision`` sets the execution-precision policy (``"float64"`` /
     ``"float32"``, default from ``REPRO_RUNTIME_PRECISION``) and
     ``threads`` the island-parallel replay width (integer or ``"auto"``,
-    default from ``REPRO_RUNTIME_THREADS``).
+    default from ``REPRO_RUNTIME_THREADS``).  ``artifact_dir`` (a directory
+    or :class:`~repro.runtime.artifacts.ArtifactStore`) attaches a durable
+    plan-artifact store — see ``docs/runtime.md`` §Plan artifacts.
     """
     return CompiledModel(
         module,
@@ -115,6 +132,7 @@ def compile_module(
         output_slice=output_slice,
         precision=precision,
         threads=threads,
+        artifact_dir=artifact_dir,
     )
 
 

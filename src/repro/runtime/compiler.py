@@ -64,9 +64,9 @@ from ..tensor import Tensor, no_grad
 from ..tensor import kernels as K
 from ..tensor.tensor import _set_trace_hook
 
-from .engine import Plan, PlanStats
+from .engine import Plan, PlanSpec, PlanStats, StepSpec, bind_plan
 
-__all__ = ["CompileError", "compile_plan", "trace_module"]
+__all__ = ["CompileError", "build_plan_spec", "compile_plan", "trace_module"]
 
 #: Serialises compilations.  Trace hooks are keyed by thread, so tensor ops
 #: on other threads can never leak into a plan; the lock additionally keeps
@@ -416,26 +416,26 @@ def _schedule_islands(classified) -> Tuple[List[int], List[int], List[List[int]]
     return island_of, wave_of_island, islands
 
 
-def compile_plan(
+def build_plan_spec(
     module,
     example: np.ndarray,
     fold_constants: bool = True,
     fuse: bool = True,
     dtype=np.float64,
     parallel: bool = False,
-) -> Plan:
-    """Compile ``module``'s forward into a :class:`Plan` for one input shape.
+):
+    """Trace and lower ``module`` into a serialisable plan description.
 
-    ``dtype`` is the plan's execution precision (the trace itself always
-    runs the float64 autograd engine): constants are cast once at compile
-    time, workspace buffers are allocated at the policy's itemsize, and the
-    engine casts the input on entry and the output back to float64 on exit.
-
-    ``parallel`` binds the plan for concurrent island replay: buffer
-    pooling then refuses to hand a freed buffer to any step that could run
-    concurrently with the buffer's previous owner, which costs some
-    workspace (~1.4x on DyHSL at PEMS08 scale) — serial plans (the
-    default) keep the tighter index-ordered pooling and carry no schedule.
+    Returns ``(spec, values)``: a :class:`~repro.runtime.engine.PlanSpec`
+    holding the step list (fused chains unbound), the pooled workspace
+    layout as storage ids, the island/wave schedule as step indices and
+    the plan stats — plus the full slot table with the constants already
+    cast to the plan dtype.  :func:`~repro.runtime.engine.bind_plan`
+    materialises the pair into an executable :class:`Plan`;
+    :mod:`repro.runtime.artifacts` persists it to disk.  Every structural
+    decision (folding, pruning, fusion, pooling, scheduling) happens here,
+    so a bound artifact replays exactly the plan a fresh compile would
+    produce.
     """
     dtype = np.dtype(dtype)
     lowered = lower_module(module, example, fold_constants=fold_constants, fuse=fuse)
@@ -509,7 +509,7 @@ def compile_plan(
         last_use[output_token] = len(classified)  # never recycled
 
     # ------------------------------------------------------------------
-    # Workspace allocation (pooled by byte size) + kernel binding.
+    # Workspace layout (pooled by byte size), expressed as storage ids.
     #
     # A recycled storage carries the last wave and island set of the token
     # that released it: a step may reuse it only when it runs in a strictly
@@ -518,64 +518,83 @@ def compile_plan(
     # construction) — otherwise a same-wave island could overwrite memory a
     # concurrent island is still reading.  With one wave per plan (a fully
     # serial dataflow) this degenerates to exactly the old index-ordered
-    # pooling.
+    # pooling.  No memory is allocated here — steps reference storages by
+    # id and :func:`bind_plan` materialises them, so the aliasing structure
+    # survives serialisation byte for byte.
     # ------------------------------------------------------------------
-    steps: List[Tuple] = []
-    pool: Dict[int, List[Tuple[int, set, np.ndarray]]] = {}
-    storage_of_token: Dict[int, np.ndarray] = {}
-    workspace_bytes = 0
+    step_specs: List[StepSpec] = []
+    pool: Dict[int, List[Tuple[int, set, int]]] = {}
+    storage_of_token: Dict[int, int] = {}
+    storage_sizes: List[int] = []
     for index, (kind, step) in enumerate(classified):
-        buffer = None
+        storage_id: Optional[int] = None
         if kind == "buffered":
             nbytes = int(step.out.data.size * dtype.itemsize)
-            storage = None
             bucket = pool.get(nbytes)
             if bucket:
                 if parallel:
                     wave, island = wave_of_step[index], island_of[index]
                     for position, (freed_wave, freed_islands, candidate) in enumerate(bucket):
                         if freed_wave < wave or freed_islands == {island}:
-                            storage = candidate
+                            storage_id = candidate
                             del bucket[position]
                             break
                 else:
                     # Serial replay is index-ordered, so any freed storage
                     # is safe — the original (tightest) pooling.
-                    storage = bucket.pop()[2]
-            if storage is None:
-                storage = np.empty(nbytes, dtype=np.uint8)
-                workspace_bytes += nbytes
+                    storage_id = bucket.pop()[2]
+            if storage_id is None:
+                storage_id = len(storage_sizes)
+                storage_sizes.append(nbytes)
             token = token_of_slot[step.out_slot]
-            storage_of_token[token] = storage
-            buffer = storage.view(dtype).reshape(step.out.data.shape)
-        steps.append((K.KERNELS[step.name], step.in_slots, step.kwargs, step.out_slot, buffer))
+            storage_of_token[token] = storage_id
+        kwargs = step.kwargs
+        if step.name == "fused_elementwise":
+            # Strip the bound kernel functions out of the chain: the spec
+            # stores (name, refs, kwargs) and bind_plan re-resolves names.
+            kwargs = {
+                "chain": tuple(
+                    (name, refs, instruction_kwargs)
+                    for name, _kernel, refs, instruction_kwargs in step.kwargs["chain"]
+                )
+            }
+        step_specs.append(
+            StepSpec(
+                name=step.name,
+                in_slots=tuple(step.in_slots),
+                kwargs=kwargs,
+                out_slot=step.out_slot,
+                out_shape=tuple(step.out.data.shape),
+                storage=storage_id,
+            )
+        )
         # Recycle storages whose last reader was this step.  (Allocation
         # happens first, so a step's output never aliases its inputs.)
         for slot in set(step.in_slots):
             token = token_of_slot.get(slot)
             if token is not None and last_use.get(token) == index:
-                storage = storage_of_token.pop(token, None)
-                if storage is not None:
-                    pool.setdefault(storage.nbytes, []).append(
-                        (token_last_wave[token], token_islands[token], storage)
+                freed = storage_of_token.pop(token, None)
+                if freed is not None:
+                    pool.setdefault(storage_sizes[freed], []).append(
+                        (token_last_wave[token], token_islands[token], freed)
                     )
 
-    # The engine's parallel schedule: per wave, the islands' step tuples.
-    # Serial plans carry none — their pooling is not race-free across
-    # same-wave islands, so the engine must never replay them concurrently.
-    schedule: Optional[List[List[List[Tuple]]]] = None
+    # The parallel schedule: per wave, the islands' step indices.  Serial
+    # plans carry none — their pooling is not race-free across same-wave
+    # islands, so the engine must never replay them concurrently.
+    schedule: Optional[List[List[List[int]]]] = None
     if parallel:
         schedule = [[] for _ in range(num_waves)]
         for island_id, members in enumerate(islands):
-            schedule[wave_of_island[island_id]].append([steps[i] for i in members])
+            schedule[wave_of_island[island_id]].append(list(members))
 
     stats = PlanStats(
         input_shape=tuple(np.asarray(example).shape),
         traced_ops=lowered.traced_ops,
-        steps=len(steps),
+        steps=len(step_specs),
         folded=lowered.folded,
         pruned=lowered.pruned,
-        workspace_bytes=workspace_bytes,
+        workspace_bytes=sum(storage_sizes),
         steps_unfused=lowered.steps_unfused,
         fused_chain_lengths=lowered.chain_lengths,
         dtype=str(dtype),
@@ -583,4 +602,54 @@ def compile_plan(
         waves=num_waves,
         max_wave_width=max(wave_widths, default=0),
     )
-    return Plan(steps, values, 0, output_slot, stats, dtype=dtype, schedule=schedule)
+    spec = PlanSpec(
+        dtype=str(dtype),
+        input_slot=0,
+        output_slot=output_slot,
+        num_slots=len(values),
+        const_slots=tuple(
+            slot for slot, const in enumerate(lowered.is_const) if const
+        ),
+        steps=step_specs,
+        storage_sizes=storage_sizes,
+        schedule=schedule,
+        stats=stats,
+    )
+    return spec, values
+
+
+def compile_plan(
+    module,
+    example: np.ndarray,
+    fold_constants: bool = True,
+    fuse: bool = True,
+    dtype=np.float64,
+    parallel: bool = False,
+) -> Plan:
+    """Compile ``module``'s forward into a :class:`Plan` for one input shape.
+
+    ``dtype`` is the plan's execution precision (the trace itself always
+    runs the float64 autograd engine): constants are cast once at compile
+    time, workspace buffers are allocated at the policy's itemsize, and the
+    engine casts the input on entry and the output back to float64 on exit.
+
+    ``parallel`` binds the plan for concurrent island replay: buffer
+    pooling then refuses to hand a freed buffer to any step that could run
+    concurrently with the buffer's previous owner, which costs some
+    workspace (~1.4x on DyHSL at PEMS08 scale) — serial plans (the
+    default) keep the tighter index-ordered pooling and carry no schedule.
+
+    Implemented as :func:`build_plan_spec` (trace + graph passes + layout)
+    followed by :func:`~repro.runtime.engine.bind_plan` (buffer and kernel
+    binding) — the same two halves an on-disk plan artifact goes through,
+    so loaded plans are structurally identical to compiled ones.
+    """
+    spec, values = build_plan_spec(
+        module,
+        example,
+        fold_constants=fold_constants,
+        fuse=fuse,
+        dtype=dtype,
+        parallel=parallel,
+    )
+    return bind_plan(spec, values)

@@ -26,10 +26,15 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..tensor import Tensor
+from ..tensor import kernels as K
 
 __all__ = [
     "Plan",
+    "PlanCacheInfo",
+    "PlanSpec",
     "PlanStats",
+    "StepSpec",
+    "bind_plan",
     "CompiledModel",
     "BUCKETS_ENV_VAR",
     "DEFAULT_BUCKET_CAP",
@@ -123,16 +128,22 @@ def _shared_pool(threads: int) -> ThreadPoolExecutor:
     # needs N - 1 pool workers.
     workers = max(1, threads - 1)
     with _POOL_LOCK:
-        if _POOL is None or _POOL_WORKERS < workers:
-            # Growing replaces the pool WITHOUT shutting the old one down: a
-            # concurrently executing plan may still hold it, and submitting
-            # to a shut-down executor raises.  The orphaned pool keeps
-            # serving its in-flight islands; once the last plan drops its
-            # reference, executor finalisation wakes the idle threads and
-            # they exit (no shutdown needed).
+        if _POOL is None:
             _POOL = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-runtime"
             )
+            _POOL_WORKERS = workers
+        elif _POOL_WORKERS < workers:
+            # Grow the ONE pool in place instead of replacing it: executors
+            # spawn threads lazily on submit up to ``_max_workers``, so
+            # raising the cap is enough — the next submits add workers.  A
+            # replacement pool would orphan the old one (a concurrently
+            # executing plan may still hold it, and submitting to a
+            # shut-down executor raises), stranding an idle thread stack
+            # per grow cycle until GC finalisation; growing in place keeps
+            # the process at exactly one island pool whose thread count is
+            # bounded by the largest width ever requested.
+            _POOL._max_workers = workers
             _POOL_WORKERS = workers
         return _POOL
 
@@ -267,6 +278,133 @@ class PlanStats:
         )
 
 
+@dataclass(frozen=True)
+class PlanCacheInfo:
+    """Provenance counters of a :class:`CompiledModel`'s plan cache.
+
+    ``compiles`` counts plans built by tracing the module; ``artifact_loads``
+    counts plans rebuilt from the artifact store without any trace/fuse/
+    schedule work.  A warm-started worker therefore shows
+    ``compiles == 0`` — the machine-checkable "zero retraces" contract of
+    the cold-start benchmarks and the CI round-trip job.
+    """
+
+    plans: int
+    compiles: int
+    artifact_loads: int
+    artifact_rejects: int
+    artifact_saves: int
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One plan step in backend-neutral, serialisable form.
+
+    ``kwargs`` holds only plain data (scalars, tuples, ndarrays, sparse
+    constants) — kernel *functions* are never stored.  Fused steps keep
+    their chain as unbound ``(name, operand_refs, kwargs)`` instructions;
+    :func:`bind_plan` resolves every name through
+    :data:`repro.tensor.kernels.KERNELS` at bind time, which is what makes
+    a plan loadable in a process that never ran the trace.
+    """
+
+    name: str
+    in_slots: Tuple[int, ...]
+    kwargs: Dict
+    out_slot: int
+    #: Shape of the step output at trace time (the buffer view shape).
+    out_shape: Tuple[int, ...]
+    #: Pooled workspace storage id, or ``None`` for view/alloc steps.
+    storage: Optional[int] = None
+
+
+@dataclass
+class PlanSpec:
+    """The complete, serialisable description of one compiled plan.
+
+    Everything :class:`Plan` execution needs *except* live memory: the step
+    list (with fused chains unbound), the pooled workspace layout as
+    ``storage_sizes`` (storage id -> byte size; steps reference storages by
+    id, so the liveness-pooled aliasing structure survives serialisation),
+    the island/wave schedule as step indices, the slot-table geometry and
+    the :class:`PlanStats`.  Together with the constant slot values (cast
+    to the plan dtype) this rebuilds a bit-identical plan via
+    :func:`bind_plan` — the foundation of the on-disk plan artifacts in
+    :mod:`repro.runtime.artifacts`.
+    """
+
+    dtype: str
+    input_slot: int
+    output_slot: int
+    num_slots: int
+    #: Slots whose values are plan constants (parameters, folded values).
+    const_slots: Tuple[int, ...]
+    steps: List[StepSpec]
+    #: storage id -> byte size of the pooled workspace allocation.
+    storage_sizes: List[int]
+    #: Waves -> islands -> step indices (``None`` for serial plans).
+    schedule: Optional[List[List[List[int]]]]
+    stats: PlanStats
+
+
+def bind_plan(spec: PlanSpec, values: List[Optional[np.ndarray]]) -> "Plan":
+    """Materialise a :class:`Plan` from its spec and constant slot table.
+
+    Allocates the pooled workspace storages described by
+    ``spec.storage_sizes``, views each buffered step's output into its
+    assigned storage at the plan dtype, and binds every step (and fused
+    chain instruction) to its kernel by name.  ``values`` must be the full
+    slot table with the constants filled in (non-constant slots ``None``);
+    it is used as the plan's live slot table, not copied.
+
+    Raises :class:`KeyError` when a step names a kernel this build does not
+    provide — an artifact from an incompatible library version; callers
+    loading artifacts treat that as a validation failure and recompile.
+    """
+    if len(values) != spec.num_slots:
+        raise ValueError(
+            f"slot table has {len(values)} entries; plan spec expects {spec.num_slots}"
+        )
+    dtype = np.dtype(spec.dtype)
+    storages = [np.empty(nbytes, dtype=np.uint8) for nbytes in spec.storage_sizes]
+    steps: List[Tuple] = []
+    for step in spec.steps:
+        if step.name not in K.KERNELS:
+            raise KeyError(f"plan step names unknown kernel {step.name!r}")
+        kwargs = step.kwargs
+        if step.name == "fused_elementwise":
+            for name, _refs, _kw in step.kwargs["chain"]:
+                if name not in K.KERNELS:
+                    raise KeyError(f"fused chain names unknown kernel {name!r}")
+            kwargs = {
+                "chain": tuple(
+                    (name, K.KERNELS[name], tuple(refs), kw)
+                    for name, refs, kw in step.kwargs["chain"]
+                )
+            }
+        buffer = None
+        if step.storage is not None:
+            buffer = storages[step.storage].view(dtype).reshape(step.out_shape)
+        steps.append((K.KERNELS[step.name], step.in_slots, kwargs, step.out_slot, buffer))
+    schedule = None
+    if spec.schedule is not None:
+        schedule = [
+            [[steps[index] for index in island] for island in wave]
+            for wave in spec.schedule
+        ]
+    plan = Plan(
+        steps,
+        values,
+        spec.input_slot,
+        spec.output_slot,
+        spec.stats,
+        dtype=dtype,
+        schedule=schedule,
+    )
+    plan.spec = spec
+    return plan
+
+
 class Plan:
     """One compiled forward pass, specialised to a single input shape.
 
@@ -322,6 +460,28 @@ class Plan:
         self._transient_slots = [input_slot] + [step[3] for step in steps]
         self._exec_lock = threading.Lock()
         self.stats = stats
+        #: The serialisable :class:`PlanSpec` this plan was bound from
+        #: (set by the compiler / :func:`bind_plan`); what
+        #: :mod:`repro.runtime.artifacts` persists.
+        self.spec: Optional[PlanSpec] = None
+        #: Set on artifact-loaded plans that have not yet served a
+        #: parity-validated result; :class:`CompiledModel` checks row 0 of
+        #: the first result against the autograd forward *before returning
+        #: it* and clears the flag (or rejects the plan and recompiles).
+        #: Deferring the check onto the first real result keeps the warm
+        #: start to one plan execution instead of two.
+        self.pending_parity = False
+
+    def constants(self) -> Dict[int, np.ndarray]:
+        """Constant slot values (already cast to the plan dtype), by slot.
+
+        Constants survive the per-call transient-slot clearing, so this is
+        valid at any time; it is the value half of what an artifact saves
+        (the structure half being :attr:`spec`).
+        """
+        if self.spec is None:
+            raise ValueError("plan carries no spec; it was not built by the compiler")
+        return {slot: self._values[slot] for slot in self.spec.const_slots}
 
     def _run_island(self, island: List[Tuple]) -> None:
         values = self._values
@@ -448,6 +608,15 @@ class CompiledModel:
     ``REPRO_RUNTIME_PRECISION`` / ``REPRO_RUNTIME_THREADS`` environment
     variables.
 
+    **Plan artifacts** (``artifact_dir=``, a directory or a shared
+    :class:`~repro.runtime.artifacts.ArtifactStore`) make compiles durable:
+    plan-cache misses first try to rebuild the plan from a stored artifact
+    (trace-hash keyed, checksum- and parity-validated, falling back to
+    compiling on any mismatch) and fresh compiles are written through, so a
+    restarted process — or the N workers of a sharded service — trace each
+    shape once ever instead of once per process.  See
+    ``docs/runtime.md`` §Plan artifacts.
+
     Example
     -------
     >>> compiled = CompiledModel(model)          # switches model to eval
@@ -465,6 +634,7 @@ class CompiledModel:
         output_slice: Optional[Tuple[int, int]] = None,
         precision: Union[None, str, np.dtype] = None,
         threads: Union[None, int, str] = None,
+        artifact_dir=None,
     ) -> None:
         if max_plans <= 0:
             raise ValueError("max_plans must be positive")
@@ -487,6 +657,24 @@ class CompiledModel:
         # probe, so repeated B == 0 calls answer without running the model.
         self._empty_output_shapes: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         self._lock = threading.Lock()
+        self._artifacts = self._as_store(artifact_dir)
+        # Weights content hash keying artifacts; computed lazily, dropped on
+        # recompile() (the declared way to pick up mutated parameters).
+        self._weights_fp: Optional[str] = None
+        self._compiles = 0
+        self._artifact_loads = 0
+        self._artifact_rejects = 0
+        self._artifact_saves = 0
+
+    @staticmethod
+    def _as_store(artifact_dir):
+        if artifact_dir is None:
+            return None
+        from .artifacts import ArtifactStore
+
+        if isinstance(artifact_dir, ArtifactStore):
+            return artifact_dir
+        return ArtifactStore(artifact_dir)
 
     @property
     def module(self):
@@ -563,7 +751,11 @@ class CompiledModel:
             self._empty_output_shapes[tail] = result.shape[1:]
             return result
         array, trim = self._pad_to_bucket(array)
-        return self._get_or_compile(array).call(array, trim=trim, threads=self._threads)
+        plan = self._get_or_compile(array)
+        result = plan.call(array, trim=trim, threads=self._threads)
+        if plan.pending_parity:
+            result = self._confirm_parity(plan, array, result, trim)
+        return result
 
     def _pad_to_bucket(self, array: np.ndarray) -> Tuple[np.ndarray, Optional[int]]:
         """Pad axis 0 up to this model's bucket; see :func:`pad_batch_to_bucket`."""
@@ -576,6 +768,14 @@ class CompiledModel:
         Two threads racing on the same fresh shape may both compile; the
         first insert wins and the duplicate is dropped — wasted work, never
         wrong results, and no stall for shapes that are already cached.
+
+        With an artifact store attached, a cache miss first tries to rebuild
+        the plan from a stored artifact (validated by trace hash and
+        integrity checksum here, plus a one-row parity spot check against
+        the autograd forward on the first result it serves — any failure
+        falls back to compiling), and every freshly compiled plan is written
+        through to the store so sibling workers and future processes skip
+        the trace.
         """
         key = self._plan_key(array.shape, array.dtype)
         with self._lock:
@@ -583,7 +783,13 @@ class CompiledModel:
             if plan is not None:
                 self._plans.move_to_end(key)
                 return plan
-        plan = self._compile(array)
+        plan = self._load_artifact(array) if self._artifacts is not None else None
+        if plan is None:
+            plan = self._compile(array)
+            with self._lock:
+                self._compiles += 1
+            if self._artifacts is not None:
+                self._publish(plan)
         with self._lock:
             existing = self._plans.get(key)
             if existing is not None:
@@ -610,6 +816,192 @@ class CompiledModel:
             parallel=self._threads > 1,
         )
 
+    # ------------------------------------------------------------------
+    # Plan artifacts (see repro.runtime.artifacts and docs/runtime.md)
+    # ------------------------------------------------------------------
+    @property
+    def artifact_store(self):
+        """The attached :class:`~repro.runtime.artifacts.ArtifactStore`, if any."""
+        return self._artifacts
+
+    def _trace_key(self, shape: Tuple[int, ...], dtype: np.dtype) -> str:
+        """Artifact key for one trace; caches the weights fingerprint."""
+        from .artifacts import trace_hash, weights_fingerprint
+
+        with self._lock:
+            fingerprint = self._weights_fp
+        if fingerprint is None:
+            fingerprint = weights_fingerprint(self._module)
+            with self._lock:
+                self._weights_fp = fingerprint
+        return trace_hash(
+            self._module,
+            shape,
+            dtype,
+            output_slice=self._output_slice,
+            fold_constants=self._fold_constants,
+            fuse=self._fuse,
+            parallel=self._threads > 1,
+            bucket_cap=self._bucket_cap,
+            weights=fingerprint,
+        )
+
+    def _artifact_meta(self) -> Dict[str, str]:
+        module = self._module
+        return {
+            "module": f"{type(module).__module__}.{type(module).__qualname__}",
+            "weights": self._weights_fp or "",
+        }
+
+    def _confirm_parity(self, plan: Plan, array: np.ndarray, result: np.ndarray, trim) -> np.ndarray:
+        """Validate the first result served by an artifact-loaded plan.
+
+        Row 0 of ``result`` is compared against the autograd forward of
+        ``array``'s row 0 *before the result is returned* — an unvalidated
+        artifact never answers a request — and piggybacking on the result
+        the request computed anyway keeps the warm start to one plan
+        execution plus one 1-row autograd forward.  On a mismatch the plan
+        is discarded (the store entry with it) and the request is served by
+        a fresh compile.
+
+        Float64 plans must agree to near machine precision; float32 plans
+        to the documented tolerance contract (rtol = atol = 1e-4).  The
+        hair of float64 tolerance is deliberate: BLAS may pick a different
+        (equally valid) accumulation order for the 1-row autograd GEMM than
+        for the batched plan kernel.  Real corruption (wrong constants,
+        stale weights smuggled past the hash) is orders of magnitude
+        outside either band.
+        """
+        if result.shape[0] == 0:
+            return result  # empty-batch probe: nothing to check, stay pending
+        row = np.ascontiguousarray(array[:1], dtype=np.float64)
+        module = self._module
+        if self._output_slice is not None:
+            module = _SlicedForward(module, *self._output_slice)
+        expected = module(Tensor(row)).data[0]
+        got = result[0]
+        if plan.dtype == np.float64:
+            tolerance = dict(rtol=1e-9, atol=1e-12)
+        else:
+            tolerance = dict(rtol=1e-4, atol=1e-4)
+        if got.shape == expected.shape and bool(
+            np.allclose(got, expected, equal_nan=True, **tolerance)
+        ):
+            plan.pending_parity = False
+            return result
+        # Rejected: drop the plan and its artifact, serve a fresh compile.
+        key = self._plan_key(array.shape, array.dtype)
+        with self._lock:
+            self._artifact_rejects += 1
+            self._artifact_loads -= 1
+            if self._plans.get(key) is plan:
+                del self._plans[key]
+        if self._artifacts is not None:
+            self._artifacts.forget(self._trace_key(array.shape, array.dtype))
+        fresh = self._compile(array)
+        with self._lock:
+            self._compiles += 1
+        if self._artifacts is not None:
+            self._publish(fresh)
+        with self._lock:
+            if key not in self._plans:
+                self._plans[key] = fresh
+                while len(self._plans) > self._max_plans:
+                    self._plans.popitem(last=False)
+        return fresh.call(array, trim=trim, threads=self._threads)
+
+    def _load_artifact(self, array: np.ndarray) -> Optional[Plan]:
+        """Rebuild the plan for ``array`` from the store, or ``None``.
+
+        Every validation failure — unreadable/corrupted/stale file, unknown
+        kernel name, shape/dtype mismatch — lands here as a rejection: the
+        bad entry is dropped from the store's memo and the caller compiles
+        instead.  Artifacts accelerate, never gate.  The surviving plan is
+        still marked :attr:`Plan.pending_parity`: row 0 of the first result
+        it computes is checked against the autograd forward before being
+        served (see :meth:`_confirm_parity`), which catches corruption the
+        structural checks cannot — without a throwaway warm-up execution.
+        """
+        from .artifacts import ArtifactError
+
+        key = self._trace_key(array.shape, array.dtype)
+        try:
+            loaded = self._artifacts.load(key)
+            if loaded is None:
+                return None
+            spec, values, _meta = loaded
+            if spec.dtype != array.dtype.name or tuple(spec.stats.input_shape) != array.shape:
+                raise ArtifactError(
+                    f"artifact {key} describes shape {spec.stats.input_shape} dtype "
+                    f"{spec.dtype}; requested {array.shape} {array.dtype.name}"
+                )
+            plan = bind_plan(spec, values)
+        except (ArtifactError, KeyError, ValueError):
+            with self._lock:
+                self._artifact_rejects += 1
+            self._artifacts.forget(key)
+            return None
+        plan.pending_parity = True
+        with self._lock:
+            self._artifact_loads += 1
+        return plan
+
+    def _publish(self, plan: Plan) -> None:
+        """Write a freshly compiled plan through to the attached store."""
+        from .artifacts import ArtifactError
+
+        if plan.spec is None:
+            return
+        key = self._trace_key(plan.spec.stats.input_shape, np.dtype(plan.spec.dtype))
+        try:
+            self._artifacts.save(key, plan.spec, plan.constants(), meta=self._artifact_meta())
+        except ArtifactError:
+            return  # plan kwargs this store cannot serialise; fast-path unavailable
+        with self._lock:
+            self._artifact_saves += 1
+
+    def save_artifacts(self, path=None) -> List:
+        """Persist every cached plan as an on-disk artifact.
+
+        ``path`` may be a directory or an
+        :class:`~repro.runtime.artifacts.ArtifactStore`; omitted, the store
+        attached at construction (``artifact_dir=``) is used.  Returns the
+        written paths.  This is the AOT half of warm starts: compile (or
+        :meth:`compile_for`) the shapes you serve, save, and any fresh
+        process pointed at the same directory binds the plans without a
+        single trace.
+        """
+        store = self._as_store(path) if path is not None else self._artifacts
+        if store is None:
+            raise ValueError(
+                "no artifact store: pass save_artifacts(path) or construct "
+                "the model with artifact_dir="
+            )
+        with self._lock:
+            plans = list(self._plans.values())
+        written = []
+        for plan in plans:
+            if plan.spec is None:
+                continue
+            key = self._trace_key(plan.spec.stats.input_shape, np.dtype(plan.spec.dtype))
+            result = store.save(key, plan.spec, plan.constants(), meta=self._artifact_meta())
+            with self._lock:
+                self._artifact_saves += 1
+            if result is not None:
+                written.append(result)
+        return written
+
+    def cache_info(self) -> PlanCacheInfo:
+        """Plan-cache provenance counters (see :class:`PlanCacheInfo`)."""
+        with self._lock:
+            return PlanCacheInfo(
+                plans=len(self._plans),
+                compiles=self._compiles,
+                artifact_loads=self._artifact_loads,
+                artifact_rejects=self._artifact_rejects,
+                artifact_saves=self._artifact_saves,
+            )
+
     def compile_for(self, example, precision: Union[None, str, np.dtype] = None) -> PlanStats:
         """Eagerly compile the plan that would serve ``example``'s shape.
 
@@ -629,6 +1021,9 @@ class CompiledModel:
         with self._lock:
             self._plans.clear()
             self._empty_output_shapes.clear()
+            # Weights changed (that is what recompile signals), so the old
+            # fingerprint — and any artifact keyed by it — no longer applies.
+            self._weights_fp = None
 
     def plan_stats(self) -> List[PlanStats]:
         """Stats of every cached plan (one per input shape seen)."""

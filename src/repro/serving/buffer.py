@@ -223,7 +223,13 @@ class RollingWindowBuffer:
             return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Restore a :meth:`state_dict` snapshot into this buffer."""
+        """Restore a :meth:`state_dict` snapshot into this buffer.
+
+        The snapshot's ring must match the live ring in dtype and shape
+        (see :meth:`StreamingWindows.load_state_dict`) — restoring a
+        float64 snapshot into a float32 serving buffer raises instead of
+        silently changing the deployment's precision.
+        """
         with self._lock:
             self._stream.load_state_dict({"store": state["store"], "count": state["count"]})
             self._corrections = int(state.get("corrections", 0))
@@ -249,6 +255,11 @@ class RollingWindowBuffer:
             corrections=np.int64(state["corrections"]),
             epoch=np.int64(state["epoch"]),
             dims=np.array([self.input_length, self.num_nodes, self.num_features], dtype=np.int64),
+            # The ring dtype, recorded explicitly so restore() can reject a
+            # precision mismatch with a clear message before touching the
+            # live ring (the store array also carries it, but only
+            # implicitly).
+            dtype=np.array(str(self.dtype)),
         )
         return path
 
@@ -267,6 +278,16 @@ class RollingWindowBuffer:
             if dims != expected:
                 raise ValueError(
                     f"buffer state dimensions {dims} do not match this buffer's {expected}"
+                )
+            stored_dtype = np.dtype(
+                archive["dtype"].item() if "dtype" in archive.files else archive["store"].dtype
+            )
+            if stored_dtype != self.dtype:
+                raise ValueError(
+                    f"buffer state {path} was saved from a {stored_dtype} ring; this "
+                    f"buffer serves at {self.dtype} — restoring would silently change "
+                    "the deployment's precision.  Save a snapshot at the serving "
+                    f"precision or construct the buffer with dtype={stored_dtype}."
                 )
             self.load_state_dict(
                 {

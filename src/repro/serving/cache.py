@@ -108,7 +108,15 @@ class ForecastCache:
         return (str(model_version), hash_window(window), int(horizon))
 
     def get(self, key: CacheKey) -> Optional[np.ndarray]:
-        """Look up a forecast; counts a hit or a miss and refreshes recency."""
+        """Look up a forecast; counts a hit or a miss and refreshes recency.
+
+        The defensive copy of the ``(H, N)`` hit is taken *outside* the
+        lock: stored arrays are never mutated in place (:meth:`put`
+        replaces the dict value with a fresh copy), so once the reference
+        is out of the dict the memcpy needs no protection — holding the
+        lock across it would serialise every concurrent serving thread
+        behind each other's copies.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -116,7 +124,7 @@ class ForecastCache:
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
-            return entry.copy()
+        return entry.copy()
 
     def put(self, key: CacheKey, forecast: np.ndarray) -> None:
         """Store a forecast, evicting the least recently used entry if full."""

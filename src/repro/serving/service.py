@@ -55,6 +55,7 @@ import numpy as np
 
 from ..nn import Module
 from ..runtime import (
+    ArtifactStore,
     CompiledModel,
     resolve_precision,
     resolve_runtime_mode,
@@ -120,6 +121,7 @@ class ForecastFrontend:
         runtime: Optional[str] = None,
         precision: Optional[str] = None,
         threads: Optional[int] = None,
+        artifact_dir: Optional[Union[str, Path, ArtifactStore]] = None,
     ) -> None:
         config = getattr(model, "config", None)
         if config is None:
@@ -132,6 +134,16 @@ class ForecastFrontend:
         self.runtime = resolve_runtime_mode(runtime)
         self.precision = resolve_precision(precision).name
         self.threads = resolve_thread_count(threads)
+        # One store instance for the whole deployment: resolved here so the
+        # sharded service hands the SAME object to every worker — N shards
+        # then share one on-disk directory *and* one in-process memo, i.e.
+        # each trace is compiled once per fleet, not once per worker.
+        # (Ignored under the autograd runtime, which compiles nothing.)
+        self.artifact_store: Optional[ArtifactStore] = (
+            artifact_dir
+            if artifact_dir is None or isinstance(artifact_dir, ArtifactStore)
+            else ArtifactStore(artifact_dir)
+        )
         if self.runtime != "compiled" and self.precision != "float64":
             raise ValueError(
                 "reduced-precision serving requires the compiled runtime; "
@@ -269,6 +281,28 @@ class ForecastFrontend:
         """Bump the request counter (locked: query paths race by design)."""
         with self._requests_lock:
             self._requests += count
+
+    # ------------------------------------------------------------------
+    def _warm_up_sizes(self, batch_sizes, cap: int) -> List[int]:
+        """Resolve a warm-up ladder: explicit sizes, or doubling up to ``cap``."""
+        if batch_sizes is not None:
+            sizes = sorted({int(size) for size in batch_sizes})
+            if not sizes or sizes[0] <= 0:
+                raise ValueError("warm_up batch sizes must be positive")
+            return sizes
+        sizes: List[int] = []
+        size = 1
+        while size < cap:
+            sizes.append(size)
+            size *= 2
+        sizes.append(cap)
+        return sizes
+
+    def _example_batch(self, size: int) -> np.ndarray:
+        """A zero batch of ``size`` windows shaped for the served model."""
+        return np.zeros(
+            (size, self.config.input_length, self.config.num_nodes, self.config.input_dim)
+        )
 
     # ------------------------------------------------------------------
     # Shared query skeleton.  The cache front, miss deduplication and
@@ -476,6 +510,11 @@ class ForecastService(ForecastFrontend):
         Island-parallel replay width of the compiled plans (integer or
         ``"auto"``; ``None`` consults ``REPRO_RUNTIME_THREADS``; 1 — the
         default — replays serially).
+    artifact_dir:
+        Directory (or shared :class:`~repro.runtime.ArtifactStore`) of
+        durable plan artifacts: a restarted service rebuilds its plans from
+        disk instead of re-tracing — the warm-start recipe in
+        ``docs/serving_quickstart.md``.  Fresh compiles are written through.
 
     Example
     -------
@@ -498,6 +537,7 @@ class ForecastService(ForecastFrontend):
         runtime: Optional[str] = None,
         precision: Optional[str] = None,
         threads: Optional[int] = None,
+        artifact_dir: Optional[Union[str, Path, ArtifactStore]] = None,
     ) -> None:
         super().__init__(
             model,
@@ -507,12 +547,18 @@ class ForecastService(ForecastFrontend):
             runtime=runtime,
             precision=precision,
             threads=threads,
+            artifact_dir=artifact_dir,
         )
         # One forward callable for every serving path: the compiled runtime
         # returns plain arrays, the autograd model returns Tensors; both are
         # normalised in _predict / MicroBatcher.flush.
         self._forward = (
-            CompiledModel(model, precision=self.precision, threads=self.threads)
+            CompiledModel(
+                model,
+                precision=self.precision,
+                threads=self.threads,
+                artifact_dir=self.artifact_store,
+            )
             if self.runtime == "compiled"
             else model
         )
@@ -670,6 +716,37 @@ class ForecastService(ForecastFrontend):
         forecast = self._predict(window, horizon)
         self.cache.put(key, forecast)
         return forecast.copy()
+
+    # ------------------------------------------------------------------
+    def save_artifacts(self, path=None) -> List:
+        """Persist every compiled plan as a durable artifact (AOT warm start).
+
+        ``path`` may be a directory or an
+        :class:`~repro.runtime.ArtifactStore`; omitted, the store attached
+        at construction (``artifact_dir=``) is used.  A service restarted
+        against the same store serves its first request with zero retraces.
+        """
+        if self.runtime != "compiled":
+            raise ValueError("plan artifacts require the compiled runtime")
+        return self._forward.save_artifacts(path)
+
+    def warm_up(self, batch_sizes=None) -> List:
+        """Build the batch-size ladder of plans before traffic arrives.
+
+        A freshly started service pays its trace/fuse/schedule work — or,
+        pointed at a saved artifact store (``artifact_dir=``), a few disk
+        binds — here instead of on the first unlucky requests.  One plan
+        per batch size is prepared; by default a doubling ladder up to the
+        batcher's ``max_batch_size``.  Returns the
+        :class:`~repro.runtime.PlanStats` of every warmed plan.  No-op
+        under the autograd runtime, which has nothing to compile.
+        """
+        if self.runtime != "compiled":
+            return []
+        return [
+            self._forward.compile_for(self._example_batch(size))
+            for size in self._warm_up_sizes(batch_sizes, self.batcher.max_batch_size)
+        ]
 
     # ------------------------------------------------------------------
     def close(self) -> None:

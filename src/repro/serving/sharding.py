@@ -256,6 +256,12 @@ class ShardedForecastService(ForecastFrontend):
         plans execute at the service's ``precision`` with ``threads``-wide
         island replay, and synchronous queries accept the same per-request
         ``precision=`` override).
+    artifact_dir:
+        Directory (or :class:`~repro.runtime.ArtifactStore`) of durable
+        plan artifacts, shared by **all** workers: replicas reuse one
+        in-process memo (the fleet compiles each trace once, not once per
+        worker) and a restarted fleet warm-starts every shard from disk
+        with zero retraces — see ``docs/serving_quickstart.md``.
     num_shards:
         Worker count.  ``mode="nodes"`` requires ``num_shards <= N``.
     mode:
@@ -294,6 +300,7 @@ class ShardedForecastService(ForecastFrontend):
         runtime: Optional[str] = None,
         precision: Optional[str] = None,
         threads: Optional[int] = None,
+        artifact_dir=None,
     ) -> None:
         if mode not in SHARDING_MODES:
             raise ValueError(f"unknown sharding mode {mode!r}; expected one of {SHARDING_MODES}")
@@ -313,11 +320,18 @@ class ShardedForecastService(ForecastFrontend):
             runtime=runtime,
             precision=precision,
             threads=threads,
+            artifact_dir=artifact_dir,
         )
         self.mode = mode
         self.num_shards = num_shards
         self.auto_flush_at = auto_flush_at
         self._workers: List[_ShardWorker] = []
+        # Every worker engine gets the SAME store object (resolved once by
+        # the frontend): replicas share one memo, so the fleet parses and
+        # compiles each trace once; node shards key their artifacts by
+        # output_slice, so a restarted fleet warm-starts every shard from
+        # the shared directory.
+        store = self.artifact_store
         if mode == "nodes":
             from ..runtime.engine import _SlicedForward
 
@@ -329,6 +343,7 @@ class ShardedForecastService(ForecastFrontend):
                         output_slice=(lo, hi),
                         precision=self.precision,
                         threads=self.threads,
+                        artifact_dir=store,
                     )
                 else:
                     # The same trace adapter the compiled plans use, run as
@@ -342,7 +357,12 @@ class ShardedForecastService(ForecastFrontend):
                 # buffers are per-worker, so replicas execute concurrently;
                 # the weights stay shared by reference.
                 forward = (
-                    CompiledModel(model, precision=self.precision, threads=self.threads)
+                    CompiledModel(
+                        model,
+                        precision=self.precision,
+                        threads=self.threads,
+                        artifact_dir=store,
+                    )
                     if self.runtime == "compiled"
                     else model
                 )
@@ -557,6 +577,44 @@ class ShardedForecastService(ForecastFrontend):
         if self.cache is not None:
             self.cache.put((self._key_version(), token, horizon), forecast)
         return forecast.copy()
+
+    # ------------------------------------------------------------------
+    def save_artifacts(self, path=None) -> List:
+        """Persist every shard's compiled plans as durable artifacts.
+
+        ``path`` may be a directory or an
+        :class:`~repro.runtime.ArtifactStore`; omitted, the store shared by
+        the workers (``artifact_dir=``) is used.  A fleet restarted against
+        the same store binds every shard's plans from disk — zero retraces
+        on the first request of every worker.
+        """
+        if self.runtime != "compiled":
+            raise ValueError("plan artifacts require the compiled runtime")
+        written: List = []
+        for worker in self._workers:
+            written.extend(worker.batcher.forward_fn.save_artifacts(path))
+        return written
+
+    def warm_up(self, batch_sizes=None) -> List:
+        """Build every shard's batch-size plan ladder before traffic.
+
+        Each worker prepares one plan per batch size (doubling up to its
+        batcher's ``max_batch_size`` by default) against the **shared**
+        artifact store: a restarted fleet binds all its plans from disk —
+        and a replica fleet compiles each trace once, the rest hitting the
+        store's in-process memo.  Returns the stats of every warmed plan
+        across workers.  No-op under the autograd runtime.
+        """
+        if self.runtime != "compiled":
+            return []
+        stats: List = []
+        for worker in self._workers:
+            sizes = self._warm_up_sizes(batch_sizes, worker.batcher.max_batch_size)
+            stats.extend(
+                worker.batcher.forward_fn.compile_for(self._example_batch(size))
+                for size in sizes
+            )
+        return stats
 
     # ------------------------------------------------------------------
     def close(self) -> None:

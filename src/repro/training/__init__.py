@@ -3,10 +3,12 @@
 from .checkpoints import (
     InMemoryCheckpoint,
     LoadedCheckpoint,
+    artifact_dir_for,
     load_checkpoint,
     load_model_checkpoint,
     save_checkpoint,
     save_model_checkpoint,
+    save_plan_artifacts,
 )
 from .early_stopping import EarlyStopping
 from .experiment import ExperimentResult, run_neural_experiment, run_statistical_experiment
@@ -34,6 +36,8 @@ __all__ = [
     "load_checkpoint",
     "save_model_checkpoint",
     "load_model_checkpoint",
+    "save_plan_artifacts",
+    "artifact_dir_for",
     "Trainer",
     "TrainerConfig",
     "TrainingHistory",

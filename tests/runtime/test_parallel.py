@@ -122,6 +122,31 @@ class TestSharedPool:
         # Same width resolves to the same pool (no churn).
         assert _shared_pool(4) is large
 
+    def test_pool_thread_count_stays_bounded_across_grow_cycles(self):
+        """Repeated growth must grow the ONE pool in place, not orphan the
+        old executor each cycle — stranded idle thread stacks would
+        accumulate until GC finalisation."""
+        import threading
+        from concurrent.futures import wait
+
+        from repro.runtime.engine import _shared_pool
+
+        first = _shared_pool(2)
+        for width in (3, 4, 6, 8, 4, 8):
+            pool = _shared_pool(width)
+            assert pool is first
+            # Saturate so every lazily spawned worker actually exists.
+            wait([pool.submit(lambda: None) for _ in range(16)])
+        workers = [
+            thread
+            for thread in threading.enumerate()
+            if thread.name.startswith("repro-runtime")
+        ]
+        # One pool, bounded by the largest width ever requested (the
+        # replaying thread runs one island itself: 8-way => 7 workers).
+        assert len(workers) <= 7
+        assert first._max_workers == 7
+
 
 class TestDeterminism:
     """threads=1 vs threads=4: identical numbers, many batches."""

@@ -119,3 +119,78 @@ class TestRollingWindowBuffer:
         single = RollingWindowBuffer(2, num_nodes=3, num_features=1)
         with pytest.raises(ValueError, match=r"\(steps, N, F\)"):
             single.ingest_signal(np.zeros(4))
+
+
+@pytest.mark.fast
+class TestStateDtypeValidation:
+    """Regression (ISSUE 6): restore/load_state_dict silently cast the ring.
+
+    A float64 snapshot restored into a float32 serving buffer (or vice
+    versa) used to change the deployment's precision without a word; a
+    ring from a different node count is caught by the shape check.  Both
+    must raise clearly, and the ring dtype must round-trip through
+    save/restore.
+    """
+
+    def _filled(self, dtype=float) -> RollingWindowBuffer:
+        buffer = RollingWindowBuffer(3, num_nodes=2, num_features=1, dtype=dtype)
+        rng = np.random.default_rng(33)
+        buffer.ingest_signal(rng.random((4, 2, 1)) * 100)
+        return buffer
+
+    def test_float32_ring_round_trips_through_save_restore(self, tmp_path):
+        source = self._filled(dtype=np.float32)
+        path = source.save(tmp_path / "state")
+        target = RollingWindowBuffer(3, num_nodes=2, num_features=1, dtype=np.float32)
+        target.restore(path)
+        assert target.dtype == np.float32
+        np.testing.assert_array_equal(target.window(), source.window())
+        assert target.steps_ingested == source.steps_ingested
+
+    def test_float64_ring_round_trips_through_save_restore(self, tmp_path):
+        source = self._filled()
+        path = source.save(tmp_path / "state")
+        target = RollingWindowBuffer(3, num_nodes=2, num_features=1)
+        target.restore(path)
+        assert target.dtype == np.float64
+        np.testing.assert_array_equal(target.window(), source.window())
+
+    def test_restore_rejects_precision_mismatch(self, tmp_path):
+        path = self._filled(dtype=float).save(tmp_path / "state64")
+        float32_buffer = RollingWindowBuffer(3, num_nodes=2, num_features=1, dtype=np.float32)
+        with pytest.raises(ValueError, match="precision"):
+            float32_buffer.restore(path)
+        # And the other direction: a float32 snapshot must not be upcast.
+        path32 = self._filled(dtype=np.float32).save(tmp_path / "state32")
+        float64_buffer = RollingWindowBuffer(3, num_nodes=2, num_features=1)
+        with pytest.raises(ValueError, match="precision"):
+            float64_buffer.restore(path32)
+
+    def test_load_state_dict_rejects_dtype_mismatch(self):
+        state = self._filled(dtype=float).state_dict()
+        target = RollingWindowBuffer(3, num_nodes=2, num_features=1, dtype=np.float32)
+        with pytest.raises(ValueError, match="dtype"):
+            target.load_state_dict(state)
+
+    def test_load_state_dict_rejects_shape_mismatch(self):
+        state = self._filled().state_dict()
+        wider = RollingWindowBuffer(3, num_nodes=4, num_features=1)
+        with pytest.raises(ValueError, match="shape"):
+            wider.load_state_dict(state)
+
+    def test_streaming_windows_reject_dtype_mismatch(self):
+        stream = StreamingWindows(2, num_nodes=2, num_features=1, dtype=np.float32)
+        for _ in range(2):
+            stream.push(np.zeros((2, 1), dtype=np.float32))
+        target = StreamingWindows(2, num_nodes=2, num_features=1)
+        with pytest.raises(ValueError, match="dtype"):
+            target.load_state_dict(stream.state_dict())
+
+    def test_failed_restore_leaves_live_ring_untouched(self, tmp_path):
+        path = self._filled(dtype=float).save(tmp_path / "state")
+        target = RollingWindowBuffer(3, num_nodes=2, num_features=1, dtype=np.float32)
+        target.ingest_signal(np.ones((3, 2, 1), dtype=np.float32))
+        before = target.window().copy()
+        with pytest.raises(ValueError):
+            target.restore(path)
+        np.testing.assert_array_equal(target.window(), before)

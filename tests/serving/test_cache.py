@@ -143,3 +143,53 @@ class TestLRUEviction:
     def test_rejects_non_positive_capacity(self):
         with pytest.raises(ValueError):
             ForecastCache(max_entries=0)
+
+
+class TestLockContention:
+    def test_hit_copy_runs_outside_the_critical_section(self):
+        """Regression (ISSUE 6): get() used to copy the (H, N) forecast while
+        holding the cache lock, serialising every concurrent serving thread
+        behind memcpy.  With a hit's copy artificially blocked, other
+        threads must still get in and out of the cache immediately."""
+        import threading
+
+        cache = ForecastCache(max_entries=8)
+        slow_key, fast_key = _key(seed=1), _key(seed=2)
+        cache.put(slow_key, np.zeros(4))
+        cache.put(fast_key, np.ones(4))
+
+        copy_started, release_copy = threading.Event(), threading.Event()
+
+        class SlowCopy(np.ndarray):
+            def copy(self, order="C"):
+                copy_started.set()
+                assert release_copy.wait(timeout=5.0), "blocked copy never released"
+                return np.asarray(self).copy(order)
+
+        with cache._lock:
+            cache._entries[slow_key] = cache._entries[slow_key].view(SlowCopy)
+
+        result = {}
+        reader = threading.Thread(target=lambda: result.update(slow=cache.get(slow_key)))
+        reader.start()
+        try:
+            assert copy_started.wait(timeout=5.0)
+            # The slow hit's copy is in flight on the reader thread.  The
+            # cache must still answer other threads immediately: if get()
+            # copied under the lock, this worker would hang until the
+            # release below and the join would time out.
+            done = threading.Event()
+
+            def other_traffic():
+                assert cache.get(fast_key) is not None
+                cache.put(_key(seed=3), np.full(4, 3.0))
+                done.set()
+
+            worker = threading.Thread(target=other_traffic)
+            worker.start()
+            worker.join(timeout=2.0)
+            assert done.is_set(), "a concurrent get/put serialised behind the hit's copy"
+        finally:
+            release_copy.set()
+            reader.join(timeout=5.0)
+        np.testing.assert_array_equal(result["slow"], np.zeros(4))
