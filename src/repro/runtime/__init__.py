@@ -43,6 +43,7 @@ from .engine import (
     PRECISION_ENV_VAR,
     PRECISIONS,
     THREADS_ENV_VAR,
+    WORKSPACE_ALIGN,
     CompiledModel,
     Plan,
     PlanCacheInfo,
@@ -51,6 +52,7 @@ from .engine import (
     StepSpec,
     bind_plan,
     bucket_batch_size,
+    plan_workspace_nbytes,
     resolve_bucket_cap,
     resolve_precision,
     resolve_thread_count,
@@ -75,6 +77,7 @@ __all__ = [
     "RUNTIME_ENV_VAR",
     "StepSpec",
     "THREADS_ENV_VAR",
+    "WORKSPACE_ALIGN",
     "bind_plan",
     "bucket_batch_size",
     "build_plan_spec",
@@ -82,6 +85,7 @@ __all__ = [
     "compile_plan",
     "compile_training_model",
     "plan_trainable",
+    "plan_workspace_nbytes",
     "resolve_bucket_cap",
     "resolve_precision",
     "resolve_runtime_mode",

@@ -541,7 +541,16 @@ class ArtifactStore:
             ),
         }
         path = self.path_for(key)
-        temporary = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        # pid AND thread id: two shard workers racing to publish the same
+        # trace (replica fleets compile concurrently) must never share a
+        # temp file, or one thread's os.replace steals the other's.
+        temporary = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+        )
+        # The directory may have been removed since construction (e.g. a
+        # closed process tier's spill store publishing a post-close plan);
+        # recreate it rather than failing the compile that got us here.
+        self.root.mkdir(parents=True, exist_ok=True)
         try:
             with open(temporary, "wb") as handle:
                 np.savez(handle, **payload)
@@ -552,6 +561,17 @@ class ArtifactStore:
         return path
 
     # ------------------------------------------------------------------
+    def peek(self, key: str):
+        """Stat-neutral memo lookup: ``(spec, constants)`` or ``None``.
+
+        Unlike :meth:`load` this never touches the disk and never moves
+        the load/memo-hit counters — infrastructure that merely inspects
+        an already-ensured plan (e.g. sizing a shared-memory segment from
+        its buffer layout) should not distort warm-start accounting.
+        """
+        with self._lock:
+            return self._memo.get(key)
+
     def load(self, key: str):
         """Fetch ``(spec, values, meta)`` for one trace hash.
 
@@ -636,6 +656,25 @@ class ArtifactStore:
                 f"artifact {path} is missing constant slots {sorted(missing)} (truncated?)"
             )
         return spec, constants, meta
+
+    def bind(self, key: str, workspace: Optional[np.ndarray] = None):
+        """Load one artifact and materialise it as an executable plan.
+
+        Returns ``None`` when no artifact exists for ``key``; propagates
+        :class:`ArtifactError` on validation failure (callers fall back to
+        compiling — or, in a worker process that must never trace, to
+        reporting the key unavailable).  ``workspace`` is forwarded to
+        :func:`~repro.runtime.engine.bind_plan`: a flat ``uint8`` buffer —
+        e.g. a ``multiprocessing.shared_memory`` arena — that the plan's
+        pooled storages are carved from instead of the heap.
+        """
+        from .engine import bind_plan
+
+        loaded = self.load(key)
+        if loaded is None:
+            return None
+        spec, values, _meta = loaded
+        return bind_plan(spec, values, workspace=workspace)
 
     # ------------------------------------------------------------------
     def forget(self, key: str) -> None:

@@ -21,7 +21,7 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +41,8 @@ __all__ = [
     "PRECISION_ENV_VAR",
     "PRECISIONS",
     "THREADS_ENV_VAR",
+    "WORKSPACE_ALIGN",
+    "plan_workspace_nbytes",
     "resolve_bucket_cap",
     "resolve_precision",
     "resolve_thread_count",
@@ -347,7 +349,32 @@ class PlanSpec:
     stats: PlanStats
 
 
-def bind_plan(spec: PlanSpec, values: List[Optional[np.ndarray]]) -> "Plan":
+#: Alignment of every pooled storage inside an externally supplied plan
+#: workspace (matches the artifact pack alignment, so views stay
+#: cache-line aligned wherever the buffer lives — heap or shared memory).
+WORKSPACE_ALIGN = 64
+
+
+def plan_workspace_nbytes(storage_sizes: Sequence[int]) -> int:
+    """Bytes an external workspace must provide for one plan's storages.
+
+    The layout is deterministic: storages are carved out in id order, each
+    starting on a :data:`WORKSPACE_ALIGN` boundary — exactly what
+    :func:`bind_plan` does with its ``workspace=`` argument.  Callers
+    preallocating shared-memory segments size them with this.
+    """
+    total = 0
+    for nbytes in storage_sizes:
+        total += (-total) % WORKSPACE_ALIGN
+        total += int(nbytes)
+    return total
+
+
+def bind_plan(
+    spec: PlanSpec,
+    values: List[Optional[np.ndarray]],
+    workspace: Optional[np.ndarray] = None,
+) -> "Plan":
     """Materialise a :class:`Plan` from its spec and constant slot table.
 
     Allocates the pooled workspace storages described by
@@ -356,6 +383,16 @@ def bind_plan(spec: PlanSpec, values: List[Optional[np.ndarray]]) -> "Plan":
     chain instruction) to its kernel by name.  ``values`` must be the full
     slot table with the constants filled in (non-constant slots ``None``);
     it is used as the plan's live slot table, not copied.
+
+    ``workspace`` — a flat ``uint8`` buffer of at least
+    :func:`plan_workspace_nbytes` bytes — replaces the heap allocation:
+    storages become :data:`WORKSPACE_ALIGN`-aligned views *into the given
+    buffer*, so a plan can execute entirely inside a
+    ``multiprocessing.shared_memory`` segment and its outputs are published
+    to other processes without a copy (the process-tier hand-off in
+    :mod:`repro.serving.process_tier`).  Buffer placement never changes the
+    arithmetic, so a workspace-bound plan stays bit-identical to a
+    heap-bound one.
 
     Raises :class:`KeyError` when a step names a kernel this build does not
     provide — an artifact from an incompatible library version; callers
@@ -366,7 +403,27 @@ def bind_plan(spec: PlanSpec, values: List[Optional[np.ndarray]]) -> "Plan":
             f"slot table has {len(values)} entries; plan spec expects {spec.num_slots}"
         )
     dtype = np.dtype(spec.dtype)
-    storages = [np.empty(nbytes, dtype=np.uint8) for nbytes in spec.storage_sizes]
+    if workspace is None:
+        storages = [np.empty(nbytes, dtype=np.uint8) for nbytes in spec.storage_sizes]
+    else:
+        workspace = np.asarray(workspace)
+        if workspace.ndim != 1 or workspace.dtype != np.uint8:
+            raise ValueError(
+                f"workspace must be a flat uint8 buffer; got {workspace.dtype} "
+                f"with shape {workspace.shape}"
+            )
+        needed = plan_workspace_nbytes(spec.storage_sizes)
+        if workspace.nbytes < needed:
+            raise ValueError(
+                f"workspace of {workspace.nbytes} bytes is smaller than the "
+                f"plan's {needed}-byte storage layout"
+            )
+        storages = []
+        offset = 0
+        for nbytes in spec.storage_sizes:
+            offset += (-offset) % WORKSPACE_ALIGN
+            storages.append(workspace[offset : offset + int(nbytes)])
+            offset += int(nbytes)
     steps: List[Tuple] = []
     for step in spec.steps:
         if step.name not in K.KERNELS:
@@ -696,6 +753,11 @@ class CompiledModel:
         """Thread count used to replay independent plan islands (1 = serial)."""
         return self._threads
 
+    @property
+    def bucket_cap(self) -> Optional[int]:
+        """Largest padded batch bucket (``None`` when bucketing is disabled)."""
+        return self._bucket_cap
+
     def _plan_key(self, shape: Tuple[int, ...], dtype: np.dtype) -> Tuple:
         """Plan-cache key: input shape, execution dtype, shard slice.
 
@@ -1015,6 +1077,44 @@ class CompiledModel:
             array = array.astype(dtype)
         array, _ = self._pad_to_bucket(array)
         return self._get_or_compile(array).stats
+
+    def artifact_key(self, shape: Tuple[int, ...], precision: Union[None, str, np.dtype] = None) -> str:
+        """The artifact trace hash serving an (already bucketed) input shape.
+
+        This is the name under which :meth:`save_artifacts` / the
+        write-through publish stores the plan — the lookup handle a
+        *different process* (a forked shard worker) uses to bind the same
+        plan from a shared :class:`~repro.runtime.artifacts.ArtifactStore`
+        without ever seeing this model object.
+        """
+        dtype = self._resolve_call_dtype(precision)
+        return self._trace_key(tuple(int(dim) for dim in shape), dtype)
+
+    def ensure_validated(self, example, precision: Union[None, str, np.dtype] = None) -> PlanStats:
+        """Ensure a parity-confirmed plan exists for ``example``'s shape.
+
+        Like :meth:`compile_for`, but an artifact-loaded plan is also taken
+        through its deferred row-0 parity spot check here (executing the
+        example once), instead of on the first live request.  The process
+        tier calls this before telling worker processes to bind a key: a
+        child replays plans blindly, so every artifact it may bind must
+        already be spot-checked — or rejected and republished — by the
+        parent.
+        """
+        dtype = self._resolve_call_dtype(precision)
+        array = example.data if isinstance(example, Tensor) else np.asarray(example)
+        if array.dtype != dtype:
+            array = array.astype(dtype)
+        array, _ = self._pad_to_bucket(array)
+        plan = self._get_or_compile(array)
+        if plan.pending_parity:
+            probe = np.ascontiguousarray(array)
+            result = plan.call(probe, trim=None, threads=self._threads)
+            self._confirm_parity(plan, probe, result, None)
+            # A failed check replaced the plan (and its artifact) with a
+            # fresh compile; re-fetch whichever plan now serves the shape.
+            plan = self._get_or_compile(array)
+        return plan.stats
 
     def recompile(self) -> None:
         """Drop all cached plans (required after parameter updates)."""

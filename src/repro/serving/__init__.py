@@ -11,6 +11,11 @@ the ROADMAP's "serve heavy traffic" north star:
 * :class:`ShardedForecastService` — the same query surface served by
   ``num_shards`` concurrent workers (sensor-set or replica sharding),
   bit-identical to the single-worker service;
+* :class:`ProcessShardExecutor` — the ``executor="processes"`` backend of
+  the sharded service: each shard's compiled plans replayed by a worker
+  *process* over preallocated shared memory (escaping the interpreter
+  lock), with priority lanes and :class:`ServiceOverloaded` admission
+  control (see :mod:`repro.serving.process_tier`);
 * :class:`MicroBatcher` — coalesces concurrent single-window requests into
   one ``(B, T, N, F)`` forward pass;
 * :class:`BackgroundFlusher` — drains micro-batchers on a time-based
@@ -38,6 +43,18 @@ from .batching import (
 )
 from .buffer import RollingWindowBuffer
 from .cache import CacheStats, ForecastCache, hash_window
+from .process_tier import (
+    EXECUTOR_ENV_VAR,
+    LANES,
+    SERVING_EXECUTORS,
+    START_METHOD_ENV_VAR,
+    LaneStats,
+    ProcessShardExecutor,
+    ProcessTierStats,
+    ServiceOverloaded,
+    resolve_executor,
+    resolve_start_method,
+)
 from .service import ForecastFrontend, ForecastService, ServiceStats
 from .sharding import (
     SHARDING_MODES,
@@ -53,6 +70,16 @@ __all__ = [
     "ShardedForecastService",
     "ShardedServiceStats",
     "SHARDING_MODES",
+    "SERVING_EXECUTORS",
+    "EXECUTOR_ENV_VAR",
+    "START_METHOD_ENV_VAR",
+    "LANES",
+    "LaneStats",
+    "ProcessShardExecutor",
+    "ProcessTierStats",
+    "ServiceOverloaded",
+    "resolve_executor",
+    "resolve_start_method",
     "partition_nodes",
     "MicroBatcher",
     "PendingForecast",

@@ -474,7 +474,14 @@ class BackgroundFlusher:
         self._stop.set()
         self._wake.set()
         if self._thread.is_alive():
-            self._thread.join()
+            try:
+                self._thread.join()
+            except RuntimeError:  # pragma: no cover - interpreter teardown
+                # join() raises after Python shutdown has begun; the daemon
+                # thread is being torn down anyway, so a late close() (e.g.
+                # from __del__ or an atexit-closed process tier) must not
+                # turn cleanup into a crash.
+                pass
         if already_stopped or not drain:
             return
         for batcher, _ in self._targets:
@@ -484,3 +491,13 @@ class BackgroundFlusher:
             except BaseException:
                 with self._stats_lock:
                     self._errors += 1
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        # Last-resort stop (no drain: the forward engines behind the
+        # batchers may already be gone).  Explicit close() remains the
+        # contract; this only keeps an abandoned flusher from outliving
+        # its service as a busy-waiting daemon.
+        try:
+            self.close(drain=False)
+        except Exception:
+            pass

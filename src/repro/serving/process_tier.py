@@ -1,0 +1,1122 @@
+"""Process-backed shard execution: shared-memory plan replay across cores.
+
+Every parallel layer below this one — island/wave replay, thread-sharded
+workers, the background flusher — shares one interpreter lock, so a
+multi-shard service shows near-zero overhead per worker but also near-zero
+*speedup* on a single box once the kernels stop releasing the GIL long
+enough.  :class:`ProcessShardExecutor` escapes that ceiling: each serving
+shard owns a long-lived **worker process** that replays compiled plans, and
+the sharded service's batcher/worker split stays exactly as it was — the
+executor slots in as the per-shard ``forward_fn``
+(``ShardedForecastService(executor="processes")``).
+
+Three design rules keep the hot path cheap and the answers bit-identical:
+
+**Never trace in the child.**  Workers only ever *bind* plans from a
+:class:`~repro.runtime.ArtifactStore` — either the deployment's own store
+or a parent-compiled, parity-spot-checked plan spilled to a temp store —
+so a child is a dumb replayer: no tracing, no fusing, no scheduling, no
+autograd, and a freshly (re)spawned worker is serving in milliseconds.
+
+**No pickling of array payloads.**  Request windows and forecast outputs
+travel through a preallocated ``multiprocessing.shared_memory`` segment
+sized from the plan's pooled-buffer layout
+(:func:`~repro.runtime.plan_workspace_nbytes`); the child binds its plans
+*into* the segment's arena (``bind_plan(workspace=...)``), so a plan whose
+output lands in the arena is published to the parent without a single
+copy.  Only a compact fixed-size header (magic, kind, lane, dtype code,
+seq, shape) plus a tiny control tuple cross the pipe per request.
+
+**Spawn-safe by construction, fork as fast path.**  The worker entry point
+is a module-level function taking only picklable arguments, so the tier
+runs unchanged under ``spawn`` (the only method on Windows/macOS
+defaults) — ``fork`` is merely faster to start and is the default where
+available (``REPRO_PROCESS_START_METHOD`` overrides).
+
+On top of the executor sit the two robustness pieces of the serving
+roadmap: **priority lanes** (``lane="interactive"`` requests — the
+streaming ``forecast_latest`` path — jump ahead of queued ``lane="bulk"``
+backfill chunks on every worker) and **admission control**
+(:class:`_LaneGate` enforces a bounded per-lane queue depth with a
+:class:`ServiceOverloaded` fast-reject, so a saturated service degrades
+predictably instead of queueing without bound).
+
+Lifecycle is explicit: ``close()`` (or leaving the executor's context)
+drains the dispatchers, stops the workers, and unlinks every shared-memory
+segment; a worker that dies mid-batch is detected, its in-flight request
+failed with partial-progress info, and the worker respawned on the same
+segment.  A module-level ``atexit`` hook closes executors that were never
+closed, so interpreter shutdown leaks neither orphaned processes nor
+``/dev/shm`` segments — and the hook is pid-guarded so a *forked child*
+exiting never tears down its parent's tier.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import struct
+import tempfile
+import threading
+import time
+import weakref
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime import (
+    ArtifactStore,
+    CompiledModel,
+    bind_plan,
+    bucket_batch_size,
+    plan_workspace_nbytes,
+    resolve_precision,
+)
+from ..runtime.engine import pad_batch_to_bucket
+
+__all__ = [
+    "EXECUTOR_ENV_VAR",
+    "SERVING_EXECUTORS",
+    "START_METHOD_ENV_VAR",
+    "LANES",
+    "LaneStats",
+    "ProcessTierStats",
+    "ProcessShardExecutor",
+    "ServiceOverloaded",
+    "resolve_executor",
+    "resolve_start_method",
+]
+
+#: Environment variable selecting the sharded service's shard executor.
+EXECUTOR_ENV_VAR = "REPRO_SERVING_EXECUTOR"
+
+#: Supported shard executors of :class:`~repro.serving.ShardedForecastService`.
+SERVING_EXECUTORS = ("threads", "processes")
+
+#: Environment variable selecting the worker start method (fork/spawn/...).
+START_METHOD_ENV_VAR = "REPRO_PROCESS_START_METHOD"
+
+#: Request-priority lanes, highest priority first.
+LANES = ("interactive", "bulk")
+
+_LANE_IDS = {lane: index for index, lane in enumerate(LANES)}
+_LANE_NAMES = {index: lane for lane, index in _LANE_IDS.items()}
+
+
+def resolve_executor(executor: Optional[str] = None, runtime: str = "compiled") -> str:
+    """Resolve the shard executor: explicit argument > env var > threads.
+
+    The process tier replays *compiled plans* — it has nothing to run for
+    an autograd deployment.  An **explicit** ``executor="processes"``
+    combined with a non-compiled runtime is a configuration error and
+    raises (before anything spawns); a process preference coming only from
+    the :data:`EXECUTOR_ENV_VAR` environment falls back to ``"threads"``
+    silently, so exporting the variable fleet-wide never breaks the
+    autograd escape hatch.
+    """
+    explicit = executor is not None
+    if executor is None:
+        executor = os.environ.get(EXECUTOR_ENV_VAR, "").strip().lower() or "threads"
+    executor = executor.lower()
+    if executor not in SERVING_EXECUTORS:
+        raise ValueError(
+            f"unknown shard executor {executor!r}; expected one of {SERVING_EXECUTORS} "
+            f"(set via argument or the {EXECUTOR_ENV_VAR} environment variable)"
+        )
+    if executor == "processes" and runtime != "compiled":
+        if explicit:
+            raise ValueError(
+                "executor='processes' requires the compiled runtime: worker "
+                "processes replay plan artifacts and never trace; "
+                f"runtime={runtime!r} has no plans to replay"
+            )
+        return "threads"
+    return executor
+
+
+def resolve_start_method(method: Optional[str] = None) -> str:
+    """Resolve the worker start method: argument > env var > fork > spawn.
+
+    ``fork`` is the fast path (no interpreter boot, no module re-import);
+    ``spawn`` is the portable contract the tier is written against — the
+    worker entry point takes only picklable arguments, so every method in
+    :func:`multiprocessing.get_all_start_methods` works.
+    """
+    import multiprocessing as mp
+
+    if method is None:
+        method = os.environ.get(START_METHOD_ENV_VAR, "").strip().lower() or None
+    available = mp.get_all_start_methods()
+    if method is None:
+        return "fork" if "fork" in available else "spawn"
+    method = method.lower()
+    if method not in available:
+        raise ValueError(
+            f"start method {method!r} is not available on this platform; "
+            f"expected one of {tuple(available)} (set via argument or the "
+            f"{START_METHOD_ENV_VAR} environment variable)"
+        )
+    return method
+
+
+class ServiceOverloaded(RuntimeError):
+    """Fast-reject raised when a lane's admission-control depth is exceeded.
+
+    Carries the lane, its observed queue depth and the configured limit so
+    callers (and load shedders above them) can log an actionable reason.
+    The request was rejected at *accept* time — nothing was enqueued, so
+    nothing is silently dropped later.
+    """
+
+    def __init__(self, lane: str, pending: int, limit: int) -> None:
+        super().__init__(
+            f"{lane} lane is over its admission limit "
+            f"({pending} pending >= limit {limit}); request rejected"
+        )
+        self.lane = lane
+        self.pending = pending
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class LaneStats:
+    """Admission-control counters of one priority lane."""
+
+    lane: str
+    depth_limit: Optional[int]
+    admitted: int
+    rejected: int
+    pending: int
+
+
+class _LaneGate:
+    """Bounded-admission gate for one lane.
+
+    ``depth_fn`` reports the lane's *live* queue depth (batcher queues plus
+    any process-tier dispatch queues); :meth:`admit` rejects when admitting
+    ``rows`` more would push it past the limit.  A ``None`` limit never
+    rejects but still counts admissions, so ``stats()`` stays meaningful
+    for unbounded deployments.
+    """
+
+    def __init__(self, lane: str, limit: Optional[int], depth_fn: Callable[[], int]) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"{lane}_queue_depth must be >= 0 when set")
+        self.lane = lane
+        self.limit = limit
+        self._depth_fn = depth_fn
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._rejected = 0
+
+    def admit(self, rows: int) -> None:
+        """Admit ``rows`` requests or raise :class:`ServiceOverloaded`."""
+        pending = self._depth_fn()
+        with self._lock:
+            if self.limit is not None and pending + rows > self.limit:
+                self._rejected += rows
+                raise ServiceOverloaded(self.lane, pending, self.limit)
+            self._admitted += rows
+
+    def stats(self) -> LaneStats:
+        with self._lock:
+            return LaneStats(
+                lane=self.lane,
+                depth_limit=self.limit,
+                admitted=self._admitted,
+                rejected=self._rejected,
+                pending=self._depth_fn(),
+            )
+
+
+@dataclass(frozen=True)
+class ProcessTierStats:
+    """Operational counters of a running process tier."""
+
+    start_method: str
+    workers: int
+    respawns: int
+    interactive_batches: int
+    bulk_batches: int
+    interactive_rows: int
+    bulk_rows: int
+    segment_nbytes: int
+
+
+# ----------------------------------------------------------------------
+# The shared-memory wire protocol.
+#
+# One segment per shard:  [request slots][response slots][plan arena].
+# Each slot is a fixed 128-byte header followed by a payload region; the
+# header records everything needed to view the payload as an ndarray (and
+# for an arena-resident output, ``offset`` points straight into the arena
+# — the zero-copy publish).  Slot index is ``seq % slots``; the dispatcher
+# fully consumes a response before issuing the next request, so two slots
+# are already one more than strictly required.
+# ----------------------------------------------------------------------
+_MAGIC = 0x52504C4E  # "RPLN"
+_HEADER = struct.Struct("<IBBBBQQQ8Q")  # magic kind lane dtype ndim seq nbytes offset dims[8]
+_HEADER_NBYTES = 128
+_ALIGN = 64
+_KIND_REQ = 1
+_KIND_OK = 2
+_KIND_ERR = 3
+_DTYPE_CODES = {"float64": 0, "float32": 1}
+_DTYPE_BY_CODE = {code: np.dtype(name) for name, code in _DTYPE_CODES.items()}
+
+
+def _align(nbytes: int) -> int:
+    return nbytes + (-nbytes) % _ALIGN
+
+
+@dataclass(frozen=True)
+class _SegmentLayout:
+    """Byte layout of one shard's shared-memory segment."""
+
+    slots: int
+    request_payload_cap: int
+    response_payload_cap: int
+    request_stride: int
+    response_stride: int
+    response_base: int
+    arena_offset: int
+    arena_nbytes: int
+    total_nbytes: int
+
+    @classmethod
+    def build(
+        cls, request_payload_cap: int, response_payload_cap: int, arena_nbytes: int, slots: int = 2
+    ) -> "_SegmentLayout":
+        request_stride = _align(_HEADER_NBYTES + request_payload_cap)
+        response_stride = _align(_HEADER_NBYTES + response_payload_cap)
+        response_base = slots * request_stride
+        arena_offset = response_base + slots * response_stride
+        return cls(
+            slots=slots,
+            request_payload_cap=request_payload_cap,
+            response_payload_cap=response_payload_cap,
+            request_stride=request_stride,
+            response_stride=response_stride,
+            response_base=response_base,
+            arena_offset=arena_offset,
+            arena_nbytes=arena_nbytes,
+            total_nbytes=arena_offset + arena_nbytes,
+        )
+
+    def request_offset(self, slot: int) -> int:
+        return slot * self.request_stride
+
+    def response_offset(self, slot: int) -> int:
+        return self.response_base + slot * self.response_stride
+
+
+def _pack_header(kind, lane_id, dtype_code, seq, nbytes, offset, shape) -> bytes:
+    dims = list(shape) + [0] * (8 - len(shape))
+    return _HEADER.pack(
+        _MAGIC, kind, lane_id, dtype_code, len(shape), seq, nbytes, offset, *dims
+    )
+
+
+def _unpack_header(raw: bytes):
+    fields = _HEADER.unpack(raw[: _HEADER.size])
+    magic, kind, lane_id, dtype_code, ndim = fields[:5]
+    seq, nbytes, offset = fields[5:8]
+    dims = fields[8:]
+    return magic, kind, lane_id, dtype_code, ndim, seq, nbytes, offset, dims
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  Module-level and picklable-argument-only, so the
+# tier is spawn-safe by construction; fork merely starts faster.
+# ----------------------------------------------------------------------
+def _worker_reply_error(conn, shm, layout, slot, seq, message: str) -> None:
+    payload = message.encode("utf-8")[: layout.response_payload_cap]
+    offset = layout.response_offset(slot) + _HEADER_NBYTES
+    shm.buf[offset : offset + len(payload)] = payload
+    header = _pack_header(_KIND_ERR, 0, 0, seq, len(payload), offset, ())
+    base = layout.response_offset(slot)
+    shm.buf[base : base + _HEADER.size] = header
+    conn.send(("res", seq, slot))
+
+
+def _worker_get_plan(plans, stores, key, arena, layout):
+    """Bind (or fetch) the plan for one artifact key — never trace."""
+    plan = plans.get(key)
+    if plan is not None:
+        plans.move_to_end(key)
+        return plan
+    spec = values = None
+    last_error: Optional[Exception] = None
+    for store in stores:
+        try:
+            loaded = store.load(key)
+        except Exception as error:  # ArtifactError: unreadable/corrupt file
+            last_error = error
+            continue
+        if loaded is not None:
+            spec, values, _meta = loaded
+            break
+    if spec is None:
+        detail = f" ({last_error})" if last_error is not None else ""
+        raise KeyError(f"no artifact for plan key {key}{detail}")
+    workspace = arena if plan_workspace_nbytes(spec.storage_sizes) <= layout.arena_nbytes else None
+    plan = bind_plan(spec, values, workspace=workspace)
+    plans[key] = plan
+    while len(plans) > 16:
+        plans.popitem(last=False)
+    return plan
+
+
+def _worker_serve_one(conn, shm, seg_addr, plans, stores, arena, layout, threads, message, request_delay) -> None:
+    tag, seq, slot, key = message
+    base = layout.request_offset(slot)
+    try:
+        magic, kind, _lane_id, dtype_code, ndim, hdr_seq, nbytes, offset, dims = _unpack_header(
+            bytes(shm.buf[base : base + _HEADER.size])
+        )
+        if magic != _MAGIC:
+            raise ValueError(f"bad request magic 0x{magic:08x}")
+        if kind != _KIND_REQ:
+            raise ValueError(f"bad request kind {kind}")
+        if hdr_seq != seq:
+            raise ValueError(f"request header seq {hdr_seq} != control seq {seq}")
+        if dtype_code not in _DTYPE_BY_CODE:
+            raise ValueError(f"unknown dtype code {dtype_code}")
+        if not 1 <= ndim <= 8:
+            raise ValueError(f"bad request ndim {ndim}")
+        dtype = _DTYPE_BY_CODE[dtype_code]
+        shape = tuple(int(dim) for dim in dims[:ndim])
+        expected = int(np.prod(shape)) * dtype.itemsize
+        if expected != nbytes:
+            raise ValueError(f"shape {shape} x {dtype.name} is {expected} bytes, header says {nbytes}")
+        if offset + nbytes > layout.total_nbytes:
+            raise ValueError(f"payload [{offset}, {offset + nbytes}) overruns the segment")
+        window = np.frombuffer(shm.buf, dtype=dtype, count=int(np.prod(shape)), offset=offset).reshape(shape)
+        if request_delay:
+            time.sleep(request_delay)  # fault-injection hook (tests only)
+        plan = _worker_get_plan(plans, stores, key, arena, layout)
+        if plan.spec.dtype != dtype.name or tuple(plan.spec.stats.input_shape) != shape:
+            raise ValueError(
+                f"plan {key} expects {tuple(plan.spec.stats.input_shape)} "
+                f"{plan.spec.dtype}; request is {shape} {dtype.name}"
+            )
+        result = plan.execute(window, threads=threads)
+    except Exception as error:
+        _worker_reply_error(conn, shm, layout, slot, seq, f"{type(error).__name__}: {error}")
+        return
+    result = np.ascontiguousarray(result)
+    addr = result.__array_interface__["data"][0]
+    if seg_addr <= addr and addr + result.nbytes <= seg_addr + layout.total_nbytes:
+        # Zero-copy publish: the plan's output already lives in the arena.
+        out_offset = addr - seg_addr
+    else:
+        out_offset = layout.response_offset(slot) + _HEADER_NBYTES
+        if result.nbytes > layout.response_payload_cap:
+            _worker_reply_error(
+                conn, shm, layout, slot, seq,
+                f"result of {result.nbytes} bytes exceeds the "
+                f"{layout.response_payload_cap}-byte response slot",
+            )
+            return
+        np.frombuffer(shm.buf, dtype=result.dtype, count=result.size, offset=out_offset)[
+            :
+        ] = result.reshape(-1)
+    header = _pack_header(
+        _KIND_OK, 0, _DTYPE_CODES[result.dtype.name], seq, result.nbytes, out_offset, result.shape
+    )
+    base = layout.response_offset(slot)
+    shm.buf[base : base + _HEADER.size] = header
+    conn.send(("res", seq, slot))
+
+
+def _worker_main(conn, shm_name, layout, store_roots, threads, request_delay=0.0) -> None:
+    """Entry point of one shard's worker process: bind, replay, publish."""
+    import gc
+    import signal
+    from multiprocessing import shared_memory
+
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    # A forked child inherits the parent's (now thread-less) island pool
+    # object; reset it so the first threaded replay builds a fresh one.
+    from ..runtime import engine as _engine
+
+    _engine._POOL = None
+    _engine._POOL_WORKERS = 0
+
+    # Resource-tracker hygiene: every multiprocessing child — spawn and
+    # fork alike — inherits the PARENT's resource tracker (the tracker fd
+    # travels in the spawn preparation data), so the attach below re-adds
+    # a name that is already in the tracker's set (a no-op) and the child
+    # must NOT unregister it: that would cancel the parent's registration
+    # and turn the parent's own unlink into a tracker error.  The parent
+    # is the segment's sole owner; the child only maps and unmaps.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    segment = np.frombuffer(shm.buf, dtype=np.uint8)
+    seg_addr = segment.__array_interface__["data"][0]
+    arena = segment[layout.arena_offset : layout.arena_offset + layout.arena_nbytes]
+    stores = [ArtifactStore(root, readonly=True) for root in store_roots]
+    plans: "OrderedDict[str, object]" = OrderedDict()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if not isinstance(message, tuple) or not message:
+                continue
+            if message[0] == "stop":
+                return
+            if message[0] != "req" or len(message) != 4:
+                continue
+            _worker_serve_one(
+                conn, shm, seg_addr, plans, stores, arena, layout, threads,
+                message, request_delay,
+            )
+    finally:
+        # Drop every view into the mapping before closing it; a dangling
+        # buffer export would raise BufferError from shm.close().  The OS
+        # reclaims the mapping at process exit either way, and the parent
+        # — never the child — unlinks the segment.
+        plans.clear()
+        del arena, segment
+        gc.collect()
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - exiting anyway
+            pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Parent side: per-shard dispatch with lane priority.
+# ----------------------------------------------------------------------
+class _WorkerDied(RuntimeError):
+    """Internal: the worker process exited while a request was in flight."""
+
+
+class _Job:
+    __slots__ = ("array", "lane", "key", "trim", "event", "result", "error")
+
+    def __init__(self, array: np.ndarray, lane: str, key: str, trim: int) -> None:
+        self.array = array
+        self.lane = lane
+        self.key = key
+        self.trim = trim
+        self.event = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
+class _LaneQueue:
+    """Two-lane priority queue: interactive jobs always dequeue first."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._queues: Dict[str, "deque[_Job]"] = {lane: deque() for lane in LANES}
+        self._in_flight: Dict[str, int] = {lane: 0 for lane in LANES}
+        self._stopped = False
+
+    def put(self, job: _Job) -> None:
+        with self._cond:
+            self._queues[job.lane].append(job)
+            self._cond.notify()
+
+    def get(self) -> Optional[_Job]:
+        """Next job, interactive first; ``None`` once stopped *and* drained."""
+        with self._cond:
+            while True:
+                for lane in LANES:
+                    if self._queues[lane]:
+                        job = self._queues[lane].popleft()
+                        self._in_flight[job.lane] += job.trim
+                        return job
+                if self._stopped:
+                    return None
+                self._cond.wait()
+
+    def task_done(self, job: _Job) -> None:
+        with self._cond:
+            self._in_flight[job.lane] -= job.trim
+
+    def pending_rows(self, lane: str) -> int:
+        """Rows queued or in flight on one lane (admission-control depth)."""
+        with self._cond:
+            return sum(job.trim for job in self._queues[lane]) + self._in_flight[lane]
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+
+
+class _ProcessWorker:
+    """One shard's worker process, its segment, and its dispatcher thread."""
+
+    def __init__(self, shard: int, ctx, start_method: str, layout: _SegmentLayout,
+                 store_roots: Sequence[str], threads: int, request_delay: float) -> None:
+        from multiprocessing import shared_memory
+
+        self.shard = shard
+        self._ctx = ctx
+        self._start_method = start_method
+        self.layout = layout
+        self._store_roots = list(store_roots)
+        self._threads = threads
+        self._request_delay = request_delay
+        self.respawns = 0
+        self._seq = 0
+        self._corrupt_next_request = False  # fault-injection hook (tests)
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=layout.total_nbytes
+        )
+        self.queue = _LaneQueue()
+        self.process = None
+        self.conn = None
+        self._spawn()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name=f"repro-process-shard-{shard}", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- process lifecycle ---------------------------------------------
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        self.process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.shm.name, self.layout, self._store_roots,
+                  self._threads, self._request_delay),
+            name=f"repro-plan-worker-{self.shard}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def _respawn(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=1.0)
+        self.respawns += 1
+        self._spawn()
+
+    # -- dispatch ------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self.queue.get()
+            if job is None:
+                return
+            try:
+                job.result = self._roundtrip(job)
+            except _WorkerDied as death:
+                job.error = RuntimeError(
+                    f"shard {self.shard} worker process died mid-batch ({death})"
+                )
+                self._respawn()
+            except BaseException as error:
+                job.error = error
+            finally:
+                job.array = None  # type: ignore[assignment]
+                self.queue.task_done(job)
+                job.event.set()
+
+    def _roundtrip(self, job: _Job) -> np.ndarray:
+        self._seq += 1
+        seq = self._seq
+        slot = seq % self.layout.slots
+        array = job.array
+        payload_offset = self.layout.request_offset(slot) + _HEADER_NBYTES
+        np.frombuffer(self.shm.buf, dtype=array.dtype, count=array.size, offset=payload_offset)[
+            :
+        ] = array.reshape(-1)
+        header = _pack_header(
+            _KIND_REQ, _LANE_IDS[job.lane], _DTYPE_CODES[array.dtype.name],
+            seq, array.nbytes, payload_offset, array.shape,
+        )
+        base = self.layout.request_offset(slot)
+        self.shm.buf[base : base + _HEADER.size] = header
+        if self._corrupt_next_request:
+            self._corrupt_next_request = False
+            self.shm.buf[base] = (self.shm.buf[base] + 1) % 256
+        try:
+            self.conn.send(("req", seq, slot, job.key))
+        except (BrokenPipeError, OSError) as error:
+            raise _WorkerDied(f"pipe send failed: {error}") from None
+        while True:
+            try:
+                if self.conn.poll(0.05):
+                    break
+            except (BrokenPipeError, OSError) as error:
+                raise _WorkerDied(f"pipe poll failed: {error}") from None
+            if not self.process.is_alive():
+                # One generous final poll: the response may already be
+                # buffered even though the process has since exited.
+                if self.conn.poll(0.2):
+                    break
+                raise _WorkerDied(
+                    f"pid {self.process.pid}, exitcode {self.process.exitcode}"
+                )
+        try:
+            message = self.conn.recv()
+        except (EOFError, OSError) as error:
+            raise _WorkerDied(f"pipe recv failed: {error}") from None
+        if not (isinstance(message, tuple) and len(message) == 3 and message[0] == "res" and message[1] == seq):
+            raise _WorkerDied(f"malformed response control message {message!r}")
+        base = self.layout.response_offset(message[2])
+        magic, kind, _lane, dtype_code, ndim, hdr_seq, nbytes, offset, dims = _unpack_header(
+            bytes(self.shm.buf[base : base + _HEADER.size])
+        )
+        if magic != _MAGIC or hdr_seq != seq:
+            raise _WorkerDied(f"malformed response header (magic 0x{magic:08x}, seq {hdr_seq})")
+        if kind == _KIND_ERR:
+            raw = bytes(self.shm.buf[offset : offset + nbytes])
+            raise RuntimeError(
+                f"process worker rejected request: {raw.decode('utf-8', 'replace')}"
+            )
+        dtype = _DTYPE_BY_CODE[dtype_code]
+        shape = tuple(int(dim) for dim in dims[:ndim])
+        view = np.frombuffer(
+            self.shm.buf, dtype=dtype, count=int(np.prod(shape)), offset=offset
+        ).reshape(shape)
+        # astype(copy=True) both detaches the result from the segment and
+        # applies the float64 exit cast of the precision contract — exactly
+        # what Plan.call does on the thread tier.
+        return view[: job.trim].astype(np.float64)
+
+    # -- shutdown ------------------------------------------------------
+    def close(self) -> None:
+        self.queue.stop()
+        if self._dispatcher.is_alive():
+            try:
+                self._dispatcher.join()
+            except RuntimeError:  # pragma: no cover - interpreter teardown
+                pass
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=1.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - a view still exported
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+# ----------------------------------------------------------------------
+# The executor.
+# ----------------------------------------------------------------------
+_LIVE: "weakref.WeakSet[ProcessShardExecutor]" = weakref.WeakSet()
+
+
+def _close_all_executors() -> None:
+    """Interpreter-shutdown safety net: close tiers nobody closed."""
+    for executor in list(_LIVE):
+        try:
+            executor.close()
+        except Exception:  # pragma: no cover - best effort at exit
+            pass
+        if os.getpid() == executor._owner_pid:
+            # Post-close serving may have re-spilled plans; sweep again.
+            shutil.rmtree(executor._spill_root, ignore_errors=True)
+
+
+atexit.register(_close_all_executors)
+
+
+class _ProcessShardForward:
+    """The per-shard ``forward_fn`` handed to a shard's micro-batcher.
+
+    Call-compatible with the :class:`~repro.runtime.CompiledModel` it
+    replaces (arrays or Tensors in, ``(B, T', span)`` float64 arrays out;
+    per-request ``precision=`` honoured) and delegating the plan-cache
+    management surface (``cache_info`` / ``save_artifacts`` /
+    ``compile_for``) to the shard's parent-side provider — warm-up, AOT
+    export and the warm-start counter contracts are executor-agnostic.
+    """
+
+    def __init__(self, tier: "ProcessShardExecutor", shard: int) -> None:
+        self._tier = tier
+        self._shard = shard
+
+    def __call__(self, x, precision: Optional[str] = None, lane: str = "bulk") -> np.ndarray:
+        array = x.data if hasattr(x, "data") else np.asarray(x)
+        return self._tier.call(self._shard, array, lane=lane, precision=precision)
+
+    # Plan-cache surface, delegated to the parent-side provider.
+    def cache_info(self):
+        return self._tier.provider(self._shard).cache_info()
+
+    def save_artifacts(self, path=None):
+        return self._tier.provider(self._shard).save_artifacts(path)
+
+    def compile_for(self, example, precision=None):
+        return self._tier.provider(self._shard).compile_for(example, precision=precision)
+
+    @property
+    def precision(self) -> str:
+        return self._tier.provider(self._shard).precision
+
+    @property
+    def threads(self) -> int:
+        return self._tier.provider(self._shard).threads
+
+
+class ProcessShardExecutor:
+    """Replay each serving shard's compiled plans in its own worker process.
+
+    Parameters
+    ----------
+    model:
+        The served module; compiled (and parity-spot-checked) only in the
+        parent, by one :class:`~repro.runtime.CompiledModel` *provider* per
+        shard.  Workers bind the resulting artifacts — they never trace.
+    slices:
+        Per-shard ``(lo, hi)`` output-column slices (node sharding), or
+        ``None`` for full-output replicas.
+    window_shape / output_length / num_nodes:
+        Geometry of the served model (request and response slot sizing).
+    precision / threads / artifact_store:
+        As for the thread tier; the store (when given) is shared with the
+        workers by *root path* — a worker binds from disk, not from the
+        parent's memo.  Plans missing from disk (e.g. a read-only store)
+        are spilled to a private temp store the workers also search.
+    start_method:
+        ``fork`` / ``spawn`` / ``forkserver``; ``None`` consults
+        ``REPRO_PROCESS_START_METHOD`` then prefers fork.
+    bulk_chunk_rows:
+        Dispatch granularity of bulk batches.  Smaller chunks bound how
+        long a queued ``interactive`` request can be stuck behind bulk
+        work already in flight (one chunk's forward), at a small
+        amortisation cost.
+
+    Workers, segments and dispatchers spawn **lazily** on the first
+    dispatch to each shard, so constructing a service (or serving purely
+    through its thread-side caches) starts no processes — and the segment
+    arena can be sized from the first request's actual plan layout.
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        slices: Optional[Sequence[Tuple[int, int]]],
+        num_shards: int,
+        window_shape: Tuple[int, int, int],
+        output_length: int,
+        num_nodes: int,
+        precision: Optional[str] = None,
+        threads: Optional[int] = None,
+        artifact_store: Optional[ArtifactStore] = None,
+        start_method: Optional[str] = None,
+        bulk_chunk_rows: int = 32,
+        _request_delay: float = 0.0,
+    ) -> None:
+        import multiprocessing as mp
+
+        if bulk_chunk_rows <= 0:
+            raise ValueError("bulk_chunk_rows must be positive")
+        self._owner_pid = os.getpid()
+        self.start_method = resolve_start_method(start_method)
+        self._ctx = mp.get_context(self.start_method)
+        self.num_shards = num_shards
+        self._slices = list(slices) if slices is not None else None
+        self._window_shape = tuple(int(dim) for dim in window_shape)
+        self._output_length = int(output_length)
+        self._num_nodes = int(num_nodes)
+        self._chunk_rows = int(bulk_chunk_rows)
+        self._request_delay = float(_request_delay)
+        self._spill_root = tempfile.mkdtemp(prefix="repro-plan-spill-")
+        self._spill = ArtifactStore(self._spill_root)
+        provider_store = artifact_store if artifact_store is not None else self._spill
+        self._providers: List[CompiledModel] = [
+            CompiledModel(
+                model,
+                output_slice=self._slices[shard] if self._slices is not None else None,
+                precision=precision,
+                threads=threads,
+                artifact_dir=provider_store,
+            )
+            for shard in range(num_shards)
+        ]
+        self._store_roots: List[str] = []
+        if artifact_store is not None:
+            self._store_roots.append(str(artifact_store.root))
+        self._store_roots.append(self._spill_root)
+        self._workers: List[Optional[_ProcessWorker]] = [None] * num_shards
+        self._keys: Dict[Tuple[int, Tuple[int, ...], str], str] = {}
+        self._spawn_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._lane_batches = {lane: 0 for lane in LANES}
+        self._lane_rows = {lane: 0 for lane in LANES}
+        self._closed = False
+        _LIVE.add(self)
+
+    # ------------------------------------------------------------------
+    def provider(self, shard: int) -> CompiledModel:
+        """The parent-side compile/validate engine of one shard."""
+        return self._providers[shard]
+
+    def _shard_span(self, shard: int) -> int:
+        if self._slices is not None:
+            lo, hi = self._slices[shard]
+            return hi - lo
+        return self._num_nodes
+
+    def _ensure_key(self, shard: int, shape: Tuple[int, ...], dtype: np.dtype) -> str:
+        """Compile+spot-check in the parent; make the artifact disk-loadable."""
+        memo_key = (shard, shape, dtype.name)
+        key = self._keys.get(memo_key)
+        if key is not None:
+            return key
+        provider = self._providers[shard]
+        provider.ensure_validated(np.zeros(shape, dtype=dtype), precision=dtype.name)
+        key = provider.artifact_key(shape, precision=dtype.name)
+        on_disk = any(
+            (Path(root) / f"{key}.plan.npz").exists() for root in self._store_roots
+        )
+        if not on_disk:
+            # Read-only (or memo-only) deployment store: spill the plan to
+            # the private temp store so the worker can bind it from disk.
+            cached = provider.artifact_store.peek(key)
+            if cached is not None:
+                spec, constants = cached
+                self._spill.save(key, spec, constants)
+        self._keys[memo_key] = key
+        return key
+
+    def _layout_for(self, shard: int, key: str) -> _SegmentLayout:
+        """Size one shard's segment from its first plan's buffer layout."""
+        provider = self._providers[shard]
+        spec = None
+        for store in (provider.artifact_store, self._spill):
+            # peek, not load: sizing the segment must not distort the
+            # store's warm-start load/memo-hit accounting.
+            cached = store.peek(key)
+            if cached is not None:
+                spec = cached[0]
+                break
+        rows = bucket_batch_size(self._chunk_rows, provider.bucket_cap)
+        request_cap = rows * int(np.prod(self._window_shape)) * 8
+        response_cap = max(rows * self._output_length * self._shard_span(shard) * 8, 4096)
+        if spec is not None:
+            first_rows = max(int(spec.stats.input_shape[0]), 1)
+            workspace = plan_workspace_nbytes(spec.storage_sizes)
+            # Workspace grows ~linearly in the batch; one extra multiple
+            # absorbs the nonlinear parts.  A plan that still does not fit
+            # binds on the worker's heap instead — slower, never wrong.
+            scale = -(-rows // first_rows) + 1
+            arena = workspace * scale
+        else:  # pragma: no cover - defensive: key was just ensured
+            arena = 64 * 1024 * 1024
+        return _SegmentLayout.build(request_cap, response_cap, arena)
+
+    def _ensure_worker(self, shard: int, key: str) -> _ProcessWorker:
+        worker = self._workers[shard]
+        if worker is not None:
+            return worker
+        with self._spawn_lock:
+            worker = self._workers[shard]
+            if worker is None:
+                worker = _ProcessWorker(
+                    shard,
+                    self._ctx,
+                    self.start_method,
+                    self._layout_for(shard, key),
+                    self._store_roots,
+                    self._providers[shard].threads,
+                    self._request_delay,
+                )
+                self._workers[shard] = worker
+        return worker
+
+    # ------------------------------------------------------------------
+    def _make_jobs(self, shard: int, array: np.ndarray, lane: str,
+                   dtype: np.dtype) -> List[_Job]:
+        provider = self._providers[shard]
+        jobs: List[_Job] = []
+        for start in range(0, array.shape[0], self._chunk_rows):
+            chunk = array[start : start + self._chunk_rows]
+            trim = chunk.shape[0]
+            padded, _ = pad_batch_to_bucket(chunk, provider.bucket_cap)
+            padded = np.ascontiguousarray(padded)
+            key = self._ensure_key(shard, padded.shape, dtype)
+            job = _Job(padded, lane, key, trim)
+            jobs.append(job)
+        return jobs
+
+    def _dispatch(self, shard: int, jobs: List[_Job]) -> None:
+        worker = self._ensure_worker(shard, jobs[0].key)
+        for job in jobs:
+            worker.queue.put(job)
+        with self._stats_lock:
+            self._lane_batches[jobs[0].lane] += len(jobs)
+            self._lane_rows[jobs[0].lane] += sum(job.trim for job in jobs)
+
+    @staticmethod
+    def _settle(jobs: List[_Job]) -> List[np.ndarray]:
+        for job in jobs:
+            job.event.wait()
+        fulfilled = 0
+        for job in jobs:
+            if job.error is not None:
+                error = job.error
+                try:
+                    error.fulfilled_before_error = fulfilled
+                except (AttributeError, TypeError):  # pragma: no cover
+                    pass
+                raise error
+            fulfilled += job.trim
+        return [job.result for job in jobs]
+
+    def call(self, shard: int, array, lane: str = "bulk",
+             precision: Optional[str] = None) -> np.ndarray:
+        """Forward one ``(B, T, N, F)`` batch through a shard's worker.
+
+        Bit-identical to the thread tier: the batch is cast to the plan
+        dtype and bucket-padded exactly as
+        :meth:`~repro.runtime.CompiledModel.__call__` would, replayed by
+        the worker, and the trimmed output exit-cast back to float64.
+        """
+        if lane not in _LANE_IDS:
+            raise ValueError(f"unknown lane {lane!r}; expected one of {LANES}")
+        provider = self._providers[shard]
+        array = np.asarray(array)
+        if self._closed:
+            # Post-close lazy serving: late handle.result() flushes must
+            # still answer.  Degrade to the in-parent provider, which is
+            # the same arithmetic.
+            return np.asarray(provider(array, precision=precision))
+        if array.shape[0] == 0:
+            return np.empty((0, self._output_length, self._shard_span(shard)))
+        dtype = np.dtype(resolve_precision(precision if precision is not None else provider.precision))
+        if array.dtype != dtype:
+            array = array.astype(dtype)
+        jobs = self._make_jobs(shard, array, lane, dtype)
+        self._dispatch(shard, jobs)
+        return np.concatenate(self._settle(jobs), axis=0)
+
+    def call_fanout(self, shards: Sequence[int], array, lane: str = "bulk",
+                    precision: Optional[str] = None) -> List[np.ndarray]:
+        """Forward one batch on several shards concurrently (node fan-out)."""
+        if self._closed:
+            return [self.call(shard, array, lane=lane, precision=precision) for shard in shards]
+        array = np.asarray(array)
+        per_shard: List[List[_Job]] = []
+        for shard in shards:
+            provider = self._providers[shard]
+            dtype = np.dtype(
+                resolve_precision(precision if precision is not None else provider.precision)
+            )
+            shard_array = array.astype(dtype) if array.dtype != dtype else array
+            jobs = self._make_jobs(shard, shard_array, lane, dtype)
+            self._dispatch(shard, jobs)
+            per_shard.append(jobs)
+        return [np.concatenate(self._settle(jobs), axis=0) for jobs in per_shard]
+
+    # ------------------------------------------------------------------
+    def proxy(self, shard: int) -> _ProcessShardForward:
+        """The drop-in ``forward_fn`` for one shard's micro-batcher."""
+        return _ProcessShardForward(self, shard)
+
+    def lane_pending(self, lane: str) -> int:
+        """Rows queued or in flight on one lane across all spawned workers."""
+        total = 0
+        for worker in self._workers:
+            if worker is not None:
+                total += worker.queue.pending_rows(lane)
+        return total
+
+    def least_busy_shard(self) -> int:
+        """The shard with the least queued work (unspawned shards count 0)."""
+        best, best_load = 0, None
+        for shard, worker in enumerate(self._workers):
+            load = 0
+            if worker is not None:
+                load = sum(worker.queue.pending_rows(lane) for lane in LANES)
+            if best_load is None or load < best_load:
+                best, best_load = shard, load
+        return best
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Pids of the spawned workers (``None`` for unspawned shards)."""
+        return [
+            worker.process.pid if worker is not None else None for worker in self._workers
+        ]
+
+    def segment_names(self) -> List[str]:
+        """Shared-memory segment names of the spawned workers."""
+        return [worker.shm.name for worker in self._workers if worker is not None]
+
+    def stats(self) -> ProcessTierStats:
+        with self._stats_lock:
+            return ProcessTierStats(
+                start_method=self.start_method,
+                workers=sum(1 for worker in self._workers if worker is not None),
+                respawns=sum(
+                    worker.respawns for worker in self._workers if worker is not None
+                ),
+                interactive_batches=self._lane_batches["interactive"],
+                bulk_batches=self._lane_batches["bulk"],
+                interactive_rows=self._lane_rows["interactive"],
+                bulk_rows=self._lane_rows["bulk"],
+                segment_nbytes=sum(
+                    worker.layout.total_nbytes
+                    for worker in self._workers
+                    if worker is not None
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers, join dispatchers, unlink segments.  Idempotent.
+
+        Pid-guarded: a *forked worker child* inherits this executor object
+        (and the module's atexit hook) — its exit must never unlink the
+        shared memory its parent is still serving from.
+        """
+        if os.getpid() != self._owner_pid:
+            return
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker is not None:
+                worker.close()
+        shutil.rmtree(self._spill_root, ignore_errors=True)
+
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

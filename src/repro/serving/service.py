@@ -332,6 +332,15 @@ class ForecastFrontend:
         """Enqueue one normalised window; returns its pending parts."""
         raise NotImplementedError
 
+    def _admit(self, lane: str, rows: int) -> None:
+        """Admission-control hook, called at accept time for cache misses.
+
+        The base frontend admits everything; the sharded service overrides
+        this with bounded per-lane gates that raise
+        :class:`~repro.serving.ServiceOverloaded` — always *before* the
+        request touches a queue, so accepted work is never shed later.
+        """
+
     def _finalize(self, key, horizon: int):
         """Build the merge -> denormalise -> cache hook for one query."""
 
@@ -371,6 +380,7 @@ class ForecastFrontend:
 
         if miss_groups:
             groups = list(miss_groups.items())
+            self._admit("bulk", len(groups))
             outputs = self._compute_misses(
                 [normalised[group[0]] for _, group in groups], precision=precision
             )
@@ -430,6 +440,7 @@ class ForecastFrontend:
             cached = self.cache.get(key)
             if cached is not None:
                 return AsyncForecast.completed(cached)
+        self._admit("bulk", 1)
         parts = self._submit_parts(normalised)
         return AsyncForecast(parts, self._finalize(key, horizon))
 

@@ -63,6 +63,13 @@ from .batching import (
     PendingForecast,
 )
 from .cache import CacheStats, hash_window
+from .process_tier import (
+    LaneStats,
+    ProcessShardExecutor,
+    ProcessTierStats,
+    _LaneGate,
+    resolve_executor,
+)
 from .service import ForecastFrontend
 
 __all__ = [
@@ -226,6 +233,12 @@ class ShardedServiceStats:
     precision: str = "float64"
     #: Island-parallel replay width of each shard's compiled plans.
     threads: int = 1
+    #: Shard executor: ``"threads"`` (in-process) or ``"processes"``.
+    executor: str = "threads"
+    #: Per-lane admission-control counters (empty before any admit).
+    lanes: Tuple[LaneStats, ...] = ()
+    #: Process-tier counters (``None`` for the thread executor).
+    process_tier: Optional[ProcessTierStats] = None
 
     @property
     def batcher(self) -> BatcherStats:
@@ -276,6 +289,28 @@ class ShardedForecastService(ForecastFrontend):
     linger_ms:
         Time bound for the background flusher: no submitted request waits
         longer than this for its batch to fire.
+    executor:
+        ``"threads"`` (in-process shard workers, the default) or
+        ``"processes"`` — each shard's plans replayed by a worker
+        *process* over shared memory, escaping the interpreter lock on
+        multi-core hosts (see :mod:`repro.serving.process_tier`).
+        ``None`` consults the ``REPRO_SERVING_EXECUTOR`` environment
+        variable.  Requires the compiled runtime when set explicitly.
+    start_method:
+        Worker start method for the process tier (``"fork"`` is the fast
+        default where available; ``"spawn"`` the portable contract).
+        ``None`` consults ``REPRO_PROCESS_START_METHOD``.
+    bulk_queue_depth / interactive_queue_depth:
+        Admission-control limits: a request whose lane already holds this
+        many pending rows is fast-rejected with
+        :class:`~repro.serving.ServiceOverloaded` instead of queueing
+        unboundedly (``None``, the default, never rejects).  Bulk covers
+        ``forecast_many`` / ``submit`` / ``forecast_node`` misses;
+        interactive covers ``forecast_latest`` misses.
+    bulk_chunk_rows:
+        Process-tier dispatch granularity: bulk batches are split into
+        chunks of this many rows, bounding how long an interactive
+        request waits behind bulk work already in flight.
 
     Example
     -------
@@ -301,6 +336,11 @@ class ShardedForecastService(ForecastFrontend):
         precision: Optional[str] = None,
         threads: Optional[int] = None,
         artifact_dir=None,
+        executor: Optional[str] = None,
+        start_method: Optional[str] = None,
+        bulk_queue_depth: Optional[int] = None,
+        interactive_queue_depth: Optional[int] = None,
+        bulk_chunk_rows: int = 32,
     ) -> None:
         if mode not in SHARDING_MODES:
             raise ValueError(f"unknown sharding mode {mode!r}; expected one of {SHARDING_MODES}")
@@ -325,20 +365,59 @@ class ShardedForecastService(ForecastFrontend):
         self.mode = mode
         self.num_shards = num_shards
         self.auto_flush_at = auto_flush_at
+        # Resolve (and validate) the executor and the admission gates
+        # before any worker thread or process spawns — a constructor that
+        # raises must not leak background machinery.
+        self.executor = resolve_executor(executor, runtime=self.runtime)
         self._workers: List[_ShardWorker] = []
+        self._tier: Optional[ProcessShardExecutor] = None
+        self._gates = {
+            "bulk": _LaneGate(
+                "bulk", bulk_queue_depth, lambda: self._lane_depth("bulk")
+            ),
+            "interactive": _LaneGate(
+                "interactive",
+                interactive_queue_depth,
+                lambda: self._lane_depth("interactive"),
+            ),
+        }
         # Every worker engine gets the SAME store object (resolved once by
         # the frontend): replicas share one memo, so the fleet parses and
         # compiles each trace once; node shards key their artifacts by
         # output_slice, so a restarted fleet warm-starts every shard from
         # the shared directory.
         store = self.artifact_store
+        self._slices = (
+            partition_nodes(self.config.num_nodes, num_shards) if mode == "nodes" else []
+        )
+        if self.executor == "processes":
+            # Workers, segments and dispatchers spawn lazily on the first
+            # dispatched batch; constructing the service starts nothing.
+            self._tier = ProcessShardExecutor(
+                model,
+                slices=self._slices if mode == "nodes" else None,
+                num_shards=num_shards,
+                window_shape=(
+                    self.config.input_length,
+                    self.config.num_nodes,
+                    self.config.input_dim,
+                ),
+                output_length=self.config.output_length,
+                num_nodes=self.config.num_nodes,
+                precision=self.precision,
+                threads=self.threads,
+                artifact_store=store,
+                start_method=start_method,
+                bulk_chunk_rows=bulk_chunk_rows,
+            )
         if mode == "nodes":
             from ..runtime.engine import _SlicedForward
 
-            self._slices = partition_nodes(self.config.num_nodes, num_shards)
             for index, (lo, hi) in enumerate(self._slices):
-                if self.runtime == "compiled":
-                    forward: Callable = CompiledModel(
+                if self._tier is not None:
+                    forward: Callable = self._tier.proxy(index)
+                elif self.runtime == "compiled":
+                    forward = CompiledModel(
                         model,
                         output_slice=(lo, hi),
                         precision=self.precision,
@@ -351,21 +430,21 @@ class ShardedForecastService(ForecastFrontend):
                     forward = _SlicedForward(model, lo, hi)
                 self._workers.append(_ShardWorker(index, forward, (lo, hi), max_batch_size))
         else:
-            self._slices = []
             for index in range(num_shards):
                 # Separate CompiledModel per replica: plans and workspace
                 # buffers are per-worker, so replicas execute concurrently;
                 # the weights stay shared by reference.
-                forward = (
-                    CompiledModel(
+                if self._tier is not None:
+                    forward = self._tier.proxy(index)
+                elif self.runtime == "compiled":
+                    forward = CompiledModel(
                         model,
                         precision=self.precision,
                         threads=self.threads,
                         artifact_dir=store,
                     )
-                    if self.runtime == "compiled"
-                    else model
-                )
+                else:
+                    forward = model
                 self._workers.append(_ShardWorker(index, forward, None, max_batch_size))
         self._round_robin = 0
         self._route_lock = threading.Lock()
@@ -395,6 +474,29 @@ class ShardedForecastService(ForecastFrontend):
             if lo <= node < hi:
                 return index
         raise AssertionError("partition_nodes left a gap")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _lane_depth(self, lane: str) -> int:
+        """Live queue depth of one lane across batchers and the tier."""
+        if lane == "bulk":
+            depth = sum(worker.batcher.pending for worker in self._workers)
+            if self._tier is not None:
+                depth += self._tier.lane_pending("bulk")
+            return depth
+        return self._tier.lane_pending("interactive") if self._tier is not None else 0
+
+    def _admit(self, lane: str, rows: int) -> None:
+        """Reject at accept time when a lane is over its depth limit.
+
+        Raising here — before anything is enqueued — is what makes the
+        overload behaviour predictable: an admitted request is never
+        dropped later, and a rejected one never occupied a queue slot.
+        """
+        gate = self._gates.get(lane)
+        if gate is not None:
+            gate.admit(rows)
 
     # ------------------------------------------------------------------
     # Routing and merging
@@ -541,6 +643,7 @@ class ShardedForecastService(ForecastFrontend):
             cached = self.cache.get(key)
             if cached is not None:
                 return cached[:, node - lo]
+        self._admit("bulk", 1)
         if precision is not None:
             shard_output = np.asarray(
                 worker.batcher.forward_fn(normalised[None], precision=precision)
@@ -570,10 +673,26 @@ class ShardedForecastService(ForecastFrontend):
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
+        self._admit("interactive", 1)
         window, token = self.buffer.snapshot()
-        parts, workers = self._route_window(window)
-        self._drain(workers)
-        forecast = self._denormalise(self._merge([p.result() for p in parts]))[:horizon]
+        if self._tier is not None:
+            # Process tier: dispatch on the interactive lane, which jumps
+            # ahead of queued bulk chunks on every worker — the streaming
+            # path stays responsive under backfill load.
+            if self.mode == "nodes":
+                parts = self._tier.call_fanout(
+                    range(self.num_shards), window[None], lane="interactive"
+                )
+                output = np.concatenate([part[0] for part in parts], axis=-1)
+            else:
+                output = self._tier.call(
+                    self._tier.least_busy_shard(), window[None], lane="interactive"
+                )[0]
+            forecast = self._denormalise(output)[:horizon]
+        else:
+            parts, workers = self._route_window(window)
+            self._drain(workers)
+            forecast = self._denormalise(self._merge([p.result() for p in parts]))[:horizon]
         if self.cache is not None:
             self.cache.put((self._key_version(), token, horizon), forecast)
         return forecast.copy()
@@ -637,6 +756,9 @@ class ShardedForecastService(ForecastFrontend):
                     pass  # the affected handles carry the error
         for worker in self._workers:
             worker.close()
+        # The tier closes last: the drains above may still dispatch to it.
+        if self._tier is not None:
+            self._tier.close()
 
     def stats(self) -> ShardedServiceStats:
         """Per-shard and aggregate counters of the running service."""
@@ -656,4 +778,7 @@ class ShardedForecastService(ForecastFrontend):
             flusher=self.flusher.stats() if self.flusher is not None else None,
             precision=self.precision,
             threads=self.threads,
+            executor=self.executor,
+            lanes=tuple(gate.stats() for gate in self._gates.values()),
+            process_tier=self._tier.stats() if self._tier is not None else None,
         )
