@@ -166,6 +166,17 @@ class StreamingWindows:
                 f"step shape {step.shape} does not match (num_nodes={self.num_nodes}, "
                 f"num_features={self.num_features})"
             )
+        if np.issubdtype(self._store.dtype, np.inexact) and not np.isfinite(step).all():
+            # A single NaN poisons every window (and every cached forecast)
+            # it appears in for the next T steps; the ring refuses it at the
+            # door.  Streams with genuinely broken detectors go through the
+            # serving quality layer, which imputes before pushing.
+            bad = np.flatnonzero(~np.isfinite(step).all(axis=-1))
+            raise ValueError(
+                f"step contains non-finite readings at node(s) {bad.tolist()[:8]}; "
+                "route the stream through a SensorHealthMonitor "
+                "(repro.serving.quality) to impute broken sensors"
+            )
         slot = self._count % self.input_length
         # Double write: the same step lands at ``slot`` and ``slot + T`` so a
         # window is always contiguous regardless of where the cursor sits.
@@ -180,6 +191,11 @@ class StreamingWindows:
         if not 0 <= node < self.num_nodes:
             raise IndexError(f"node {node} out of range [0, {self.num_nodes})")
         values = np.asarray(values, dtype=self._store.dtype).reshape(self.num_features)
+        if np.issubdtype(self._store.dtype, np.inexact) and not np.isfinite(values).all():
+            raise ValueError(
+                f"correction for node {node} contains non-finite values; "
+                "late corrections must carry real readings"
+            )
         slot = (self._count - 1) % self.input_length
         self._store[slot, node] = values
         self._store[slot + self.input_length, node] = values

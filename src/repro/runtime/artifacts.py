@@ -677,6 +677,47 @@ class ArtifactStore:
         return bind_plan(spec, values, workspace=workspace)
 
     # ------------------------------------------------------------------
+    def adopt(self, source: Union[str, Path, "ArtifactStore"]) -> List[str]:
+        """Copy another store's artifacts this store does not have yet.
+
+        The hot-swap ingredient: a new checkpoint ships its AOT plans in a
+        sidecar directory (:func:`~repro.training.save_plan_artifacts`), but
+        a live deployment — in particular its process-tier workers, whose
+        store roots are fixed at spawn — only looks in the deployment store.
+        Adopting copies the sidecar's ``.plan.npz`` files in (atomic temp +
+        rename, like :meth:`save`), after which every worker can bind the
+        new generation's plans without a single retrace.
+
+        Files are copied verbatim: validation (format version, checksum,
+        trace-hash echo) still happens at load time, so a corrupt source
+        artifact degrades to a recompile exactly as if it sat in this store
+        all along.  Returns the keys actually copied; existing keys are
+        never overwritten.
+        """
+        root = source.root if isinstance(source, ArtifactStore) else Path(source)
+        if self.readonly:
+            return []
+        if not Path(root).is_dir():
+            return []
+        adopted: List[str] = []
+        self.root.mkdir(parents=True, exist_ok=True)
+        for path in sorted(Path(root).glob("*.plan.npz")):
+            key = path.name[: -len(".plan.npz")]
+            destination = self.path_for(key)
+            if destination.exists():
+                continue
+            temporary = destination.with_name(
+                f"{destination.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+            )
+            try:
+                temporary.write_bytes(path.read_bytes())
+                os.replace(temporary, destination)
+            finally:
+                if temporary.exists():
+                    temporary.unlink()
+            adopted.append(key)
+        return adopted
+
     def forget(self, key: str) -> None:
         """Drop one key from the in-process memo (disk untouched)."""
         with self._lock:

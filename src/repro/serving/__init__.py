@@ -24,6 +24,16 @@ the ROADMAP's "serve heavy traffic" north star:
   materialises normalised model windows incrementally, versions its content
   for O(1) cache keys, and persists/restores its state for warm-started
   restarts;
+* :class:`SensorHealthMonitor` — streaming quality control in front of the
+  rolling buffer: a per-sensor health state machine (stuck-at, dropout,
+  spike, out-of-range detection) with pluggable imputation, so broken
+  detectors degrade forecasts predictably instead of poisoning the ring
+  (see :mod:`repro.serving.quality`);
+
+Every frontend also supports **zero-downtime hot checkpoint swaps**
+(:meth:`ForecastFrontend.swap_checkpoint`): a new generation of weights,
+scaler and warmed engines is built off to the side and published
+atomically, with in-flight requests completing on the old version.
 * :class:`ForecastCache` — LRU cache keyed by
   ``(model version, window hash or buffer token, horizon)`` with hit/miss
   accounting.
@@ -55,7 +65,16 @@ from .process_tier import (
     resolve_executor,
     resolve_start_method,
 )
-from .service import ForecastFrontend, ForecastService, ServiceStats
+from .quality import (
+    HEALTH_STATES,
+    IMPUTATION_STRATEGIES,
+    ISSUE_KINDS,
+    QualityConfig,
+    QualityStats,
+    SensorHealthMonitor,
+    StepReport,
+)
+from .service import ForecastFrontend, ForecastService, ServiceStats, SwapReport
 from .sharding import (
     SHARDING_MODES,
     ShardedForecastService,
@@ -67,6 +86,14 @@ __all__ = [
     "ForecastFrontend",
     "ForecastService",
     "ServiceStats",
+    "SwapReport",
+    "QualityConfig",
+    "QualityStats",
+    "SensorHealthMonitor",
+    "StepReport",
+    "HEALTH_STATES",
+    "ISSUE_KINDS",
+    "IMPUTATION_STRATEGIES",
     "ShardedForecastService",
     "ShardedServiceStats",
     "SHARDING_MODES",

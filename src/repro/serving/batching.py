@@ -403,6 +403,32 @@ class BackgroundFlusher:
         """Whether the flusher thread is alive and serving."""
         return self._thread.is_alive()
 
+    def retarget(self, targets) -> None:
+        """Point the running flusher at a new set of batchers (hot swap).
+
+        The loop reads the target list afresh on every pass, so replacing
+        the reference is safe without stopping the thread.  Old batchers
+        stop being watched — the swap path drains them once at retirement,
+        and their handles stay lazily flushable — and the new batchers'
+        submit listeners are wired so the first enqueue wakes the timer.
+        """
+        resolved: List[Tuple[MicroBatcher, Callable[[], object]]] = []
+        for target in targets:
+            if isinstance(target, MicroBatcher):
+                resolved.append((target, target.flush))
+            else:
+                batcher, flush = target
+                resolved.append((batcher, flush))
+        old = self._targets
+        for batcher, _ in resolved:
+            batcher.submit_listener = self._wake.set
+        self._targets = resolved
+        retargeted = {id(batcher) for batcher, _ in resolved}
+        for batcher, _ in old:
+            if id(batcher) not in retargeted:
+                batcher.submit_listener = None
+        self._wake.set()
+
     def stats(self) -> FlusherStats:
         """Snapshot of the timed-drain counters."""
         with self._stats_lock:

@@ -21,15 +21,29 @@ turns that stream into model-ready input:
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..data.windows import StreamingWindows
+from .quality import QualityStats, SensorHealthMonitor
 
 __all__ = ["RollingWindowBuffer"]
+
+
+def _same_scaler(a: Optional[object], b: Optional[object]) -> bool:
+    """Whether two scalers would normalise a stream identically."""
+    if a is None or b is None:
+        return a is b
+    if type(a) is not type(b):
+        return False
+    try:
+        return a.to_dict() == b.to_dict()
+    except AttributeError:
+        return a is b
 
 
 class RollingWindowBuffer:
@@ -68,12 +82,27 @@ class RollingWindowBuffer:
         scaler: Optional[object] = None,
         target_feature: int = 0,
         dtype=float,
+        quality: Optional[SensorHealthMonitor] = None,
     ) -> None:
         if not 0 <= target_feature < num_features:
             raise ValueError(f"target_feature {target_feature} out of range for F={num_features}")
+        if quality is not None and (
+            quality.num_nodes != num_nodes or quality.num_features != num_features
+        ):
+            raise ValueError(
+                f"quality monitor tracks ({quality.num_nodes} nodes, "
+                f"{quality.num_features} features); this buffer holds "
+                f"({num_nodes}, {num_features})"
+            )
         self.scaler = scaler
         self.target_feature = target_feature
+        self.quality = quality
         self._stream = StreamingWindows(input_length, num_nodes, num_features, dtype=dtype)
+        # Per-node imputation marks, pushed in lockstep with the value ring:
+        # a window is "degraded" when any of its steps carries an imputed
+        # reading, and the cache token says so (see _token_locked).
+        self._imputed = StreamingWindows(input_length, num_nodes, 1, dtype=np.bool_)
+        self._imputed_total = 0
         # Cache-versioning counters: corrections counts late per-node
         # updates, epoch increments on reset so recycled step counts can
         # never alias an earlier stream's content, and the (process-local,
@@ -132,28 +161,72 @@ class RollingWindowBuffer:
         return step
 
     def ingest(self, observation: np.ndarray) -> None:
-        """Ingest one raw observation step ``(N, F)`` (or ``(N,)`` when F=1)."""
-        step = self._normalise_step(observation)
+        """Ingest one raw observation step ``(N, F)`` (or ``(N,)`` when F=1).
+
+        With a quality monitor attached (``quality=`` at construction), the
+        step is first classified and flagged readings are imputed, so broken
+        detectors degrade the forecast gracefully instead of poisoning the
+        ring.  Without one, non-finite readings are rejected with a
+        ``ValueError`` — they must never reach the normalised ring.
+        """
+        if self.quality is not None:
+            report = self.quality.observe(observation)
+            step = self._normalise_step(report.clean)
+            mask = report.flagged[:, None]
+            imputed = report.imputed
+        else:
+            probe = np.asarray(observation, dtype=float)
+            if not np.isfinite(probe).all():
+                raise ValueError(
+                    "observation contains non-finite readings; attach a "
+                    "SensorHealthMonitor (quality= at buffer/service "
+                    "construction) to impute broken sensors, or clean the "
+                    "stream upstream"
+                )
+            step = self._normalise_step(observation)
+            mask = np.zeros((self.num_nodes, 1), dtype=bool)
+            imputed = 0
         with self._lock:
             self._stream.push(step)
+            self._imputed.push(mask)
+            self._imputed_total += imputed
 
     def ingest_signal(self, signal: np.ndarray) -> None:
         """Ingest a raw ``(steps, N, F)`` signal chunk step by step.
 
         ``(steps, N)`` is accepted when the buffer holds a single feature,
-        mirroring the per-step shapes :meth:`ingest` takes.
+        mirroring the per-step shapes :meth:`ingest` takes.  Each step goes
+        through the same quality/validation path as :meth:`ingest`.
         """
-        signal = np.asarray(signal, dtype=self._stream.dtype)
+        signal = np.asarray(signal, dtype=float)
         if signal.ndim == 2 and self.num_features == 1:
             signal = signal[:, :, None]
         if signal.ndim != 3:
             raise ValueError(f"signal must have shape (steps, N, F); got {signal.shape}")
+        if self.quality is None and not np.isfinite(signal).all():
+            # Reject the whole chunk up front so a poisoned step cannot leave
+            # the ring partially advanced.
+            raise ValueError(
+                "signal chunk contains non-finite readings; attach a "
+                "SensorHealthMonitor (quality=) to impute broken sensors"
+            )
         for step in signal:
             self.ingest(step)
 
     def ingest_node(self, node: int, values: np.ndarray) -> None:
         """Correct the latest step of one node with a late-arriving reading."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
         values = np.asarray(values, dtype=self._stream.dtype).reshape(self.num_features)
+        if not np.isfinite(np.asarray(values, dtype=float)).all():
+            raise ValueError(
+                f"correction for node {node} contains non-finite values; "
+                "late corrections must carry real readings"
+            )
+        if self.quality is not None:
+            # A correction is ground truth from the sensor: fold it into the
+            # monitor's hold state so later imputations use it.
+            self.quality.observe_correction(node, values)
         if self.scaler is not None:
             values = values.copy()
             values[self.target_feature] = float(
@@ -161,6 +234,8 @@ class RollingWindowBuffer:
             )
         with self._lock:
             self._stream.update_node(node, values)
+            # The corrected reading is real data: clear the imputation mark.
+            self._imputed.update_node(node, np.array([False]))
             self._corrections += 1
 
     # ------------------------------------------------------------------
@@ -172,17 +247,31 @@ class RollingWindowBuffer:
         """Forget all ingested observations (invalidates cache tokens)."""
         with self._lock:
             self._stream.reset()
+            self._imputed.reset()
+            self._imputed_total = 0
             self._corrections = 0
             self._epoch += 1
 
     # ------------------------------------------------------------------
     # Cache versioning
     # ------------------------------------------------------------------
+    def _window_imputed_locked(self) -> int:
+        if not self._imputed.ready:
+            return 0
+        return int(self._imputed.latest().sum())
+
     def _token_locked(self) -> str:
-        return (
+        token = (
             f"stream:{self._epoch}:{self._restores}:"
             f"{self._stream.steps_ingested}:{self._corrections}"
         )
+        # Degraded windows carry their imputation count in the token, so a
+        # forecast computed from imputed data can never be served later as
+        # if it came from a clean window with the same counters.
+        degraded = self._window_imputed_locked()
+        if degraded:
+            token = f"{token}:deg{degraded}"
+        return token
 
     def cache_token(self) -> str:
         """O(1) identity token of the current buffer content.
@@ -196,16 +285,104 @@ class RollingWindowBuffer:
         with self._lock:
             return self._token_locked()
 
-    def snapshot(self) -> Tuple[np.ndarray, str]:
+    def snapshot(self, also: Optional[Callable[[], object]] = None) -> Tuple:
         """Copy the latest window together with its consistent cache token.
 
         The copy and the token read happen under the buffer's mutation
         lock, so the token can never describe different data than the
         returned window — a concurrent ingest lands entirely before or
         entirely after the snapshot.
+
+        ``also`` is an optional callable evaluated **under the same lock**;
+        its result is returned as a third tuple element.  The hot-swap path
+        uses it to capture the serving generation atomically with the
+        window: :meth:`rescale` publishes a new generation inside this same
+        lock, so a snapshot can never pair an old-scaler window with the
+        new model (or vice versa).
         """
         with self._lock:
-            return np.array(self._stream.latest()), self._token_locked()
+            window = np.array(self._stream.latest())
+            token = self._token_locked()
+            if also is None:
+                return window, token
+            return window, token, also()
+
+    # ------------------------------------------------------------------
+    # Hot-swap support
+    # ------------------------------------------------------------------
+    def rescale(
+        self,
+        scaler: Optional[object],
+        commit: Optional[Callable[[], None]] = None,
+    ) -> bool:
+        """Re-normalise the ring under a new scaler (hot checkpoint swap).
+
+        The ring stores *normalised* observations, so swapping in a
+        checkpoint whose scaler was fitted on different data would silently
+        mis-scale every subsequent forecast.  This denormalises the stored
+        target channel with the old scaler and renormalises it with the new
+        one, in place, under the buffer lock.  ``commit`` (if given) runs
+        under that same lock after the ring is consistent — the swap path
+        passes the generation-publication callback here, which is what makes
+        "new scaler" and "new model" a single atomic event for concurrent
+        :meth:`snapshot` readers.
+
+        Returns ``True`` when the ring content actually changed (and cache
+        tokens were invalidated), ``False`` when the scalers are equivalent.
+        """
+        with self._lock:
+            changed = not _same_scaler(self.scaler, scaler)
+            if changed:
+                store = self._stream._store
+                channel = store[:, :, self.target_feature]
+                if self.scaler is not None:
+                    channel = np.asarray(
+                        self.scaler.inverse_transform(channel), dtype=store.dtype
+                    )
+                if scaler is not None:
+                    channel = np.asarray(scaler.transform(channel), dtype=store.dtype)
+                store[:, :, self.target_feature] = channel
+                self.scaler = scaler
+                # Content changed at unchanged counters: only an epoch bump
+                # keeps pre-rescale tokens from describing the new ring.
+                self._epoch += 1
+            if commit is not None:
+                commit()
+            return changed
+
+    # ------------------------------------------------------------------
+    # Quality reporting
+    # ------------------------------------------------------------------
+    def window_quality(self) -> Dict[str, object]:
+        """Imputation marks of the current window (degraded-forecast metadata).
+
+        Returns a dict with ``imputed_values`` (marks inside the current
+        window), ``degraded`` (whether any are set), ``total_imputed``
+        (cumulative over the stream's lifetime) and ``mask`` — a ``(T, N)``
+        boolean copy of the marks, or ``None`` before the first full window.
+        """
+        with self._lock:
+            mask = None
+            if self._imputed.ready:
+                mask = np.array(self._imputed.latest())[:, :, 0]
+            count = int(mask.sum()) if mask is not None else 0
+            return {
+                "imputed_values": count,
+                "degraded": bool(count),
+                "total_imputed": int(self._imputed_total),
+                "mask": mask,
+            }
+
+    def quality_stats(self) -> Optional[QualityStats]:
+        """Monitor counters, composed with the current window's degradation."""
+        if self.quality is None:
+            return None
+        stats = self.quality.stats()
+        with self._lock:
+            degraded = self._window_imputed_locked()
+        return dataclasses.replace(
+            stats, window_imputed_values=degraded, window_degraded=bool(degraded)
+        )
 
     # ------------------------------------------------------------------
     # Warm-start persistence
@@ -220,7 +397,15 @@ class RollingWindowBuffer:
             state = self._stream.state_dict()
             state["corrections"] = int(self._corrections)
             state["epoch"] = int(self._epoch)
-            return state
+            state["imputed_store"] = self._imputed.state_dict()["store"]
+            state["imputed_total"] = int(self._imputed_total)
+        if self.quality is not None:
+            # Monitor state rides along under a "quality." prefix so health
+            # states and detector histories survive a warm restart with the
+            # window itself.
+            for key, value in self.quality.state_dict().items():
+                state[f"quality.{key}"] = value
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         """Restore a :meth:`state_dict` snapshot into this buffer.
@@ -230,11 +415,41 @@ class RollingWindowBuffer:
         float64 snapshot into a float32 serving buffer raises instead of
         silently changing the deployment's precision.
         """
+        quality_state = {
+            key[len("quality.") :]: value
+            for key, value in state.items()
+            if key.startswith("quality.")
+        }
         with self._lock:
             self._stream.load_state_dict({"store": state["store"], "count": state["count"]})
+            count = int(state["count"])
+            if "imputed_store" in state:
+                self._imputed.load_state_dict(
+                    {"store": np.asarray(state["imputed_store"], dtype=bool), "count": count}
+                )
+            else:
+                # Pre-quality snapshot: no marks were recorded, treat the
+                # restored window as clean but keep the rings in lockstep.
+                self._imputed.reset()
+                self._imputed.load_state_dict(
+                    {
+                        "store": np.zeros(
+                            (2 * self.input_length, self.num_nodes, 1), dtype=bool
+                        ),
+                        "count": count,
+                    }
+                )
+            self._imputed_total = int(state.get("imputed_total", 0))
             self._corrections = int(state.get("corrections", 0))
             self._epoch = int(state.get("epoch", 0))
             self._restores += 1
+        if self.quality is not None:
+            if quality_state:
+                self.quality.load_state_dict(quality_state)
+            else:
+                # Snapshot carries no monitor state: start the health
+                # machinery fresh rather than trusting stale streaks.
+                self.quality.reset()
 
     def save(self, path: Union[str, Path]) -> Path:
         """Persist the buffer state as an ``.npz`` sidecar next to a checkpoint.
@@ -248,19 +463,26 @@ class RollingWindowBuffer:
             path = path.with_name(path.name + ".npz")
         path.parent.mkdir(parents=True, exist_ok=True)
         state = self.state_dict()
-        np.savez(
-            path,
-            store=state["store"],
-            count=np.int64(state["count"]),
-            corrections=np.int64(state["corrections"]),
-            epoch=np.int64(state["epoch"]),
-            dims=np.array([self.input_length, self.num_nodes, self.num_features], dtype=np.int64),
+        payload = {
+            "store": state["store"],
+            "count": np.int64(state["count"]),
+            "corrections": np.int64(state["corrections"]),
+            "epoch": np.int64(state["epoch"]),
+            "imputed_store": state["imputed_store"],
+            "imputed_total": np.int64(state["imputed_total"]),
+            "dims": np.array(
+                [self.input_length, self.num_nodes, self.num_features], dtype=np.int64
+            ),
             # The ring dtype, recorded explicitly so restore() can reject a
             # precision mismatch with a clear message before touching the
             # live ring (the store array also carries it, but only
             # implicitly).
-            dtype=np.array(str(self.dtype)),
-        )
+            "dtype": np.array(str(self.dtype)),
+        }
+        for key, value in state.items():
+            if key.startswith("quality."):
+                payload[key] = value
+        np.savez(path, **payload)
         return path
 
     def restore(self, path: Union[str, Path]) -> None:
@@ -289,11 +511,16 @@ class RollingWindowBuffer:
                     "the deployment's precision.  Save a snapshot at the serving "
                     f"precision or construct the buffer with dtype={stored_dtype}."
                 )
-            self.load_state_dict(
-                {
-                    "store": archive["store"],
-                    "count": int(archive["count"]),
-                    "corrections": int(archive["corrections"]),
-                    "epoch": int(archive["epoch"]),
-                }
-            )
+            state: Dict[str, object] = {
+                "store": archive["store"],
+                "count": int(archive["count"]),
+                "corrections": int(archive["corrections"]),
+                "epoch": int(archive["epoch"]),
+            }
+            if "imputed_store" in archive.files:
+                state["imputed_store"] = archive["imputed_store"]
+                state["imputed_total"] = int(archive["imputed_total"])
+            for key in archive.files:
+                if key.startswith("quality."):
+                    state[key] = archive[key]
+            self.load_state_dict(state)

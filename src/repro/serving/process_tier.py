@@ -748,6 +748,22 @@ def _close_all_executors() -> None:
 atexit.register(_close_all_executors)
 
 
+class _ProviderSet:
+    """One weights generation's parent-side compile/validate engines.
+
+    A hot checkpoint swap builds a fresh set (new :class:`CompiledModel`
+    providers over the new weights, empty artifact-key memo) and installs
+    it atomically; proxies pin the set they were built against, so a
+    batcher flushing late still replays its own generation's plans.
+    """
+
+    __slots__ = ("providers", "keys")
+
+    def __init__(self, providers: List[CompiledModel]) -> None:
+        self.providers = providers
+        self.keys: Dict[Tuple[int, Tuple[int, ...], str], str] = {}
+
+
 class _ProcessShardForward:
     """The per-shard ``forward_fn`` handed to a shard's micro-batcher.
 
@@ -757,33 +773,43 @@ class _ProcessShardForward:
     management surface (``cache_info`` / ``save_artifacts`` /
     ``compile_for``) to the shard's parent-side provider — warm-up, AOT
     export and the warm-start counter contracts are executor-agnostic.
+
+    The forward pins the provider set it was built against: after a hot
+    swap, in-flight work queued on an old generation's batcher settles
+    with that generation's plans, never the new one's.
     """
 
-    def __init__(self, tier: "ProcessShardExecutor", shard: int) -> None:
+    def __init__(self, tier: "ProcessShardExecutor", shard: int,
+                 pset: Optional[_ProviderSet] = None) -> None:
         self._tier = tier
         self._shard = shard
+        self._pset = pset if pset is not None else tier.current_generation()
 
     def __call__(self, x, precision: Optional[str] = None, lane: str = "bulk") -> np.ndarray:
         array = x.data if hasattr(x, "data") else np.asarray(x)
-        return self._tier.call(self._shard, array, lane=lane, precision=precision)
+        return self._tier.call(
+            self._shard, array, lane=lane, precision=precision, pset=self._pset
+        )
 
     # Plan-cache surface, delegated to the parent-side provider.
     def cache_info(self):
-        return self._tier.provider(self._shard).cache_info()
+        return self._tier.provider(self._shard, pset=self._pset).cache_info()
 
     def save_artifacts(self, path=None):
-        return self._tier.provider(self._shard).save_artifacts(path)
+        return self._tier.provider(self._shard, pset=self._pset).save_artifacts(path)
 
     def compile_for(self, example, precision=None):
-        return self._tier.provider(self._shard).compile_for(example, precision=precision)
+        return self._tier.provider(self._shard, pset=self._pset).compile_for(
+            example, precision=precision
+        )
 
     @property
     def precision(self) -> str:
-        return self._tier.provider(self._shard).precision
+        return self._tier.provider(self._shard, pset=self._pset).precision
 
     @property
     def threads(self) -> int:
-        return self._tier.provider(self._shard).threads
+        return self._tier.provider(self._shard, pset=self._pset).threads
 
 
 class ProcessShardExecutor:
@@ -852,23 +878,15 @@ class ProcessShardExecutor:
         self._request_delay = float(_request_delay)
         self._spill_root = tempfile.mkdtemp(prefix="repro-plan-spill-")
         self._spill = ArtifactStore(self._spill_root)
-        provider_store = artifact_store if artifact_store is not None else self._spill
-        self._providers: List[CompiledModel] = [
-            CompiledModel(
-                model,
-                output_slice=self._slices[shard] if self._slices is not None else None,
-                precision=precision,
-                threads=threads,
-                artifact_dir=provider_store,
-            )
-            for shard in range(num_shards)
-        ]
+        self._precision = precision
+        self._threads = threads
+        self._provider_store = artifact_store if artifact_store is not None else self._spill
+        self._pset = self._build_pset(model)
         self._store_roots: List[str] = []
         if artifact_store is not None:
             self._store_roots.append(str(artifact_store.root))
         self._store_roots.append(self._spill_root)
         self._workers: List[Optional[_ProcessWorker]] = [None] * num_shards
-        self._keys: Dict[Tuple[int, Tuple[int, ...], str], str] = {}
         self._spawn_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._lane_batches = {lane: 0 for lane in LANES}
@@ -877,9 +895,41 @@ class ProcessShardExecutor:
         _LIVE.add(self)
 
     # ------------------------------------------------------------------
-    def provider(self, shard: int) -> CompiledModel:
+    def _build_pset(self, model) -> _ProviderSet:
+        """One provider (compile/validate engine) per shard over ``model``."""
+        return _ProviderSet(
+            [
+                CompiledModel(
+                    model,
+                    output_slice=self._slices[shard] if self._slices is not None else None,
+                    precision=self._precision,
+                    threads=self._threads,
+                    artifact_dir=self._provider_store,
+                )
+                for shard in range(self.num_shards)
+            ]
+        )
+
+    def current_generation(self) -> _ProviderSet:
+        """The provider set new proxies pin by default."""
+        return self._pset
+
+    def prepare_generation(self, model) -> _ProviderSet:
+        """Build (but do not install) a provider set for new weights.
+
+        The returned set is safe to warm up — compiling and spot-checking
+        plans against the deployment store — while the current generation
+        keeps serving; :meth:`install_generation` publishes it.
+        """
+        return self._build_pset(model)
+
+    def install_generation(self, pset: _ProviderSet) -> None:
+        """Make ``pset`` the generation that new proxies pin."""
+        self._pset = pset
+
+    def provider(self, shard: int, pset: Optional[_ProviderSet] = None) -> CompiledModel:
         """The parent-side compile/validate engine of one shard."""
-        return self._providers[shard]
+        return (pset if pset is not None else self._pset).providers[shard]
 
     def _shard_span(self, shard: int) -> int:
         if self._slices is not None:
@@ -887,13 +937,15 @@ class ProcessShardExecutor:
             return hi - lo
         return self._num_nodes
 
-    def _ensure_key(self, shard: int, shape: Tuple[int, ...], dtype: np.dtype) -> str:
+    def _ensure_key(self, shard: int, shape: Tuple[int, ...], dtype: np.dtype,
+                    pset: Optional[_ProviderSet] = None) -> str:
         """Compile+spot-check in the parent; make the artifact disk-loadable."""
+        pset = pset if pset is not None else self._pset
         memo_key = (shard, shape, dtype.name)
-        key = self._keys.get(memo_key)
+        key = pset.keys.get(memo_key)
         if key is not None:
             return key
-        provider = self._providers[shard]
+        provider = pset.providers[shard]
         provider.ensure_validated(np.zeros(shape, dtype=dtype), precision=dtype.name)
         key = provider.artifact_key(shape, precision=dtype.name)
         on_disk = any(
@@ -906,12 +958,13 @@ class ProcessShardExecutor:
             if cached is not None:
                 spec, constants = cached
                 self._spill.save(key, spec, constants)
-        self._keys[memo_key] = key
+        pset.keys[memo_key] = key
         return key
 
-    def _layout_for(self, shard: int, key: str) -> _SegmentLayout:
+    def _layout_for(self, shard: int, key: str,
+                    pset: Optional[_ProviderSet] = None) -> _SegmentLayout:
         """Size one shard's segment from its first plan's buffer layout."""
-        provider = self._providers[shard]
+        provider = self.provider(shard, pset=pset)
         spec = None
         for store in (provider.artifact_store, self._spill):
             # peek, not load: sizing the segment must not distort the
@@ -935,7 +988,8 @@ class ProcessShardExecutor:
             arena = 64 * 1024 * 1024
         return _SegmentLayout.build(request_cap, response_cap, arena)
 
-    def _ensure_worker(self, shard: int, key: str) -> _ProcessWorker:
+    def _ensure_worker(self, shard: int, key: str,
+                       pset: Optional[_ProviderSet] = None) -> _ProcessWorker:
         worker = self._workers[shard]
         if worker is not None:
             return worker
@@ -946,9 +1000,9 @@ class ProcessShardExecutor:
                     shard,
                     self._ctx,
                     self.start_method,
-                    self._layout_for(shard, key),
+                    self._layout_for(shard, key, pset=pset),
                     self._store_roots,
-                    self._providers[shard].threads,
+                    self.provider(shard, pset=pset).threads,
                     self._request_delay,
                 )
                 self._workers[shard] = worker
@@ -956,21 +1010,22 @@ class ProcessShardExecutor:
 
     # ------------------------------------------------------------------
     def _make_jobs(self, shard: int, array: np.ndarray, lane: str,
-                   dtype: np.dtype) -> List[_Job]:
-        provider = self._providers[shard]
+                   dtype: np.dtype, pset: Optional[_ProviderSet] = None) -> List[_Job]:
+        provider = self.provider(shard, pset=pset)
         jobs: List[_Job] = []
         for start in range(0, array.shape[0], self._chunk_rows):
             chunk = array[start : start + self._chunk_rows]
             trim = chunk.shape[0]
             padded, _ = pad_batch_to_bucket(chunk, provider.bucket_cap)
             padded = np.ascontiguousarray(padded)
-            key = self._ensure_key(shard, padded.shape, dtype)
+            key = self._ensure_key(shard, padded.shape, dtype, pset=pset)
             job = _Job(padded, lane, key, trim)
             jobs.append(job)
         return jobs
 
-    def _dispatch(self, shard: int, jobs: List[_Job]) -> None:
-        worker = self._ensure_worker(shard, jobs[0].key)
+    def _dispatch(self, shard: int, jobs: List[_Job],
+                  pset: Optional[_ProviderSet] = None) -> None:
+        worker = self._ensure_worker(shard, jobs[0].key, pset=pset)
         for job in jobs:
             worker.queue.put(job)
         with self._stats_lock:
@@ -994,17 +1049,20 @@ class ProcessShardExecutor:
         return [job.result for job in jobs]
 
     def call(self, shard: int, array, lane: str = "bulk",
-             precision: Optional[str] = None) -> np.ndarray:
+             precision: Optional[str] = None,
+             pset: Optional[_ProviderSet] = None) -> np.ndarray:
         """Forward one ``(B, T, N, F)`` batch through a shard's worker.
 
         Bit-identical to the thread tier: the batch is cast to the plan
         dtype and bucket-padded exactly as
         :meth:`~repro.runtime.CompiledModel.__call__` would, replayed by
         the worker, and the trimmed output exit-cast back to float64.
+        ``pset`` selects the weights generation (default: current) — plans
+        are compiled, keyed and replayed against that generation only.
         """
         if lane not in _LANE_IDS:
             raise ValueError(f"unknown lane {lane!r}; expected one of {LANES}")
-        provider = self._providers[shard]
+        provider = self.provider(shard, pset=pset)
         array = np.asarray(array)
         if self._closed:
             # Post-close lazy serving: late handle.result() flushes must
@@ -1016,32 +1074,42 @@ class ProcessShardExecutor:
         dtype = np.dtype(resolve_precision(precision if precision is not None else provider.precision))
         if array.dtype != dtype:
             array = array.astype(dtype)
-        jobs = self._make_jobs(shard, array, lane, dtype)
-        self._dispatch(shard, jobs)
+        jobs = self._make_jobs(shard, array, lane, dtype, pset=pset)
+        self._dispatch(shard, jobs, pset=pset)
         return np.concatenate(self._settle(jobs), axis=0)
 
     def call_fanout(self, shards: Sequence[int], array, lane: str = "bulk",
-                    precision: Optional[str] = None) -> List[np.ndarray]:
+                    precision: Optional[str] = None,
+                    pset: Optional[_ProviderSet] = None) -> List[np.ndarray]:
         """Forward one batch on several shards concurrently (node fan-out)."""
         if self._closed:
-            return [self.call(shard, array, lane=lane, precision=precision) for shard in shards]
+            return [
+                self.call(shard, array, lane=lane, precision=precision, pset=pset)
+                for shard in shards
+            ]
         array = np.asarray(array)
         per_shard: List[List[_Job]] = []
         for shard in shards:
-            provider = self._providers[shard]
+            provider = self.provider(shard, pset=pset)
             dtype = np.dtype(
                 resolve_precision(precision if precision is not None else provider.precision)
             )
             shard_array = array.astype(dtype) if array.dtype != dtype else array
-            jobs = self._make_jobs(shard, shard_array, lane, dtype)
-            self._dispatch(shard, jobs)
+            jobs = self._make_jobs(shard, shard_array, lane, dtype, pset=pset)
+            self._dispatch(shard, jobs, pset=pset)
             per_shard.append(jobs)
         return [np.concatenate(self._settle(jobs), axis=0) for jobs in per_shard]
 
     # ------------------------------------------------------------------
-    def proxy(self, shard: int) -> _ProcessShardForward:
-        """The drop-in ``forward_fn`` for one shard's micro-batcher."""
-        return _ProcessShardForward(self, shard)
+    def proxy(self, shard: int,
+              pset: Optional[_ProviderSet] = None) -> _ProcessShardForward:
+        """The drop-in ``forward_fn`` for one shard's micro-batcher.
+
+        The proxy pins ``pset`` (default: the current generation) for its
+        lifetime — a hot swap builds new proxies rather than mutating old
+        ones, so in-flight flushes settle on the generation they entered.
+        """
+        return _ProcessShardForward(self, shard, pset=pset)
 
     def lane_pending(self, lane: str) -> int:
         """Rows queued or in flight on one lane across all spawned workers."""

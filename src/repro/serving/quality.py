@@ -1,0 +1,535 @@
+"""Streaming sensor quality control: detector health and imputation.
+
+Production traffic loops never feed raw detector streams straight into a
+model: detectors get stuck, drop out, spike, and report values outside
+any physical range, and a single NaN poisons every window (and cached
+forecast) it touches.  This module is the validation/imputation stage in
+front of :class:`~repro.serving.RollingWindowBuffer`:
+
+* :class:`SensorHealthMonitor` classifies each sensor on every ingested
+  step — **dropout** (NaN/Inf), **out-of-range**, **stuck-at** (constant
+  over ``stuck_steps`` readings) and **spike** (robust z-score against
+  the sensor's own recent clean history) — and runs a per-sensor health
+  state machine ``healthy → suspect → failed → recovering → healthy``
+  whose transitions are driven by consecutive flagged/clean steps;
+* flagged readings are **imputed** before they enter the normalised ring,
+  by a pluggable strategy: ``"last_value"`` hold, ``"seasonal"``
+  (time-of-day profile accumulated from the sensor's own clean history)
+  or ``"neighbors"`` (average of the same step's clean readings over the
+  hypergraph prior's adjacency row — the structural imputation asset a
+  flat serving stack does not have).  Every strategy falls back down the
+  chain (``last_value`` → running mean → 0) so the cleaned step is always
+  finite;
+* :meth:`SensorHealthMonitor.stats` surfaces per-state sensor counts and
+  per-issue/per-strategy imputation counters for the serving ``stats()``
+  endpoints, and the full monitor state round-trips through
+  :meth:`state_dict` / :meth:`load_state_dict` alongside the buffer's
+  warm-start snapshot.
+
+The monitor operates on **raw-scale** readings (before normalisation):
+range checks and seasonal profiles are only meaningful in physical units,
+and the buffer normalises the cleaned step exactly as it always has.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "HEALTH_STATES",
+    "ISSUE_KINDS",
+    "IMPUTATION_STRATEGIES",
+    "QualityConfig",
+    "StepReport",
+    "QualityStats",
+    "SensorHealthMonitor",
+]
+
+#: Health states of the per-sensor state machine, in code order.
+HEALTH_STATES = ("healthy", "suspect", "failed", "recovering")
+
+#: Issue kinds a reading can be flagged with.
+ISSUE_KINDS = ("dropout", "range", "stuck", "spike")
+
+#: Configurable imputation strategies (every one falls back to the chain
+#: ``last_value`` → running mean → 0 when it has no data yet).
+IMPUTATION_STRATEGIES = ("last_value", "seasonal", "neighbors")
+
+#: Imputation sources recorded in the stats (strategies plus fallbacks).
+_IMPUTATION_SOURCES = ("neighbors", "seasonal", "last_value", "mean", "zero")
+
+_HEALTHY, _SUSPECT, _FAILED, _RECOVERING = range(4)
+
+
+@dataclass(frozen=True)
+class QualityConfig:
+    """Thresholds of the detector-health checks and the state machine.
+
+    Attributes
+    ----------
+    stuck_steps:
+        Consecutive identical readings (within ``stuck_epsilon``) before a
+        sensor is flagged stuck-at.
+    spike_zscore / spike_window / spike_min_history / spike_floor:
+        A finite, in-range reading is flagged as a spike when its distance
+        from the mean of the sensor's last ``spike_window`` *clean*
+        readings exceeds ``spike_zscore`` standard deviations (the std is
+        floored at ``spike_floor`` raw units so a quiet sensor does not
+        flag every fluctuation); the check only arms once
+        ``spike_min_history`` clean readings exist.
+    value_min / value_max:
+        Physical range of a valid reading (``None`` disables the bound).
+        Traffic flow cannot be negative, hence the default floor of 0.
+    fail_after:
+        Consecutive flagged steps that demote a suspect sensor to failed.
+    recover_after:
+        Consecutive clean steps that promote a recovering sensor back to
+        healthy.
+    imputation:
+        Strategy for flagged readings (see :data:`IMPUTATION_STRATEGIES`).
+    steps_per_day:
+        Slots of the seasonal time-of-day profile (288 at the paper's
+        5-minute resolution).
+    """
+
+    stuck_steps: int = 6
+    stuck_epsilon: float = 1e-9
+    spike_zscore: float = 6.0
+    spike_window: int = 24
+    spike_min_history: int = 8
+    spike_floor: float = 1.0
+    value_min: Optional[float] = 0.0
+    value_max: Optional[float] = None
+    fail_after: int = 3
+    recover_after: int = 4
+    imputation: str = "last_value"
+    steps_per_day: int = 288
+
+    def __post_init__(self) -> None:
+        if self.stuck_steps < 2:
+            raise ValueError("stuck_steps must be at least 2")
+        if self.spike_zscore <= 0 or self.spike_floor <= 0:
+            raise ValueError("spike_zscore and spike_floor must be positive")
+        if self.spike_window < self.spike_min_history or self.spike_min_history < 2:
+            raise ValueError("need spike_window >= spike_min_history >= 2")
+        if self.fail_after < 1 or self.recover_after < 1:
+            raise ValueError("fail_after and recover_after must be positive")
+        if self.imputation not in IMPUTATION_STRATEGIES:
+            raise ValueError(
+                f"unknown imputation strategy {self.imputation!r}; "
+                f"expected one of {IMPUTATION_STRATEGIES}"
+            )
+        if self.steps_per_day < 1:
+            raise ValueError("steps_per_day must be positive")
+        if (
+            self.value_min is not None
+            and self.value_max is not None
+            and self.value_min >= self.value_max
+        ):
+            raise ValueError("value_min must be below value_max")
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """What the monitor did to one ingested step."""
+
+    #: Cleaned raw-scale step ``(N, F)`` — always finite.
+    clean: np.ndarray
+    #: Per-sensor flag mask ``(N,)`` for the target feature channel.
+    flagged: np.ndarray
+    #: Values replaced this step (flagged target readings plus non-finite
+    #: entries of non-target channels).
+    imputed: int
+    #: Per-issue-kind counts for this step.
+    issues: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class QualityStats:
+    """Detector-health counters surfaced through the serving ``stats()``."""
+
+    #: Configured imputation strategy.
+    strategy: str
+    #: Total observation steps the monitor has classified.
+    steps_observed: int
+    #: Steps on which at least one sensor was flagged.
+    flagged_steps: int
+    #: Total values replaced by imputation.
+    imputed_values: int
+    #: Sensors currently in each health state.
+    states: Dict[str, int] = field(default_factory=dict)
+    #: Cumulative per-issue flag counts.
+    issues: Dict[str, int] = field(default_factory=dict)
+    #: Which source actually supplied each imputed value.
+    imputed_by: Dict[str, int] = field(default_factory=dict)
+    #: Indices of the sensors currently failed.
+    failed_nodes: Tuple[int, ...] = ()
+    #: Imputed values inside the buffer's *current* window (0 when the
+    #: monitor runs standalone); a degraded forecast has this > 0.
+    window_imputed_values: int = 0
+    #: Whether the current window contains any imputed reading.
+    window_degraded: bool = False
+
+
+class SensorHealthMonitor:
+    """Classify, track and impute one sensor network's detector stream.
+
+    Parameters
+    ----------
+    num_nodes / num_features / target_feature:
+        Geometry of one observation step ``(N, F)``; the full check suite
+        runs on the target (flow) channel, other channels only get
+        non-finite values replaced by a last-value hold.
+    config:
+        Thresholds and the imputation strategy (defaults apply).
+    adjacency:
+        Prior-graph adjacency ``(N, N)`` backing the ``"neighbors"``
+        strategy (required for it; ignored by the others).  Weights are
+        used as averaging weights; the diagonal is dropped.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_features: int = 1,
+        target_feature: int = 0,
+        config: Optional[QualityConfig] = None,
+        adjacency: Optional[np.ndarray] = None,
+    ) -> None:
+        if num_nodes <= 0 or num_features <= 0:
+            raise ValueError("num_nodes and num_features must be positive")
+        if not 0 <= target_feature < num_features:
+            raise ValueError(f"target_feature {target_feature} out of range for F={num_features}")
+        self.config = config or QualityConfig()
+        self.num_nodes = num_nodes
+        self.num_features = num_features
+        self.target_feature = target_feature
+        if self.config.imputation == "neighbors" and adjacency is None:
+            raise ValueError(
+                "imputation='neighbors' needs the prior-graph adjacency; "
+                "pass adjacency= (ForecastService.from_checkpoint wires the "
+                "checkpoint's own adjacency automatically)"
+            )
+        if adjacency is not None:
+            adjacency = np.abs(np.asarray(adjacency, dtype=float))
+            if adjacency.shape != (num_nodes, num_nodes):
+                raise ValueError(
+                    f"adjacency shape {adjacency.shape} does not match ({num_nodes}, {num_nodes})"
+                )
+            adjacency = adjacency.copy()
+            np.fill_diagonal(adjacency, 0.0)
+        self.adjacency = adjacency
+        self._lock = threading.RLock()
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        n, f, cfg = self.num_nodes, self.num_features, self.config
+        self._state = np.zeros(n, dtype=np.int64)
+        self._bad_streak = np.zeros(n, dtype=np.int64)
+        self._good_streak = np.zeros(n, dtype=np.int64)
+        self._repeat = np.zeros(n, dtype=np.int64)
+        self._last_raw = np.full(n, np.nan)
+        self._last_clean = np.full(n, np.nan)
+        self._last_step = np.zeros((n, f))
+        self._hist = np.full((cfg.spike_window, n), np.nan)
+        self._hist_pos = 0
+        self._profile_sum = np.zeros((cfg.steps_per_day, n))
+        self._profile_count = np.zeros((cfg.steps_per_day, n), dtype=np.int64)
+        self._slot = 0
+        self._mean_sum = np.zeros(n)
+        self._mean_count = np.zeros(n, dtype=np.int64)
+        self._steps = 0
+        self._flagged_steps = 0
+        self._imputed_values = 0
+        self._issue_counts = np.zeros(len(ISSUE_KINDS), dtype=np.int64)
+        self._source_counts = np.zeros(len(_IMPUTATION_SOURCES), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def _classify(self, raw: np.ndarray) -> Dict[str, np.ndarray]:
+        cfg = self.config
+        finite = np.isfinite(raw)
+        dropout = ~finite
+        range_bad = np.zeros_like(finite)
+        if cfg.value_min is not None:
+            range_bad |= finite & (raw < cfg.value_min)
+        if cfg.value_max is not None:
+            range_bad |= finite & (raw > cfg.value_max)
+        # Stuck-at: consecutive raw readings within epsilon of each other.
+        same = finite & np.isfinite(self._last_raw) & (
+            np.abs(raw - self._last_raw) <= cfg.stuck_epsilon
+        )
+        self._repeat = np.where(same, self._repeat + 1, np.where(finite, 1, 0))
+        stuck = finite & ~range_bad & (self._repeat >= cfg.stuck_steps)
+        # Spike: robust z-score against the trailing clean history.
+        valid = np.isfinite(self._hist)
+        count = valid.sum(axis=0)
+        mean = np.where(valid, self._hist, 0.0).sum(axis=0) / np.maximum(count, 1)
+        var = (np.where(valid, self._hist - mean, 0.0) ** 2).sum(axis=0)
+        std = np.sqrt(var / np.maximum(count - 1, 1))
+        armed = count >= cfg.spike_min_history
+        z = np.abs(raw - mean) / np.maximum(std, cfg.spike_floor)
+        spike = finite & ~range_bad & ~stuck & armed & (z > cfg.spike_zscore)
+        return {"dropout": dropout, "range": range_bad, "stuck": stuck, "spike": spike}
+
+    # ------------------------------------------------------------------
+    # Imputation
+    # ------------------------------------------------------------------
+    def _impute(self, raw: np.ndarray, flagged: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Fill flagged target readings; returns (values, source-index)."""
+        cfg = self.config
+        n = self.num_nodes
+        values = np.full(n, np.nan)
+        source = np.full(n, -1, dtype=np.int64)
+
+        def fill(candidate: np.ndarray, name: str) -> None:
+            usable = flagged & (source < 0) & np.isfinite(candidate)
+            values[usable] = candidate[usable]
+            source[usable] = _IMPUTATION_SOURCES.index(name)
+
+        if cfg.imputation == "neighbors" and self.adjacency is not None:
+            clean_now = flagged.copy()
+            np.logical_not(clean_now, out=clean_now)
+            clean_now &= np.isfinite(raw)
+            weights = self.adjacency * clean_now[None, :]
+            denom = weights.sum(axis=1)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                candidate = (weights @ np.where(clean_now, raw, 0.0)) / denom
+            candidate[denom <= 0] = np.nan
+            fill(candidate, "neighbors")
+        if cfg.imputation == "seasonal":
+            slot = self._slot % cfg.steps_per_day
+            count = self._profile_count[slot]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                candidate = self._profile_sum[slot] / count
+            candidate = np.where(count > 0, candidate, np.nan)
+            fill(candidate, "seasonal")
+        fill(self._last_clean, "last_value")
+        with np.errstate(invalid="ignore", divide="ignore"):
+            running = self._mean_sum / self._mean_count
+        fill(np.where(self._mean_count > 0, running, np.nan), "mean")
+        remaining = flagged & (source < 0)
+        values[remaining] = 0.0
+        source[remaining] = _IMPUTATION_SOURCES.index("zero")
+        return values, source
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def _advance_states(self, flagged: np.ndarray) -> None:
+        cfg = self.config
+        self._bad_streak = np.where(flagged, self._bad_streak + 1, 0)
+        self._good_streak = np.where(flagged, 0, self._good_streak + 1)
+        state = self._state
+        new = state.copy()
+        new[(state == _HEALTHY) & flagged] = _SUSPECT
+        new[(state == _SUSPECT) & ~flagged] = _HEALTHY
+        new[(state == _SUSPECT) & flagged & (self._bad_streak >= cfg.fail_after)] = _FAILED
+        new[(state == _FAILED) & ~flagged] = _RECOVERING
+        new[(state == _RECOVERING) & flagged] = _FAILED
+        new[
+            (state == _RECOVERING) & ~flagged & (self._good_streak >= cfg.recover_after)
+        ] = _HEALTHY
+        self._state = new
+
+    # ------------------------------------------------------------------
+    def observe(self, step: np.ndarray) -> StepReport:
+        """Classify one raw observation step and return its cleaned form.
+
+        ``step`` has shape ``(N, F)`` (or ``(N,)`` when F=1) on the raw
+        scale.  The returned :attr:`StepReport.clean` is always finite:
+        flagged target readings are imputed by the configured strategy and
+        non-finite entries of other channels are replaced by a last-value
+        hold.
+        """
+        step = np.asarray(step, dtype=float)
+        if step.ndim == 1 and self.num_features == 1:
+            step = step[:, None]
+        if step.shape != (self.num_nodes, self.num_features):
+            raise ValueError(
+                f"step shape {step.shape} does not match "
+                f"(num_nodes={self.num_nodes}, num_features={self.num_features})"
+            )
+        with self._lock:
+            clean = step.copy()
+            raw = step[:, self.target_feature].astype(float, copy=True)
+            issues = self._classify(raw)
+            flagged = np.zeros(self.num_nodes, dtype=bool)
+            for kind in ISSUE_KINDS:
+                flagged |= issues[kind]
+            imputed = 0
+            if flagged.any():
+                values, source = self._impute(raw, flagged)
+                clean[flagged, self.target_feature] = values[flagged]
+                imputed += int(flagged.sum())
+                for index in range(len(_IMPUTATION_SOURCES)):
+                    self._source_counts[index] += int((source == index).sum())
+            # Non-target channels: only a dropout repair (last-value hold).
+            for channel in range(self.num_features):
+                if channel == self.target_feature:
+                    continue
+                bad = ~np.isfinite(clean[:, channel])
+                if bad.any():
+                    clean[bad, channel] = self._last_step[bad, channel]
+                    imputed += int(bad.sum())
+            self._advance_states(flagged)
+            # Histories track the cleaned stream; the spike window only the
+            # genuinely clean readings (an imputed run must not teach the
+            # spike detector that the imputed level is normal).
+            clean_target = clean[:, self.target_feature]
+            self._last_raw[np.isfinite(raw)] = raw[np.isfinite(raw)]
+            self._last_clean = clean_target.copy()
+            self._last_step = clean.copy()
+            row = np.where(flagged, np.nan, raw)
+            self._hist[self._hist_pos % self.config.spike_window] = row
+            self._hist_pos += 1
+            good = ~flagged
+            slot = self._slot % self.config.steps_per_day
+            self._profile_sum[slot, good] += raw[good]
+            self._profile_count[slot, good] += 1
+            self._mean_sum[good] += raw[good]
+            self._mean_count[good] += 1
+            self._slot += 1
+            self._steps += 1
+            if flagged.any() or imputed:
+                self._flagged_steps += 1
+            self._imputed_values += imputed
+            step_issues: Dict[str, int] = {}
+            for index, kind in enumerate(ISSUE_KINDS):
+                count = int(issues[kind].sum())
+                self._issue_counts[index] += count
+                if count:
+                    step_issues[kind] = count
+            return StepReport(
+                clean=clean, flagged=flagged.copy(), imputed=imputed, issues=step_issues
+            )
+
+    def observe_correction(self, node: int, values: np.ndarray) -> None:
+        """Fold a late per-node correction into the held last values.
+
+        Corrections overwrite the latest ring step directly (see
+        :meth:`RollingWindowBuffer.ingest_node`); the monitor only updates
+        its hold state so subsequent imputations use the corrected value.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        values = np.asarray(values, dtype=float).reshape(self.num_features)
+        if not np.isfinite(values).all():
+            raise ValueError("corrections must be finite")
+        with self._lock:
+            self._last_raw[node] = values[self.target_feature]
+            self._last_clean[node] = values[self.target_feature]
+            self._last_step[node] = values
+
+    # ------------------------------------------------------------------
+    def health(self) -> Tuple[str, ...]:
+        """Current health-state name of every sensor."""
+        with self._lock:
+            return tuple(HEALTH_STATES[code] for code in self._state)
+
+    def stats(self) -> QualityStats:
+        """Snapshot of the per-state and per-issue counters."""
+        with self._lock:
+            states = {
+                name: int((self._state == code).sum())
+                for code, name in enumerate(HEALTH_STATES)
+            }
+            return QualityStats(
+                strategy=self.config.imputation,
+                steps_observed=self._steps,
+                flagged_steps=self._flagged_steps,
+                imputed_values=self._imputed_values,
+                states=states,
+                issues={
+                    kind: int(self._issue_counts[index])
+                    for index, kind in enumerate(ISSUE_KINDS)
+                },
+                imputed_by={
+                    name: int(self._source_counts[index])
+                    for index, name in enumerate(_IMPUTATION_SOURCES)
+                    if self._source_counts[index]
+                },
+                failed_nodes=tuple(int(i) for i in np.flatnonzero(self._state == _FAILED)),
+            )
+
+    # ------------------------------------------------------------------
+    # Persistence (rides on the buffer's warm-start snapshot)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Complete monitor state as plain arrays (npz-serialisable)."""
+        with self._lock:
+            return {
+                "state": self._state.copy(),
+                "bad_streak": self._bad_streak.copy(),
+                "good_streak": self._good_streak.copy(),
+                "repeat": self._repeat.copy(),
+                "last_raw": self._last_raw.copy(),
+                "last_clean": self._last_clean.copy(),
+                "last_step": self._last_step.copy(),
+                "hist": self._hist.copy(),
+                "hist_pos": np.int64(self._hist_pos),
+                "profile_sum": self._profile_sum.copy(),
+                "profile_count": self._profile_count.copy(),
+                "slot": np.int64(self._slot),
+                "mean_sum": self._mean_sum.copy(),
+                "mean_count": self._mean_count.copy(),
+                "steps": np.int64(self._steps),
+                "flagged_steps": np.int64(self._flagged_steps),
+                "imputed_values": np.int64(self._imputed_values),
+                "issue_counts": self._issue_counts.copy(),
+                "source_counts": self._source_counts.copy(),
+            }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state_dict` snapshot (geometry must match)."""
+        with self._lock:
+            restored = np.asarray(state["state"], dtype=np.int64)
+            if restored.shape != (self.num_nodes,):
+                raise ValueError(
+                    f"snapshot tracks {restored.shape[0]} sensors; "
+                    f"this monitor tracks {self.num_nodes}"
+                )
+            hist = np.asarray(state["hist"], dtype=float)
+            self._state = restored
+            self._bad_streak = np.asarray(state["bad_streak"], dtype=np.int64)
+            self._good_streak = np.asarray(state["good_streak"], dtype=np.int64)
+            self._repeat = np.asarray(state["repeat"], dtype=np.int64)
+            self._last_raw = np.asarray(state["last_raw"], dtype=float)
+            self._last_clean = np.asarray(state["last_clean"], dtype=float)
+            self._last_step = np.asarray(state["last_step"], dtype=float).reshape(
+                self.num_nodes, self.num_features
+            )
+            # Tolerate a spike-window (or profile-resolution) config change
+            # between save and restore: reconcile into the live shapes.
+            self._hist = np.full((self.config.spike_window, self.num_nodes), np.nan)
+            rows = min(self.config.spike_window, hist.shape[0])
+            self._hist[:rows] = hist[:rows]
+            self._hist_pos = int(state["hist_pos"])
+            profile_sum = np.asarray(state["profile_sum"], dtype=float)
+            profile_count = np.asarray(state["profile_count"], dtype=np.int64)
+            if profile_sum.shape == (self.config.steps_per_day, self.num_nodes):
+                self._profile_sum = profile_sum
+                self._profile_count = profile_count
+            else:
+                self._profile_sum = np.zeros((self.config.steps_per_day, self.num_nodes))
+                self._profile_count = np.zeros(
+                    (self.config.steps_per_day, self.num_nodes), dtype=np.int64
+                )
+            self._slot = int(state["slot"])
+            self._mean_sum = np.asarray(state["mean_sum"], dtype=float)
+            self._mean_count = np.asarray(state["mean_count"], dtype=np.int64)
+            self._steps = int(state["steps"])
+            self._flagged_steps = int(state["flagged_steps"])
+            self._imputed_values = int(state["imputed_values"])
+            self._issue_counts = np.asarray(state["issue_counts"], dtype=np.int64).copy()
+            self._source_counts = np.asarray(state["source_counts"], dtype=np.int64).copy()
+
+    def reset(self) -> None:
+        """Forget all history and counters (sensors return to healthy)."""
+        with self._lock:
+            self._reset_state()

@@ -47,9 +47,10 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -72,8 +73,9 @@ from .batching import (
 )
 from .buffer import RollingWindowBuffer
 from .cache import CacheStats, ForecastCache
+from .quality import QualityConfig, QualityStats, SensorHealthMonitor
 
-__all__ = ["ServiceStats", "ForecastFrontend", "ForecastService"]
+__all__ = ["ServiceStats", "SwapReport", "ForecastFrontend", "ForecastService"]
 
 
 def _weights_fingerprint(model: Module) -> str:
@@ -99,6 +101,72 @@ class ServiceStats:
     precision: str = "float64"
     #: Island-parallel replay width of the compiled plans (1 = serial).
     threads: int = 1
+    #: Detector-health and imputation counters (None without a monitor).
+    quality: Optional[QualityStats] = None
+    #: Completed hot checkpoint swaps over the service's lifetime.
+    swaps: int = 0
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """What one :meth:`ForecastFrontend.swap_checkpoint` call did."""
+
+    old_version: str
+    new_version: str
+    #: Whether the new checkpoint's scaler differed (and the streaming ring
+    #: was re-normalised under the buffer lock).
+    scaler_changed: bool
+    #: Plan artifacts copied from the checkpoint's AOT sidecar into the
+    #: deployment store before the engines were built.
+    artifacts_adopted: int
+    #: Plans bound from existing artifacts while warming the new engines.
+    plans_reused: int
+    #: Plans traced from scratch while warming the new engines.
+    plans_compiled: int
+    #: Wall-clock duration of the swap (load -> publish), milliseconds.
+    swap_ms: float
+
+
+class _Generation:
+    """One immutable serving generation: weights, scaler, version, engines.
+
+    The swap path builds a complete new generation off to the side (plans
+    warmed, batchers constructed) and publishes it with a single reference
+    assignment; every query captures ``self._gen`` once at entry, so a
+    request runs start to finish against exactly one generation — never a
+    torn old-model/new-scaler mix.
+    """
+
+    __slots__ = ("model", "scaler", "model_version", "engine")
+
+    def __init__(self, model, scaler, model_version, engine=None) -> None:
+        self.model = model
+        self.scaler = scaler
+        self.model_version = model_version
+        self.engine = engine
+
+
+class _ServiceEngine:
+    """The single-worker generation payload: one forward, one batcher."""
+
+    __slots__ = ("forward", "batcher")
+
+    def __init__(self, forward, batcher) -> None:
+        self.forward = forward
+        self.batcher = batcher
+
+
+def _merge_batcher_stats(parts: List[BatcherStats]) -> BatcherStats:
+    """Sum batcher counters across generations (stats survive a hot swap)."""
+    merged = BatcherStats()
+    for part in parts:
+        merged.requests += part.requests
+        merged.flushes += part.flushes
+        merged.coalesced += part.coalesced
+        merged.largest_batch = max(merged.largest_batch, part.largest_batch)
+        merged.failed_flushes += part.failed_flushes
+        merged.failed_requests += part.failed_requests
+    return merged
 
 
 class ForecastFrontend:
@@ -122,15 +190,17 @@ class ForecastFrontend:
         precision: Optional[str] = None,
         threads: Optional[int] = None,
         artifact_dir: Optional[Union[str, Path, ArtifactStore]] = None,
+        quality: Union[None, bool, QualityConfig, SensorHealthMonitor] = None,
+        quality_adjacency: Optional[np.ndarray] = None,
     ) -> None:
         config = getattr(model, "config", None)
         if config is None:
             raise ValueError("model must expose a config attribute")
         model.eval()
-        self.model = model
         self.config = config
-        self.scaler = scaler
-        self.model_version = model_version or _weights_fingerprint(model)
+        self._gen = _Generation(model, scaler, model_version or _weights_fingerprint(model))
+        self._swap_lock = threading.Lock()
+        self._swaps = 0
         self.runtime = resolve_runtime_mode(runtime)
         self.precision = resolve_precision(precision).name
         self.threads = resolve_thread_count(threads)
@@ -152,6 +222,11 @@ class ForecastFrontend:
         self.cache: Optional[ForecastCache] = (
             ForecastCache(max_entries=cache_entries) if cache_entries > 0 else None
         )
+        # Streaming quality control: `quality=` accepts a ready monitor, a
+        # QualityConfig, or True (default thresholds); the monitor sits in
+        # front of the rolling buffer's ring, classifying and imputing every
+        # ingested step (see repro.serving.quality).
+        self.quality = self._resolve_quality(quality, quality_adjacency)
         # The streaming ring stores windows at the service's serving
         # precision.  On the single-worker direct path (_predict hands the
         # raw array to the compiled plan) a float32 snapshot enters the
@@ -165,9 +240,46 @@ class ForecastFrontend:
             num_features=config.input_dim,
             scaler=scaler,
             dtype=np.float32 if self.precision == "float32" else float,
+            quality=self.quality,
         )
         self._requests = 0
         self._requests_lock = threading.Lock()
+
+    def _resolve_quality(
+        self,
+        quality: Union[None, bool, QualityConfig, SensorHealthMonitor],
+        adjacency: Optional[np.ndarray],
+    ) -> Optional[SensorHealthMonitor]:
+        if quality is None or quality is False:
+            return None
+        if isinstance(quality, SensorHealthMonitor):
+            return quality
+        config = quality if isinstance(quality, QualityConfig) else QualityConfig()
+        return SensorHealthMonitor(
+            self.config.num_nodes,
+            num_features=self.config.input_dim,
+            config=config,
+            adjacency=adjacency,
+        )
+
+    # ------------------------------------------------------------------
+    # The live serving generation.  model / scaler / model_version read
+    # through self._gen so a hot swap atomically retargets every consumer.
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> Module:
+        """The currently served model (changes on hot swap)."""
+        return self._gen.model
+
+    @property
+    def scaler(self) -> Optional[object]:
+        """The currently served scaler (changes on hot swap)."""
+        return self._gen.scaler
+
+    @property
+    def model_version(self) -> str:
+        """Version of the currently served weights (cache namespace)."""
+        return self._gen.model_version
 
     # ------------------------------------------------------------------
     @classmethod
@@ -192,6 +304,10 @@ class ForecastFrontend:
         version = kwargs.pop("model_version", None)
         if version is None:
             version = loaded.metadata.get("model_version")
+        if kwargs.get("quality") and kwargs.get("quality_adjacency") is None:
+            # The neighbor-average imputation strategy averages over the
+            # prior graph; the checkpoint carries exactly that adjacency.
+            kwargs["quality_adjacency"] = loaded.adjacency
         service = cls(loaded.model, scaler=loaded.scaler, model_version=version, **kwargs)
         if buffer_state is not None:
             service.restore_buffer_state(buffer_state)
@@ -203,30 +319,38 @@ class ForecastFrontend:
         """Forecast horizon ``T'`` of the served model."""
         return self.config.output_length
 
-    def _normalise_window(self, window: np.ndarray) -> np.ndarray:
+    def _normalise_window(
+        self, window: np.ndarray, gen: Optional[_Generation] = None
+    ) -> np.ndarray:
+        scaler = (gen or self._gen).scaler
         window = np.asarray(window, dtype=float)
         if window.ndim == 2 and self.config.input_dim == 1:
             window = window[:, :, None]
         expected = (self.config.input_length, self.config.num_nodes, self.config.input_dim)
         if window.shape != expected:
             raise ValueError(f"window shape {window.shape} does not match model input {expected}")
-        if self.scaler is not None:
+        if scaler is not None:
             window = window.copy()
-            window[..., 0] = self.scaler.transform(window[..., 0])
+            window[..., 0] = scaler.transform(window[..., 0])
         return window
 
-    def _normalise_batch(self, windows: np.ndarray) -> List[np.ndarray]:
+    def _normalise_batch(
+        self, windows: np.ndarray, gen: Optional[_Generation] = None
+    ) -> List[np.ndarray]:
         """Validate a raw ``(B, T, N, F)`` batch into normalised windows."""
         windows = np.asarray(windows, dtype=float)
         if windows.ndim == 3 and self.config.input_dim == 1:
             windows = windows[..., None]
         if windows.ndim != 4:
             raise ValueError(f"windows must have shape (B, T, N, F); got {windows.shape}")
-        return [self._normalise_window(window) for window in windows]
+        return [self._normalise_window(window, gen=gen) for window in windows]
 
-    def _denormalise(self, predictions: np.ndarray) -> np.ndarray:
-        if self.scaler is not None:
-            return self.scaler.inverse_transform(predictions)
+    def _denormalise(
+        self, predictions: np.ndarray, gen: Optional[_Generation] = None
+    ) -> np.ndarray:
+        scaler = (gen or self._gen).scaler
+        if scaler is not None:
+            return scaler.inverse_transform(predictions)
         return predictions
 
     def _check_horizon(self, horizon: Optional[int]) -> int:
@@ -267,15 +391,20 @@ class ForecastFrontend:
             )
         return name
 
-    def _key_version(self, precision: Optional[str] = None) -> str:
+    def _key_version(
+        self, precision: Optional[str] = None, gen: Optional[_Generation] = None
+    ) -> str:
         """Cache namespace for one precision policy.
 
         Float32 and float64 answers to the same window differ, so they may
         never alias one cache entry; the float64 namespace stays the bare
-        model version for cache continuity with earlier deployments.
+        model version for cache continuity with earlier deployments.  The
+        version comes from the request's captured generation, so a swap
+        invalidates every stream/window key in one assignment.
         """
+        version = (gen or self._gen).model_version
         name = precision or self.precision
-        return self.model_version if name == "float64" else f"{self.model_version}:{name}"
+        return version if name == "float64" else f"{version}:{name}"
 
     def _count_requests(self, count: int = 1) -> None:
         """Bump the request counter (locked: query paths race by design)."""
@@ -317,18 +446,25 @@ class ForecastFrontend:
         return parts[0]
 
     def _compute_misses(
-        self, windows: List[np.ndarray], precision: Optional[str] = None
+        self,
+        windows: List[np.ndarray],
+        precision: Optional[str] = None,
+        gen: Optional[_Generation] = None,
     ) -> List[np.ndarray]:
         """Run the model for deduplicated misses (normalised in and out).
 
         ``precision`` is a resolved per-request override (never the
         default): such requests bypass the micro-batch queues — mixing
         precisions in one coalesced forward would serve some requests at
-        the wrong policy — and compute on the calling thread.
+        the wrong policy — and compute on the calling thread.  ``gen`` is
+        the generation captured at request entry; the compute must run on
+        that generation's engines even if a swap lands mid-request.
         """
         raise NotImplementedError
 
-    def _submit_parts(self, window: np.ndarray) -> List["PendingForecast"]:
+    def _submit_parts(
+        self, window: np.ndarray, gen: Optional[_Generation] = None
+    ) -> List["PendingForecast"]:
         """Enqueue one normalised window; returns its pending parts."""
         raise NotImplementedError
 
@@ -341,11 +477,12 @@ class ForecastFrontend:
         request touches a queue, so accepted work is never shed later.
         """
 
-    def _finalize(self, key, horizon: int):
+    def _finalize(self, key, horizon: int, gen: Optional[_Generation] = None):
         """Build the merge -> denormalise -> cache hook for one query."""
+        gen = gen or self._gen
 
         def finalize(parts: List[np.ndarray]) -> np.ndarray:
-            forecast = self._denormalise(self._merge(parts))[:horizon]
+            forecast = self._denormalise(self._merge(parts), gen=gen)[:horizon]
             if self.cache is not None and key is not None:
                 self.cache.put(key, forecast)
             return forecast.copy()
@@ -357,6 +494,7 @@ class ForecastFrontend:
         normalised: List[np.ndarray],
         horizon: int,
         precision: Optional[str] = None,
+        gen: Optional[_Generation] = None,
     ) -> np.ndarray:
         """Serve normalised windows: cache hits, deduplicated misses, stack.
 
@@ -364,7 +502,8 @@ class ForecastFrontend:
         cache keys (a float32 answer must never satisfy a float64 query)
         and is forwarded to :meth:`_compute_misses`.
         """
-        version = self._key_version(precision)
+        gen = gen or self._gen
+        version = self._key_version(precision, gen=gen)
         results: List[Optional[np.ndarray]] = [None] * len(normalised)
         # Requests that miss the cache, grouped by key so identical in-flight
         # windows share one forward slot.
@@ -382,10 +521,12 @@ class ForecastFrontend:
             groups = list(miss_groups.items())
             self._admit("bulk", len(groups))
             outputs = self._compute_misses(
-                [normalised[group[0]] for _, group in groups], precision=precision
+                [normalised[group[0]] for _, group in groups],
+                precision=precision,
+                gen=gen,
             )
             for (key, group), output in zip(groups, outputs):
-                forecast = self._denormalise(output)[:horizon]
+                forecast = self._denormalise(output, gen=gen)[:horizon]
                 if self.cache is not None:
                     self.cache.put(key, forecast)
                 results[group[0]] = forecast
@@ -415,11 +556,14 @@ class ForecastFrontend:
         """
         horizon = self._check_horizon(horizon)
         precision = self._resolve_request_precision(precision)
-        normalised = self._normalise_batch(windows)
+        # One generation per request: a hot swap mid-batch must not mix the
+        # old scaler's normalisation with the new model's forward.
+        gen = self._gen
+        normalised = self._normalise_batch(windows, gen=gen)
         self._count_requests(len(normalised))
         if not normalised:
             return self._empty_forecasts(horizon)
-        return self._serve_normalised_batch(normalised, horizon, precision=precision)
+        return self._serve_normalised_batch(normalised, horizon, precision=precision, gen=gen)
 
     def submit(self, window: np.ndarray, horizon: Optional[int] = None) -> AsyncForecast:
         """Enqueue one raw window; returns a handle to collect later.
@@ -433,16 +577,17 @@ class ForecastFrontend:
         """
         horizon = self._check_horizon(horizon)
         self._count_requests()
-        normalised = self._normalise_window(window)
+        gen = self._gen
+        normalised = self._normalise_window(window, gen=gen)
         key = None
         if self.cache is not None:
-            key = ForecastCache.make_key(self._key_version(), normalised, horizon)
+            key = ForecastCache.make_key(self._key_version(gen=gen), normalised, horizon)
             cached = self.cache.get(key)
             if cached is not None:
                 return AsyncForecast.completed(cached)
         self._admit("bulk", 1)
-        parts = self._submit_parts(normalised)
-        return AsyncForecast(parts, self._finalize(key, horizon))
+        parts = self._submit_parts(normalised, gen=gen)
+        return AsyncForecast(parts, self._finalize(key, horizon, gen=gen))
 
     # ------------------------------------------------------------------
     # Streaming operation
@@ -463,6 +608,95 @@ class ForecastFrontend:
     def restore_buffer_state(self, path: Union[str, Path]) -> None:
         """Reload a :meth:`save_buffer_state` snapshot into the live buffer."""
         self.buffer.restore(path)
+
+    # ------------------------------------------------------------------
+    # Hot checkpoint swap (zero downtime).
+    # ------------------------------------------------------------------
+    def _validate_swap_config(self, config) -> None:
+        """A swapped checkpoint must describe the same serving geometry."""
+        for attr in ("num_nodes", "input_length", "output_length", "input_dim"):
+            live, new = getattr(self.config, attr), getattr(config, attr)
+            if live != new:
+                raise ValueError(
+                    f"cannot hot-swap a checkpoint with {attr}={new} into a "
+                    f"service built for {attr}={live}; geometry changes need "
+                    "a new deployment"
+                )
+
+    def _build_engine(self, model: Module, warm_sizes=None) -> Tuple[object, int, int]:
+        """Build (engine, plans_reused, plans_compiled) for a new generation.
+
+        The base frontend has no engines; concrete services construct their
+        forward/batcher payload here, fully warmed, *before* publication —
+        the first request on the new generation must not pay a trace.
+        """
+        return None, 0, 0
+
+    def _publish_generation(self, gen: _Generation) -> None:
+        """Install a fully-built generation (runs under the buffer lock)."""
+        self._gen = gen
+
+    def _retire_generation(self, old: _Generation) -> None:
+        """Drain whatever the old generation still owes after publication."""
+
+    def swap_checkpoint(self, path: Union[str, Path], warm_sizes=None) -> SwapReport:
+        """Atomically install a new checkpoint into the live service.
+
+        Zero-downtime, drain-free: the new generation (weights, scaler,
+        compiled plans, batchers) is built completely off to the side, then
+        published with a single reference assignment performed **under the
+        streaming buffer's lock**, atomically with re-normalising the ring
+        if the new checkpoint's scaler differs.  Concurrent requests each
+        captured a generation at entry: in-flight work completes on the old
+        weights (its micro-batchers stay flushable and its plans stay
+        valid), new requests see the new weights — never a mix.
+
+        Cache correctness is free: forecast and plan caches are keyed by
+        ``model_version`` (the weights fingerprint), so old entries can
+        never answer new-version queries.  When the checkpoint has an AOT
+        artifact sidecar (:func:`~repro.training.save_plan_artifacts`) and
+        the service was built with ``artifact_dir=``, the sidecar's plans
+        are adopted into the deployment store first, making the swap a
+        handful of disk binds instead of retraces — and process-tier
+        workers (whose store roots are fixed at spawn) can load them too.
+
+        ``warm_sizes`` optionally lists batch sizes to pre-plan on the new
+        engines (default: just the streaming batch of 1).
+        """
+        from ..training.checkpoints import artifact_dir_for, load_model_checkpoint
+
+        started = time.perf_counter()
+        loaded = load_model_checkpoint(path)
+        self._validate_swap_config(loaded.config)
+        version = loaded.metadata.get("model_version")
+        if version is None:
+            version = _weights_fingerprint(loaded.model)
+        with self._swap_lock:
+            adopted = 0
+            if self.runtime == "compiled" and self.artifact_store is not None:
+                sidecar = artifact_dir_for(path)
+                if sidecar.is_dir():
+                    adopted = len(self.artifact_store.adopt(sidecar))
+            old = self._gen
+            engine, reused, compiled = self._build_engine(loaded.model, warm_sizes)
+            new = _Generation(loaded.model, loaded.scaler, version, engine)
+            # rescale() runs the publication callback under the buffer lock:
+            # ring re-normalisation (when the scaler changed) and generation
+            # publication are one atomic event for snapshot() readers.
+            rescaled = self.buffer.rescale(
+                loaded.scaler, commit=lambda: self._publish_generation(new)
+            )
+            self._retire_generation(old)
+            self._swaps += 1
+        return SwapReport(
+            old_version=old.model_version,
+            new_version=version,
+            scaler_changed=rescaled,
+            artifacts_adopted=adopted,
+            plans_reused=reused,
+            plans_compiled=compiled,
+            swap_ms=(time.perf_counter() - started) * 1e3,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle: subclasses with background threads override close().
@@ -549,6 +783,8 @@ class ForecastService(ForecastFrontend):
         precision: Optional[str] = None,
         threads: Optional[int] = None,
         artifact_dir: Optional[Union[str, Path, ArtifactStore]] = None,
+        quality: Union[None, bool, QualityConfig, SensorHealthMonitor] = None,
+        quality_adjacency: Optional[np.ndarray] = None,
     ) -> None:
         super().__init__(
             model,
@@ -559,11 +795,40 @@ class ForecastService(ForecastFrontend):
             precision=precision,
             threads=threads,
             artifact_dir=artifact_dir,
+            quality=quality,
+            quality_adjacency=quality_adjacency,
         )
+        self._max_batch_size = max_batch_size
+        self._auto_flush_at = auto_flush_at
+        # Batcher counters of generations retired by hot swaps, folded into
+        # stats() so a swap never resets the service's lifetime telemetry.
+        self._retired_stats: List[BatcherStats] = []
+        self._gen.engine, _, _ = self._build_engine(model, warm_sizes=())
+        self.flusher: Optional[BackgroundFlusher] = (
+            BackgroundFlusher([self.batcher], linger_ms=linger_ms)
+            if linger_ms is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # The live engines (one forward callable plus one micro-batcher per
+    # generation): read through self._gen so a hot swap retargets every
+    # serving path with one assignment.
+    # ------------------------------------------------------------------
+    @property
+    def _forward(self):
+        return self._gen.engine.forward
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        """The current generation's micro-batching queue."""
+        return self._gen.engine.batcher
+
+    def _build_engine(self, model: Module, warm_sizes=None) -> Tuple[_ServiceEngine, int, int]:
         # One forward callable for every serving path: the compiled runtime
         # returns plain arrays, the autograd model returns Tensors; both are
         # normalised in _predict / MicroBatcher.flush.
-        self._forward = (
+        forward = (
             CompiledModel(
                 model,
                 precision=self.precision,
@@ -573,18 +838,42 @@ class ForecastService(ForecastFrontend):
             if self.runtime == "compiled"
             else model
         )
-        self.batcher = MicroBatcher(
-            self._forward, max_batch_size=max_batch_size, auto_flush_at=auto_flush_at
+        reused = compiled = 0
+        if self.runtime == "compiled" and warm_sizes != ():
+            # Warm the new plans BEFORE the generation goes live: by default
+            # the streaming batch of 1, or an explicit size ladder.  With
+            # AOT artifacts in the store these are disk binds, not traces.
+            sizes = [1] if warm_sizes is None else self._warm_up_sizes(warm_sizes, self._max_batch_size)
+            for size in sizes:
+                forward.compile_for(self._example_batch(size))
+            info = forward.cache_info()
+            reused, compiled = info.artifact_loads, info.compiles
+        batcher = MicroBatcher(
+            forward, max_batch_size=self._max_batch_size, auto_flush_at=self._auto_flush_at
         )
-        self.flusher: Optional[BackgroundFlusher] = (
-            BackgroundFlusher([self.batcher], linger_ms=linger_ms)
-            if linger_ms is not None
-            else None
-        )
+        return _ServiceEngine(forward, batcher), reused, compiled
+
+    def _retire_generation(self, old: _Generation) -> None:
+        if old.engine is None:
+            return
+        try:
+            # Requests still queued on the old generation complete on the
+            # old weights (their handles lazily flush this same batcher, so
+            # nothing is lost even if this drain races them).
+            old.engine.batcher.flush()
+        except BaseException:
+            pass  # the affected handles carry the error
+        self._retired_stats.append(old.engine.batcher.stats)
+        if self.flusher is not None:
+            self.flusher.retarget([self.batcher])
 
     # ------------------------------------------------------------------
     def _predict(
-        self, window: np.ndarray, horizon: int, precision: Optional[str] = None
+        self,
+        window: np.ndarray,
+        horizon: int,
+        precision: Optional[str] = None,
+        gen: Optional[_Generation] = None,
     ) -> np.ndarray:
         """One uncached forward of a normalised window -> raw-scale forecast.
 
@@ -592,29 +881,36 @@ class ForecastService(ForecastFrontend):
         dtype handling, so a float32 streaming window is served zero-copy);
         the autograd fallback wraps in a float64 ``Tensor`` as ever.
         """
+        gen = gen or self._gen
+        forward = gen.engine.forward
         with no_grad():
             if self.runtime == "compiled":
                 outputs = (
-                    self._forward(window[None], precision=precision)
+                    forward(window[None], precision=precision)
                     if precision is not None
-                    else self._forward(window[None])
+                    else forward(window[None])
                 )
             else:
-                outputs = self._forward(Tensor(np.asarray(window, dtype=float)[None]))
+                outputs = forward(Tensor(np.asarray(window, dtype=float)[None]))
         predictions = outputs.data if isinstance(outputs, Tensor) else np.asarray(outputs)
-        return self._denormalise(predictions[0])[:horizon]
+        return self._denormalise(predictions[0], gen=gen)[:horizon]
 
     def _forecast_normalised(
-        self, window: np.ndarray, horizon: int, precision: Optional[str] = None
+        self,
+        window: np.ndarray,
+        horizon: int,
+        precision: Optional[str] = None,
+        gen: Optional[_Generation] = None,
     ) -> np.ndarray:
         """Serve one normalised window, consulting the cache around the model."""
+        gen = gen or self._gen
         key = None
         if self.cache is not None:
-            key = ForecastCache.make_key(self._key_version(precision), window, horizon)
+            key = ForecastCache.make_key(self._key_version(precision, gen=gen), window, horizon)
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
-        forecast = self._predict(window, horizon, precision=precision)
+        forecast = self._predict(window, horizon, precision=precision, gen=gen)
         if self.cache is not None:
             self.cache.put(key, forecast)
         return forecast.copy()
@@ -648,8 +944,9 @@ class ForecastService(ForecastFrontend):
         horizon = self._check_horizon(horizon)
         precision = self._resolve_request_precision(precision)
         self._count_requests()
+        gen = self._gen
         return self._forecast_normalised(
-            self._normalise_window(window), horizon, precision=precision
+            self._normalise_window(window, gen=gen), horizon, precision=precision, gen=gen
         )
 
     def forecast_node(
@@ -678,25 +975,31 @@ class ForecastService(ForecastFrontend):
     # worker threads, so its submit never computes.
     # ------------------------------------------------------------------
     def _compute_misses(
-        self, windows: List[np.ndarray], precision: Optional[str] = None
+        self,
+        windows: List[np.ndarray],
+        precision: Optional[str] = None,
+        gen: Optional[_Generation] = None,
     ) -> List[np.ndarray]:
+        engine = (gen or self._gen).engine
         if precision is not None:
             # Per-request precision override: direct compiled forwards at
             # the requested policy, off the (single-policy) batch queue —
             # chunked like a flush so an override query keeps the same
             # peak-batch bound as the default path.
-            size = self.batcher.max_batch_size
+            size = engine.batcher.max_batch_size
             outputs: List[np.ndarray] = []
             for start in range(0, len(windows), size):
                 chunk = np.stack(windows[start : start + size], axis=0)
-                outputs.extend(self._forward(chunk, precision=precision))
+                outputs.extend(engine.forward(chunk, precision=precision))
             return outputs
-        pending = [self.batcher.submit(window) for window in windows]
-        self.batcher.flush()
+        pending = [engine.batcher.submit(window) for window in windows]
+        engine.batcher.flush()
         return [handle.result() for handle in pending]
 
-    def _submit_parts(self, window: np.ndarray) -> List[PendingForecast]:
-        return [self.batcher.submit(window)]
+    def _submit_parts(
+        self, window: np.ndarray, gen: Optional[_Generation] = None
+    ) -> List[PendingForecast]:
+        return [(gen or self._gen).engine.batcher.submit(window)]
 
     # ------------------------------------------------------------------
     # Streaming operation
@@ -712,19 +1015,25 @@ class ForecastService(ForecastFrontend):
         horizon = self._check_horizon(horizon)
         self._count_requests()
         if self.cache is None:
-            # snapshot(): lock-consistent copy — a racing ingest lands
-            # entirely before or after it, never mid-window.
-            return self._predict(self.buffer.snapshot()[0], horizon).copy()
+            # snapshot(also=...): lock-consistent copy, and the serving
+            # generation is captured under that same lock — a racing ingest
+            # OR hot swap lands entirely before or after it, never
+            # mid-window (the swap publishes its generation inside
+            # buffer.rescale, under this very lock).
+            window, _, gen = self.buffer.snapshot(also=lambda: self._gen)
+            return self._predict(window, horizon, gen=gen).copy()
         key = (self._key_version(), self.buffer.cache_token(), horizon)
         cached = self.cache.get(key)
         if cached is not None:
             return cached
-        # Miss: copy the window atomically with its token (both taken under
-        # the buffer's mutation lock), so the cache entry always describes
-        # exactly the data that was forecast.
-        window, token = self.buffer.snapshot()
-        key = (self._key_version(), token, horizon)
-        forecast = self._predict(window, horizon)
+        # Miss: copy the window atomically with its token AND the serving
+        # generation (all taken under the buffer's mutation lock), so the
+        # cache entry always describes exactly the data that was forecast —
+        # and a swap that re-normalises the ring can never pair the old
+        # window with the new model.
+        window, token, gen = self.buffer.snapshot(also=lambda: self._gen)
+        key = (self._key_version(gen=gen), token, horizon)
+        forecast = self._predict(window, horizon, gen=gen)
         self.cache.put(key, forecast)
         return forecast.copy()
 
@@ -787,9 +1096,11 @@ class ForecastService(ForecastFrontend):
             model_version=self.model_version,
             requests=self._requests,
             cache=cache_stats,
-            batcher=self.batcher.stats,
+            batcher=_merge_batcher_stats(self._retired_stats + [self.batcher.stats]),
             runtime=self.runtime,
             flusher=self.flusher.stats() if self.flusher is not None else None,
             precision=self.precision,
             threads=self.threads,
+            quality=self.buffer.quality_stats(),
+            swaps=self._swaps,
         )

@@ -49,7 +49,7 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -70,7 +70,8 @@ from .process_tier import (
     _LaneGate,
     resolve_executor,
 )
-from .service import ForecastFrontend
+from .quality import QualityConfig, QualityStats, SensorHealthMonitor
+from .service import ForecastFrontend, _Generation, _merge_batcher_stats
 
 __all__ = [
     "partition_nodes",
@@ -137,6 +138,22 @@ class _FlushJob:
         return self.error
 
 
+class _FleetEngine:
+    """The sharded generation payload: one micro-batcher per shard, plus
+    the process tier's pinned provider set (``None`` for thread shards).
+
+    A hot swap builds a complete new fleet engine off to the side and
+    publishes it by rebinding every worker's ``batcher`` reference — the
+    worker threads and their job queues survive the swap untouched.
+    """
+
+    __slots__ = ("batchers", "pset")
+
+    def __init__(self, batchers: List[MicroBatcher], pset=None) -> None:
+        self.batchers = batchers
+        self.pset = pset
+
+
 class _ShardWorker:
     """One serving shard: a forward engine, its batcher, and an executor thread.
 
@@ -149,16 +166,21 @@ class _ShardWorker:
     def __init__(
         self,
         index: int,
-        forward_fn: Callable,
+        batcher: Union[MicroBatcher, Callable],
         node_slice: Optional[Tuple[int, int]],
-        max_batch_size: int,
+        max_batch_size: int = 128,
     ) -> None:
         self.index = index
         self.node_slice = node_slice
-        # Size-threshold flushes are scheduled by the service onto this
-        # worker's thread, so the inner batcher never auto-flushes in the
-        # submitting caller's thread.
-        self.batcher = MicroBatcher(forward_fn, max_batch_size=max_batch_size)
+        if not isinstance(batcher, MicroBatcher):
+            # Back-compat: a bare forward callable gets its own batcher.
+            batcher = MicroBatcher(batcher, max_batch_size=max_batch_size)
+        # The *current* generation's batcher (size-threshold flushes are
+        # scheduled by the service onto this worker's thread, so the inner
+        # batcher never auto-flushes in the submitting caller's thread).
+        # A hot swap rebinds this reference; retired batchers are still
+        # drainable through flush_async(batcher=...).
+        self.batcher = batcher
         self._jobs: "queue.SimpleQueue[Optional[_FlushJob]]" = queue.SimpleQueue()
         self._closed = False
         self._thread = threading.Thread(
@@ -191,14 +213,17 @@ class _ShardWorker:
                 return
             job()
 
-    def flush_async(self) -> _FlushJob:
+    def flush_async(self, batcher: Optional[MicroBatcher] = None) -> _FlushJob:
         """Schedule a queue drain on this worker's thread; returns the job.
 
+        ``batcher`` selects which generation's queue to drain (default:
+        the current one), captured at job-creation time — a swap landing
+        between scheduling and execution never redirects the drain.
         After :meth:`close` the drain degrades to a synchronous flush on
         the calling thread — a job must never strand a waiter on a dead
         executor.
         """
-        job = _FlushJob(self.batcher.flush)
+        job = _FlushJob((batcher if batcher is not None else self.batcher).flush)
         if self._closed:
             job()
             return job
@@ -239,6 +264,10 @@ class ShardedServiceStats:
     lanes: Tuple[LaneStats, ...] = ()
     #: Process-tier counters (``None`` for the thread executor).
     process_tier: Optional[ProcessTierStats] = None
+    #: Detector-health and imputation counters (None without a monitor).
+    quality: Optional[QualityStats] = None
+    #: Completed hot checkpoint swaps over the service's lifetime.
+    swaps: int = 0
 
     @property
     def batcher(self) -> BatcherStats:
@@ -341,6 +370,8 @@ class ShardedForecastService(ForecastFrontend):
         bulk_queue_depth: Optional[int] = None,
         interactive_queue_depth: Optional[int] = None,
         bulk_chunk_rows: int = 32,
+        quality: Union[None, bool, QualityConfig, SensorHealthMonitor] = None,
+        quality_adjacency: Optional[np.ndarray] = None,
     ) -> None:
         if mode not in SHARDING_MODES:
             raise ValueError(f"unknown sharding mode {mode!r}; expected one of {SHARDING_MODES}")
@@ -361,10 +392,13 @@ class ShardedForecastService(ForecastFrontend):
             precision=precision,
             threads=threads,
             artifact_dir=artifact_dir,
+            quality=quality,
+            quality_adjacency=quality_adjacency,
         )
         self.mode = mode
         self.num_shards = num_shards
         self.auto_flush_at = auto_flush_at
+        self._max_batch_size = max_batch_size
         # Resolve (and validate) the executor and the admission gates
         # before any worker thread or process spawns — a constructor that
         # raises must not leak background machinery.
@@ -410,42 +444,18 @@ class ShardedForecastService(ForecastFrontend):
                 start_method=start_method,
                 bulk_chunk_rows=bulk_chunk_rows,
             )
-        if mode == "nodes":
-            from ..runtime.engine import _SlicedForward
-
-            for index, (lo, hi) in enumerate(self._slices):
-                if self._tier is not None:
-                    forward: Callable = self._tier.proxy(index)
-                elif self.runtime == "compiled":
-                    forward = CompiledModel(
-                        model,
-                        output_slice=(lo, hi),
-                        precision=self.precision,
-                        threads=self.threads,
-                        artifact_dir=store,
-                    )
-                else:
-                    # The same trace adapter the compiled plans use, run as
-                    # a plain autograd forward.
-                    forward = _SlicedForward(model, lo, hi)
-                self._workers.append(_ShardWorker(index, forward, (lo, hi), max_batch_size))
-        else:
-            for index in range(num_shards):
-                # Separate CompiledModel per replica: plans and workspace
-                # buffers are per-worker, so replicas execute concurrently;
-                # the weights stay shared by reference.
-                if self._tier is not None:
-                    forward = self._tier.proxy(index)
-                elif self.runtime == "compiled":
-                    forward = CompiledModel(
-                        model,
-                        precision=self.precision,
-                        threads=self.threads,
-                        artifact_dir=store,
-                    )
-                else:
-                    forward = model
-                self._workers.append(_ShardWorker(index, forward, None, max_batch_size))
+        # Batcher counters of generations retired by hot swaps, folded into
+        # stats() so a swap never resets the fleet's lifetime telemetry.
+        self._retired_shard_stats: List[List[BatcherStats]] = [
+            [] for _ in range(num_shards)
+        ]
+        engine, _, _ = self._build_engine(model, warm_sizes=())
+        self._gen.engine = engine
+        for index in range(num_shards):
+            node_slice = self._slices[index] if mode == "nodes" else None
+            self._workers.append(
+                _ShardWorker(index, engine.batchers[index], node_slice)
+            )
         self._round_robin = 0
         self._route_lock = threading.Lock()
         self._closed = False
@@ -457,6 +467,116 @@ class ShardedForecastService(ForecastFrontend):
             if linger_ms is not None
             else None
         )
+
+    # ------------------------------------------------------------------
+    # Generation machinery (hot checkpoint swap — see ForecastFrontend).
+    # ------------------------------------------------------------------
+    def _build_engine(self, model: Module, warm_sizes=None) -> Tuple[_FleetEngine, int, int]:
+        """One forward engine + micro-batcher per shard over ``model``.
+
+        ``warm_sizes=()`` marks the constructor's initial build (no plan
+        warming, and the process tier's already-installed provider set is
+        reused); any other value is a swap build — the new engines are
+        fully warmed before the generation is published.
+        """
+        from ..runtime.engine import _SlicedForward
+
+        initial = warm_sizes == ()
+        store = self.artifact_store
+        pset = None
+        if self._tier is not None:
+            pset = (
+                self._tier.current_generation()
+                if initial
+                else self._tier.prepare_generation(model)
+            )
+        forwards: List[Callable] = []
+        if self.mode == "nodes":
+            for index, (lo, hi) in enumerate(self._slices):
+                if self._tier is not None:
+                    forwards.append(self._tier.proxy(index, pset=pset))
+                elif self.runtime == "compiled":
+                    forwards.append(
+                        CompiledModel(
+                            model,
+                            output_slice=(lo, hi),
+                            precision=self.precision,
+                            threads=self.threads,
+                            artifact_dir=store,
+                        )
+                    )
+                else:
+                    # The same trace adapter the compiled plans use, run as
+                    # a plain autograd forward.
+                    forwards.append(_SlicedForward(model, lo, hi))
+        else:
+            for index in range(self.num_shards):
+                # Separate CompiledModel per replica: plans and workspace
+                # buffers are per-worker, so replicas execute concurrently;
+                # the weights stay shared by reference.
+                if self._tier is not None:
+                    forwards.append(self._tier.proxy(index, pset=pset))
+                elif self.runtime == "compiled":
+                    forwards.append(
+                        CompiledModel(
+                            model,
+                            precision=self.precision,
+                            threads=self.threads,
+                            artifact_dir=store,
+                        )
+                    )
+                else:
+                    forwards.append(model)
+        reused = compiled = 0
+        if self.runtime == "compiled" and not initial:
+            # Warm every shard's plans BEFORE publication: by default the
+            # streaming batch of 1, or an explicit size ladder.  With AOT
+            # artifacts adopted into the store these are disk binds.
+            sizes = (
+                [1]
+                if warm_sizes is None
+                else self._warm_up_sizes(warm_sizes, self._max_batch_size)
+            )
+            for forward in forwards:
+                for size in sizes:
+                    forward.compile_for(self._example_batch(size))
+                info = forward.cache_info()
+                reused += info.artifact_loads
+                compiled += info.compiles
+        batchers = [
+            MicroBatcher(forward, max_batch_size=self._max_batch_size)
+            for forward in forwards
+        ]
+        return _FleetEngine(batchers, pset), reused, compiled
+
+    def _publish_generation(self, gen: _Generation) -> None:
+        # Runs under the buffer lock: the generation reference, every
+        # worker's current batcher and the tier's default provider set
+        # move together — a snapshot() reader sees all or none of it.
+        self._gen = gen
+        for worker, batcher in zip(self._workers, gen.engine.batchers):
+            worker.batcher = batcher
+        if self._tier is not None:
+            self._tier.install_generation(gen.engine.pset)
+
+    def _retire_generation(self, old: _Generation) -> None:
+        if old.engine is None:
+            return
+        # Drain the retired queues on the worker threads (concurrently,
+        # like any fan-out); requests still queued there complete on the
+        # old weights — their proxies pin the old provider set.
+        jobs = [
+            worker.flush_async(batcher)
+            for worker, batcher in zip(self._workers, old.engine.batchers)
+        ]
+        for job in jobs:
+            job.wait()  # errors are carried by the affected handles
+        for index, batcher in enumerate(old.engine.batchers):
+            self._retired_shard_stats[index].append(batcher.stats)
+        if self.flusher is not None:
+            self.flusher.retarget(
+                [(worker.batcher, worker.flush_async) for worker in self._workers]
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -513,10 +633,18 @@ class ShardedForecastService(ForecastFrontend):
             return self._workers
         return [self._next_worker()]
 
-    def _route_window(self, window: np.ndarray) -> Tuple[List[PendingForecast], List[_ShardWorker]]:
-        """Submit one normalised window to its owning shards."""
+    def _route_window(
+        self, window: np.ndarray, gen: Optional[_Generation] = None
+    ) -> Tuple[List[PendingForecast], List[_ShardWorker]]:
+        """Submit one normalised window to its owning shards.
+
+        Requests enqueue on the batchers of the generation captured at
+        request entry, so a hot swap mid-request never splits one window
+        across two weight versions.
+        """
+        engine = (gen or self._gen).engine
         workers = self._owning_workers()
-        return [worker.batcher.submit(window) for worker in workers], workers
+        return [engine.batchers[worker.index].submit(window) for worker in workers], workers
 
     @staticmethod
     def _merge(parts: List[np.ndarray]) -> np.ndarray:
@@ -525,14 +653,20 @@ class ShardedForecastService(ForecastFrontend):
             return parts[0]
         return np.concatenate(parts, axis=-1)
 
-    def _drain(self, workers: Sequence[_ShardWorker]) -> None:
+    def _drain(
+        self, workers: Sequence[_ShardWorker], gen: Optional[_Generation] = None
+    ) -> None:
         """Flush the given shards concurrently; re-raise the first error.
 
         Every job is waited for before raising, so all touched shards are
         settled (their handles fulfilled or failed) when the caller sees
         the exception — matching the single-worker ``flush()`` contract.
         """
-        jobs = [worker.flush_async() for worker in dict.fromkeys(workers)]
+        engine = (gen or self._gen).engine
+        jobs = [
+            worker.flush_async(engine.batchers[worker.index])
+            for worker in dict.fromkeys(workers)
+        ]
         first_error: Optional[BaseException] = None
         for job in jobs:
             error = job.wait()
@@ -541,13 +675,17 @@ class ShardedForecastService(ForecastFrontend):
         if first_error is not None:
             raise first_error
 
-    def _maybe_auto_flush(self, workers: Sequence[_ShardWorker]) -> None:
+    def _maybe_auto_flush(
+        self, workers: Sequence[_ShardWorker], gen: Optional[_Generation] = None
+    ) -> None:
         """Fire-and-forget size-threshold flushes on the owning workers."""
         if self.auto_flush_at is None:
             return
+        engine = (gen or self._gen).engine
         for worker in dict.fromkeys(workers):
-            if worker.batcher.pending >= self.auto_flush_at:
-                worker.flush_async()
+            batcher = engine.batchers[worker.index]
+            if batcher.pending >= self.auto_flush_at:
+                worker.flush_async(batcher)
 
     # ------------------------------------------------------------------
     # The compute hooks behind the shared forecast_many / submit skeleton
@@ -559,8 +697,12 @@ class ShardedForecastService(ForecastFrontend):
     # scheduled onto the owning workers.
     # ------------------------------------------------------------------
     def _compute_misses(
-        self, windows: List[np.ndarray], precision: Optional[str] = None
+        self,
+        windows: List[np.ndarray],
+        precision: Optional[str] = None,
+        gen: Optional[_Generation] = None,
     ) -> List[np.ndarray]:
+        engine = (gen or self._gen).engine
         if precision is not None:
             # Per-request precision override: compute directly through the
             # shard engines at the requested policy (the batch queues are
@@ -570,29 +712,39 @@ class ShardedForecastService(ForecastFrontend):
             # replica mode serves each chunk from the next replica — batch
             # rows are independent, so this matches the routed answer
             # exactly at the same policy.
-            size = self._workers[0].batcher.max_batch_size
+            size = engine.batchers[0].max_batch_size
             outputs: List[np.ndarray] = []
             for start in range(0, len(windows), size):
                 batch = np.stack(windows[start : start + size], axis=0)
                 if self.mode == "nodes":
                     parts = [
-                        np.asarray(worker.batcher.forward_fn(batch, precision=precision))
+                        np.asarray(
+                            engine.batchers[worker.index].forward_fn(
+                                batch, precision=precision
+                            )
+                        )
                         for worker in self._workers
                     ]
                     outputs.extend(np.concatenate(parts, axis=-1))
                 else:
                     worker = self._next_worker()
                     outputs.extend(
-                        np.asarray(worker.batcher.forward_fn(batch, precision=precision))
+                        np.asarray(
+                            engine.batchers[worker.index].forward_fn(
+                                batch, precision=precision
+                            )
+                        )
                     )
             return outputs
-        routed = [self._route_window(window) for window in windows]
-        self._drain([worker for _, workers in routed for worker in workers])
+        routed = [self._route_window(window, gen=gen) for window in windows]
+        self._drain([worker for _, workers in routed for worker in workers], gen=gen)
         return [self._merge([part.result() for part in parts]) for parts, _ in routed]
 
-    def _submit_parts(self, window: np.ndarray) -> List[PendingForecast]:
-        parts, workers = self._route_window(window)
-        self._maybe_auto_flush(workers)
+    def _submit_parts(
+        self, window: np.ndarray, gen: Optional[_Generation] = None
+    ) -> List[PendingForecast]:
+        parts, workers = self._route_window(window, gen=gen)
+        self._maybe_auto_flush(workers, gen=gen)
         return parts
 
     # ------------------------------------------------------------------
@@ -630,13 +782,15 @@ class ShardedForecastService(ForecastFrontend):
         horizon = self._check_horizon(horizon)
         precision = self._resolve_request_precision(precision)
         self._count_requests()
-        normalised = self._normalise_window(window)
+        gen = self._gen
+        normalised = self._normalise_window(window, gen=gen)
         worker = self._workers[self.shard_of(node)]
+        batcher = gen.engine.batchers[worker.index]
         lo, hi = worker.node_slice
         key = None
         if self.cache is not None:
             key = (
-                self._key_version(precision),
+                self._key_version(precision, gen=gen),
                 f"{hash_window(normalised)}:nodes{lo}-{hi}",
                 horizon,
             )
@@ -646,13 +800,13 @@ class ShardedForecastService(ForecastFrontend):
         self._admit("bulk", 1)
         if precision is not None:
             shard_output = np.asarray(
-                worker.batcher.forward_fn(normalised[None], precision=precision)
+                batcher.forward_fn(normalised[None], precision=precision)
             )[0]
         else:
-            handle = worker.batcher.submit(normalised)
-            self._drain([worker])
+            handle = batcher.submit(normalised)
+            self._drain([worker], gen=gen)
             shard_output = handle.result()
-        shard_forecast = self._denormalise(shard_output)[:horizon]
+        shard_forecast = self._denormalise(shard_output, gen=gen)[:horizon]
         if self.cache is not None:
             self.cache.put(key, shard_forecast)
         return shard_forecast[:, node - lo].copy()
@@ -674,27 +828,36 @@ class ShardedForecastService(ForecastFrontend):
             if cached is not None:
                 return cached
         self._admit("interactive", 1)
-        window, token = self.buffer.snapshot()
+        # The window, its token and the serving generation are captured
+        # under the buffer's mutation lock — a hot swap (which publishes
+        # inside buffer.rescale, under this very lock) lands entirely
+        # before or after, never splitting window from weights.
+        window, token, gen = self.buffer.snapshot(also=lambda: self._gen)
         if self._tier is not None:
             # Process tier: dispatch on the interactive lane, which jumps
             # ahead of queued bulk chunks on every worker — the streaming
             # path stays responsive under backfill load.
+            pset = gen.engine.pset
             if self.mode == "nodes":
                 parts = self._tier.call_fanout(
-                    range(self.num_shards), window[None], lane="interactive"
+                    range(self.num_shards), window[None], lane="interactive",
+                    pset=pset,
                 )
                 output = np.concatenate([part[0] for part in parts], axis=-1)
             else:
                 output = self._tier.call(
-                    self._tier.least_busy_shard(), window[None], lane="interactive"
+                    self._tier.least_busy_shard(), window[None], lane="interactive",
+                    pset=pset,
                 )[0]
-            forecast = self._denormalise(output)[:horizon]
+            forecast = self._denormalise(output, gen=gen)[:horizon]
         else:
-            parts, workers = self._route_window(window)
-            self._drain(workers)
-            forecast = self._denormalise(self._merge([p.result() for p in parts]))[:horizon]
+            parts, workers = self._route_window(window, gen=gen)
+            self._drain(workers, gen=gen)
+            forecast = self._denormalise(
+                self._merge([p.result() for p in parts]), gen=gen
+            )[:horizon]
         if self.cache is not None:
-            self.cache.put((self._key_version(), token, horizon), forecast)
+            self.cache.put((self._key_version(gen=gen), token, horizon), forecast)
         return forecast.copy()
 
     # ------------------------------------------------------------------
@@ -773,7 +936,12 @@ class ShardedForecastService(ForecastFrontend):
             num_shards=self.num_shards,
             requests=self._requests,
             cache=cache_stats,
-            shards=tuple(worker.batcher.stats for worker in self._workers),
+            shards=tuple(
+                _merge_batcher_stats(
+                    self._retired_shard_stats[worker.index] + [worker.batcher.stats]
+                )
+                for worker in self._workers
+            ),
             runtime=self.runtime,
             flusher=self.flusher.stats() if self.flusher is not None else None,
             precision=self.precision,
@@ -781,4 +949,6 @@ class ShardedForecastService(ForecastFrontend):
             executor=self.executor,
             lanes=tuple(gate.stats() for gate in self._gates.values()),
             process_tier=self._tier.stats() if self._tier is not None else None,
+            quality=self.buffer.quality_stats(),
+            swaps=self._swaps,
         )

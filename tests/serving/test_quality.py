@@ -1,0 +1,439 @@
+"""Streaming sensor quality control (ISSUE 8): classification, imputation,
+health states, and the buffer/service integration that keeps broken
+detectors from poisoning the normalised ring."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.scalers import StandardScaler
+from repro.serving import (
+    ForecastService,
+    QualityConfig,
+    QualityStats,
+    RollingWindowBuffer,
+    SensorHealthMonitor,
+    ShardedForecastService,
+)
+from repro.training import save_model_checkpoint
+
+
+def _monitor(n=4, adjacency=None, **overrides):
+    return SensorHealthMonitor(
+        n, config=QualityConfig(**overrides), adjacency=adjacency
+    )
+
+
+def _warm(monitor, steps=10, base=100.0, seed=0):
+    """Feed `steps` clean, slightly varying readings to arm the detectors."""
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        monitor.observe(base + rng.uniform(-2.0, 2.0, size=monitor.num_nodes))
+
+
+class TestClassification:
+    def test_dropout_is_flagged_and_cleaned(self):
+        monitor = _monitor()
+        monitor.observe([10.0, 20.0, 30.0, 40.0])
+        report = monitor.observe([10.0, np.nan, 30.0, 40.0])
+        assert report.flagged.tolist() == [False, True, False, False]
+        assert report.issues == {"dropout": 1}
+        assert np.isfinite(report.clean).all()
+
+    def test_out_of_range_is_flagged(self):
+        monitor = _monitor(value_max=500.0)
+        monitor.observe([10.0, 20.0, 30.0, 40.0])
+        report = monitor.observe([-5.0, 20.0, 900.0, 40.0])
+        assert report.issues == {"range": 2}
+        assert report.flagged.tolist() == [True, False, True, False]
+
+    def test_stuck_at_requires_consecutive_identical_readings(self):
+        monitor = _monitor(stuck_steps=3)
+        flagged = []
+        for step in range(5):
+            # Node 0 is frozen at 42.0; the others move every step.
+            moving = 100.0 + 10.0 * step
+            report = monitor.observe([42.0, moving, moving + 1, moving + 2])
+            flagged.append(bool(report.flagged[0]))
+        # Two repeats are fine, the third identical reading trips the check.
+        assert flagged == [False, False, True, True, True]
+        assert monitor.stats().issues["stuck"] == 3
+
+    def test_spike_needs_history_and_a_large_zscore(self):
+        monitor = _monitor(spike_window=8, spike_min_history=4, spike_zscore=5.0)
+        _warm(monitor, steps=6)
+        report = monitor.observe([100.0, 100.0, 5000.0, 100.0])
+        assert report.issues == {"spike": 1}
+        assert report.flagged.tolist() == [False, False, True, False]
+        # The imputed replacement is drawn from history, not the spike.
+        assert report.clean[2, 0] < 1000.0
+
+    def test_clean_stream_never_flags(self):
+        monitor = _monitor()
+        _warm(monitor, steps=20)
+        stats = monitor.stats()
+        assert stats.flagged_steps == 0
+        assert stats.imputed_values == 0
+        assert stats.states["healthy"] == 4
+        assert monitor.health() == ("healthy",) * 4
+
+
+class TestImputation:
+    def test_last_value_hold(self):
+        monitor = _monitor()
+        monitor.observe([10.0, 20.0, 30.0, 40.0])
+        report = monitor.observe([np.nan, 20.0, 30.0, 40.0])
+        assert report.clean[0, 0] == pytest.approx(10.0)
+        assert monitor.stats().imputed_by == {"last_value": 1}
+
+    def test_zero_fallback_with_no_history(self):
+        monitor = _monitor()
+        report = monitor.observe([np.nan, np.nan, np.nan, np.nan])
+        np.testing.assert_array_equal(report.clean, np.zeros((4, 1)))
+        assert monitor.stats().imputed_by == {"zero": 4}
+
+    def test_seasonal_profile_uses_the_time_of_day_mean(self):
+        monitor = _monitor(imputation="seasonal", steps_per_day=2)
+        # Two full "days" of a 2-slot cycle: slot 0 reads 10, slot 1 reads 30.
+        for value in (10.0, 30.0, 10.0, 30.0):
+            monitor.observe([value, value, value, value])
+        report = monitor.observe([np.nan, 10.0, 10.0, 10.0])  # slot 0 again
+        assert report.clean[0, 0] == pytest.approx(10.0)
+        assert monitor.stats().imputed_by == {"seasonal": 1}
+
+    def test_neighbor_average_over_the_prior_graph(self):
+        adjacency = np.zeros((4, 4))
+        adjacency[0, 1] = adjacency[0, 2] = 1.0
+        monitor = _monitor(adjacency=adjacency, imputation="neighbors")
+        report = monitor.observe([np.nan, 10.0, 20.0, 99.0])
+        assert report.clean[0, 0] == pytest.approx(15.0)
+        assert monitor.stats().imputed_by == {"neighbors": 1}
+
+    def test_neighbors_falls_back_when_the_neighborhood_is_dark(self):
+        adjacency = np.zeros((4, 4))
+        adjacency[0, 1] = 1.0
+        monitor = _monitor(adjacency=adjacency, imputation="neighbors")
+        monitor.observe([7.0, 8.0, 9.0, 10.0])
+        # Node 0's only neighbor is also broken: last_value takes over.
+        report = monitor.observe([np.nan, np.nan, 9.0, 10.0])
+        assert report.clean[0, 0] == pytest.approx(7.0)
+        assert monitor.stats().imputed_by["last_value"] >= 1
+
+    def test_neighbors_strategy_requires_an_adjacency(self):
+        with pytest.raises(ValueError, match="adjacency"):
+            SensorHealthMonitor(4, config=QualityConfig(imputation="neighbors"))
+
+
+class TestStateMachine:
+    def test_flag_then_clean_bounces_through_suspect(self):
+        monitor = _monitor()
+        monitor.observe([10.0, 20.0, 30.0, 40.0])
+        monitor.observe([np.nan, 20.0, 30.0, 40.0])
+        assert monitor.health()[0] == "suspect"
+        monitor.observe([11.0, 21.0, 31.0, 41.0])
+        assert monitor.health()[0] == "healthy"
+
+    def test_persistent_faults_fail_then_recover(self):
+        monitor = _monitor(fail_after=3, recover_after=2)
+        monitor.observe([10.0, 20.0, 30.0, 40.0])
+        for _ in range(3):
+            monitor.observe([np.nan, 20.0, 30.0, 40.0])
+        assert monitor.health()[0] == "failed"
+        assert monitor.stats().failed_nodes == (0,)
+        monitor.observe([12.0, 20.0, 30.0, 40.0])
+        assert monitor.health()[0] == "recovering"
+        # A relapse while recovering drops straight back to failed.
+        monitor.observe([np.nan, 20.0, 30.0, 40.0])
+        assert monitor.health()[0] == "failed"
+        monitor.observe([12.0, 20.0, 30.0, 40.0])
+        monitor.observe([13.0, 20.0, 30.0, 40.0])
+        assert monitor.health()[0] == "healthy"
+
+    def test_state_dict_round_trip_preserves_health_and_detectors(self):
+        monitor = _monitor(fail_after=2)
+        _warm(monitor, steps=6)
+        for _ in range(3):
+            monitor.observe([np.nan, 100.0, 100.0, 100.0])
+        clone = _monitor(fail_after=2)
+        clone.load_state_dict(monitor.state_dict())
+        assert clone.health() == monitor.health()
+        assert clone.stats() == monitor.stats()
+        # Both monitors classify the next step identically.
+        step = [100.0, np.nan, 100.0, 100.0]
+        a, b = monitor.observe(step), clone.observe(step)
+        np.testing.assert_array_equal(a.clean, b.clean)
+        np.testing.assert_array_equal(a.flagged, b.flagged)
+
+    def test_load_rejects_a_sensor_count_mismatch(self):
+        monitor = _monitor(4)
+        with pytest.raises(ValueError, match="sensors"):
+            _monitor(5).load_state_dict(monitor.state_dict())
+
+
+class TestBufferQualityIntegration:
+    def _buffer(self, **overrides):
+        monitor = SensorHealthMonitor(4, config=QualityConfig(**overrides))
+        return RollingWindowBuffer(3, num_nodes=4, quality=monitor), monitor
+
+    def test_imputed_steps_mark_the_window_and_the_token(self):
+        buffer, _ = self._buffer()
+        buffer.ingest([10.0, 20.0, 30.0, 40.0])
+        buffer.ingest([np.nan, 20.0, 30.0, 40.0])
+        buffer.ingest([10.0, 20.0, 30.0, 40.0])
+        assert np.isfinite(buffer.window()).all()
+        assert ":deg1" in buffer.cache_token()
+        quality = buffer.window_quality()
+        assert quality["degraded"] and quality["imputed_values"] == 1
+        assert quality["mask"].sum() == 1
+        stats = buffer.quality_stats()
+        assert stats.window_degraded and stats.window_imputed_values == 1
+
+    def test_degradation_clears_once_the_faulty_step_rolls_out(self):
+        buffer, _ = self._buffer()
+        buffer.ingest([np.nan, 20.0, 30.0, 40.0])
+        for _ in range(3):
+            buffer.ingest([10.0, 20.0, 30.0, 40.0])
+        assert ":deg" not in buffer.cache_token()
+        assert not buffer.window_quality()["degraded"]
+        assert buffer.window_quality()["total_imputed"] == 1
+
+    def test_late_correction_clears_the_imputation_mark(self):
+        buffer, monitor = self._buffer()
+        for _ in range(2):
+            buffer.ingest([10.0, 20.0, 30.0, 40.0])
+        buffer.ingest([np.nan, 20.0, 30.0, 40.0])
+        assert buffer.window_quality()["degraded"]
+        buffer.ingest_node(0, [12.0])
+        assert not buffer.window_quality()["degraded"]
+        assert ":deg" not in buffer.cache_token()
+        # The correction also refreshed the monitor's hold value.
+        report = monitor.observe([np.nan, 20.0, 30.0, 40.0])
+        assert report.clean[0, 0] == pytest.approx(12.0)
+
+    def test_quality_state_round_trips_through_save_restore(self, tmp_path):
+        buffer, _ = self._buffer(fail_after=2)
+        buffer.ingest([10.0, 20.0, 30.0, 40.0])
+        for _ in range(3):
+            buffer.ingest([np.nan, 20.0, 30.0, 40.0])
+        path = buffer.save(tmp_path / "stream")
+        restored, monitor = self._buffer(fail_after=2)
+        restored.restore(path)
+        assert monitor.health() == buffer.quality.health()
+        assert monitor.health()[0] == "failed"
+        assert restored.quality_stats() == buffer.quality_stats()
+        np.testing.assert_array_equal(restored.window(), buffer.window())
+        np.testing.assert_array_equal(
+            restored.window_quality()["mask"], buffer.window_quality()["mask"]
+        )
+
+    def test_pre_quality_snapshot_restores_with_a_clean_mask(self, tmp_path):
+        plain = RollingWindowBuffer(3, num_nodes=4)
+        for step in range(4):
+            plain.ingest(np.full(4, float(step)))
+        path = plain.save(tmp_path / "plain")
+        # Strip the imputation keys to simulate a snapshot from before QC.
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {
+                key: archive[key]
+                for key in archive.files
+                if not key.startswith("imputed")
+            }
+        np.savez(path, **payload)
+        buffer, monitor = self._buffer()
+        buffer.restore(path)
+        assert not buffer.window_quality()["degraded"]
+        assert monitor.stats().steps_observed == 0
+        np.testing.assert_array_equal(buffer.window(), plain.window())
+
+
+class TestRingRejectsPoison:
+    """Satellites 1+2: without a monitor the ring refuses bad data loudly."""
+
+    def test_ingest_rejects_non_finite_observations(self):
+        buffer = RollingWindowBuffer(3, num_nodes=4)
+        with pytest.raises(ValueError, match="SensorHealthMonitor"):
+            buffer.ingest([1.0, np.nan, 3.0, 4.0])
+        with pytest.raises(ValueError, match="non-finite"):
+            buffer.ingest([1.0, np.inf, 3.0, 4.0])
+        assert buffer.steps_ingested == 0
+
+    def test_ingest_signal_rejects_the_chunk_without_partial_advance(self):
+        buffer = RollingWindowBuffer(3, num_nodes=4)
+        chunk = np.ones((5, 4, 1))
+        chunk[3, 2, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            buffer.ingest_signal(chunk)
+        # The clean leading steps must not have been ingested either.
+        assert buffer.steps_ingested == 0
+
+    def test_ingest_node_validates_the_node_index_first(self):
+        buffer = RollingWindowBuffer(3, num_nodes=4)
+        buffer.ingest(np.ones(4))
+        for bad in (-1, 4, 17):
+            with pytest.raises(ValueError, match=r"out of range \[0, 4\)"):
+                buffer.ingest_node(bad, [1.0])
+
+    def test_ingest_node_rejects_non_finite_corrections(self):
+        buffer = RollingWindowBuffer(3, num_nodes=4)
+        buffer.ingest(np.ones(4))
+        with pytest.raises(ValueError, match="non-finite"):
+            buffer.ingest_node(1, [np.nan])
+
+    def test_monitored_ingest_accepts_what_plain_ingest_rejects(self):
+        buffer = RollingWindowBuffer(
+            3, num_nodes=4, quality=SensorHealthMonitor(4)
+        )
+        buffer.ingest([1.0, np.nan, np.inf, -np.inf])
+        assert buffer.steps_ingested == 1
+        assert np.isfinite(buffer._stream._store).all()
+
+
+class TestConcurrentRestore:
+    """Satellite 3: restore vs ingest races never tear a snapshot."""
+
+    def test_concurrent_restore_and_ingest_keep_snapshots_consistent(self, tmp_path):
+        buffer = RollingWindowBuffer(6, num_nodes=4)
+        for step in range(8):
+            buffer.ingest(np.full(4, float(step)))
+        path = buffer.save(tmp_path / "stream")
+
+        errors = []
+        stop = threading.Event()
+
+        def restorer():
+            try:
+                for _ in range(100):
+                    buffer.restore(path)
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def ingester():
+            step = 0
+            try:
+                while not stop.is_set():
+                    buffer.ingest(np.full(4, float(step % 50)))
+                    step += 1
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    window, token = buffer.snapshot()
+                    assert window.shape == (6, 4, 1)
+                    assert np.isfinite(window).all()
+                    assert token.startswith("stream:")
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=restorer),
+            threading.Thread(target=ingester),
+            threading.Thread(target=reader),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Tokens keep moving after the dust settles (restore bumps its own
+        # generation counter, so recycled step counts cannot alias).
+        before = buffer.cache_token()
+        buffer.ingest(np.full(4, 1.0))
+        assert buffer.cache_token() != before
+
+
+def _faulty_stream(num_nodes, steps=16, seed=5):
+    """A raw stream with injected dropout, stuck-at and spike faults."""
+    rng = np.random.default_rng(seed)
+    stream = 100.0 + rng.uniform(-5.0, 5.0, size=(steps, num_nodes))
+    stream[4:, 0] = np.nan          # dead sensor
+    stream[:, 1] = 77.0             # stuck sensor
+    stream[steps - 2, 2] = 9000.0   # spike
+    return stream
+
+
+class TestServiceQuality:
+    def test_single_service_serves_finite_forecasts_from_a_faulty_stream(
+        self, tiny_model, forecasting_data
+    ):
+        service = ForecastService(
+            tiny_model, scaler=forecasting_data.scaler, quality=True
+        )
+        for step in _faulty_stream(forecasting_data.num_nodes):
+            service.ingest(step)
+        forecast = service.forecast_latest()
+        assert np.isfinite(forecast).all()
+        stats = service.stats()
+        assert isinstance(stats.quality, QualityStats)
+        assert stats.quality.imputed_values > 0
+        assert stats.quality.issues["dropout"] > 0
+        assert stats.quality.issues["stuck"] > 0
+        assert stats.quality.window_degraded
+        assert stats.quality.states["failed"] >= 1
+
+    def test_sharded_service_surfaces_quality_stats(
+        self, tiny_model, forecasting_data
+    ):
+        with ShardedForecastService(
+            tiny_model,
+            scaler=forecasting_data.scaler,
+            num_shards=2,
+            mode="replicas",
+            quality=QualityConfig(stuck_steps=4),
+        ) as service:
+            for step in _faulty_stream(forecasting_data.num_nodes):
+                service.ingest(step)
+            forecast = service.forecast_latest()
+            assert np.isfinite(forecast).all()
+            stats = service.stats()
+            assert stats.quality is not None
+            assert stats.quality.imputed_values > 0
+            assert stats.quality.window_degraded
+
+    def test_quality_disabled_by_default(self, tiny_model, forecasting_data):
+        service = ForecastService(tiny_model, scaler=forecasting_data.scaler)
+        assert service.quality is None
+        assert service.stats().quality is None
+
+    def test_from_checkpoint_wires_the_prior_adjacency_for_neighbors(
+        self, tiny_model, forecasting_data, tmp_path
+    ):
+        path = save_model_checkpoint(
+            tiny_model,
+            tmp_path / "qc",
+            adjacency=forecasting_data.adjacency,
+            scaler=forecasting_data.scaler,
+        )
+        service = ForecastService.from_checkpoint(
+            path, quality=QualityConfig(imputation="neighbors")
+        )
+        assert service.quality.adjacency is not None
+        stream = _faulty_stream(forecasting_data.num_nodes)
+        for step in stream:
+            service.ingest(step)
+        assert np.isfinite(service.forecast_latest()).all()
+        assert service.stats().quality.imputed_by.get("neighbors", 0) > 0
+
+    def test_degraded_and_clean_windows_cache_separately(
+        self, tiny_model, forecasting_data
+    ):
+        service = ForecastService(
+            tiny_model, scaler=forecasting_data.scaler, quality=True
+        )
+        rng = np.random.default_rng(2)
+        for _ in range(12):
+            service.ingest(100.0 + rng.uniform(-5, 5, forecasting_data.num_nodes))
+        clean_token = service.buffer.cache_token()
+        service.ingest(
+            np.r_[np.nan, 100.0 + rng.uniform(-5, 5, forecasting_data.num_nodes - 1)]
+        )
+        degraded_token = service.buffer.cache_token()
+        assert clean_token != degraded_token
+        assert ":deg" in degraded_token
+        assert np.isfinite(service.forecast_latest()).all()
