@@ -58,6 +58,15 @@ from .engine import (
     resolve_thread_count,
 )
 from .training import CompiledTrainingModel, compile_training_model, plan_trainable
+from .verify import (
+    VERIFY_ENV_VAR,
+    VerifyError,
+    VerifyReport,
+    verify_enabled,
+    verify_plan,
+    verify_spec,
+    verify_store,
+)
 
 __all__ = [
     "ArtifactError",
@@ -77,6 +86,9 @@ __all__ = [
     "RUNTIME_ENV_VAR",
     "StepSpec",
     "THREADS_ENV_VAR",
+    "VERIFY_ENV_VAR",
+    "VerifyError",
+    "VerifyReport",
     "WORKSPACE_ALIGN",
     "bind_plan",
     "bucket_batch_size",
@@ -92,6 +104,10 @@ __all__ = [
     "resolve_thread_count",
     "trace_hash",
     "trace_module",
+    "verify_enabled",
+    "verify_plan",
+    "verify_spec",
+    "verify_store",
     "weights_fingerprint",
 ]
 

@@ -439,6 +439,9 @@ class ArtifactStoreStats:
     memo_hits: int
     misses: int
     rejects: int
+    #: Artifacts statically verified at load under ``REPRO_RUNTIME_VERIFY=1``
+    #: (disk reads only — memo hits were verified when first parsed).
+    verifies: int = 0
 
     @property
     def disk_loads(self) -> int:
@@ -482,6 +485,7 @@ class ArtifactStore:
         self._memo_hits = 0
         self._misses = 0
         self._rejects = 0
+        self._verifies = 0
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -605,6 +609,25 @@ class ArtifactStore:
             with self._lock:
                 self._rejects += 1
             raise ArtifactError(f"artifact {path} is unreadable: {error}") from error
+        from .verify import verify_enabled
+
+        if verify_enabled():
+            # Static audit of the freshly parsed plan, ahead of the deferred
+            # parity spot check.  A finding rejects the artifact the same way
+            # a checksum failure would — callers fall back to a fresh
+            # (itself verified) compile.  Memo hits skip this: they were
+            # verified when first parsed.
+            from .verify import verify_spec
+
+            report = verify_spec(spec, self._values_from(spec, constants))
+            with self._lock:
+                self._verifies += 1
+            if not report.ok:
+                with self._lock:
+                    self._rejects += 1
+                raise ArtifactError(
+                    f"artifact {path} failed static verification: {report.summary()}"
+                )
         with self._lock:
             self._memo[key] = (spec, constants)
             self._loads += 1
@@ -732,6 +755,7 @@ class ArtifactStore:
                 memo_hits=self._memo_hits,
                 misses=self._misses,
                 rejects=self._rejects,
+                verifies=self._verifies,
             )
 
     def __repr__(self) -> str:

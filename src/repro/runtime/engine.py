@@ -296,6 +296,10 @@ class PlanCacheInfo:
     artifact_loads: int
     artifact_rejects: int
     artifact_saves: int
+    #: Plans statically verified under ``REPRO_RUNTIME_VERIFY=1`` (one per
+    #: fresh compile while the gate is on; artifact loads verify in the
+    #: store — see :class:`~repro.runtime.artifacts.ArtifactStoreStats`).
+    verifies: int = 0
 
 
 @dataclass(frozen=True)
@@ -412,11 +416,23 @@ def bind_plan(
                 f"workspace must be a flat uint8 buffer; got {workspace.dtype} "
                 f"with shape {workspace.shape}"
             )
+        if not workspace.flags.writeable:
+            raise ValueError(
+                "workspace buffer is read-only; plan replay writes every "
+                "pooled storage in place"
+            )
+        if not workspace.flags.c_contiguous:
+            raise ValueError(
+                "workspace buffer is not contiguous; the 64-byte storage "
+                "carving assumes a dense byte range"
+            )
         needed = plan_workspace_nbytes(spec.storage_sizes)
         if workspace.nbytes < needed:
             raise ValueError(
                 f"workspace of {workspace.nbytes} bytes is smaller than the "
-                f"plan's {needed}-byte storage layout"
+                f"plan's {needed}-byte storage layout "
+                f"({len(spec.storage_sizes)} storages at "
+                f"{WORKSPACE_ALIGN}-byte alignment)"
             )
         storages = []
         offset = 0
@@ -589,6 +605,11 @@ class Plan:
         """
         with self._exec_lock:
             try:
+                # The wave barrier (future.result) runs under the workspace
+                # lock on purpose: the lock *is* the single-workspace
+                # exclusivity that replay needs end to end, and island
+                # workers never take it back.
+                # lint: disable=L-BLOCK
                 result = self.execute(array, threads=threads)
                 if trim is not None:
                     result = result[:trim]
@@ -722,6 +743,7 @@ class CompiledModel:
         self._artifact_loads = 0
         self._artifact_rejects = 0
         self._artifact_saves = 0
+        self._verifies = 0
 
     @staticmethod
     def _as_store(artifact_dir):
@@ -869,7 +891,7 @@ class CompiledModel:
         module = self._module
         if self._output_slice is not None:
             module = _SlicedForward(module, *self._output_slice)
-        return compile_plan(
+        plan = compile_plan(
             module,
             array,
             fold_constants=self._fold_constants,
@@ -877,6 +899,19 @@ class CompiledModel:
             dtype=array.dtype,
             parallel=self._threads > 1,
         )
+        from .verify import verify_enabled
+
+        if verify_enabled():
+            # A finding on a fresh compile is a compiler bug, and there is
+            # no safe fallback — refuse to serve the plan.
+            from .verify import VerifyError, verify_plan
+
+            report = verify_plan(plan)
+            with self._lock:
+                self._verifies += 1
+            if not report.ok:
+                raise VerifyError(report)
+        return plan
 
     # ------------------------------------------------------------------
     # Plan artifacts (see repro.runtime.artifacts and docs/runtime.md)
@@ -1062,6 +1097,7 @@ class CompiledModel:
                 artifact_loads=self._artifact_loads,
                 artifact_rejects=self._artifact_rejects,
                 artifact_saves=self._artifact_saves,
+                verifies=self._verifies,
             )
 
     def compile_for(self, example, precision: Union[None, str, np.dtype] = None) -> PlanStats:

@@ -1,0 +1,101 @@
+"""CLI: audit plan-artifact stores, or lint serving code.
+
+Store audit (default mode)::
+
+    python -m repro.runtime.verify artifacts/            # artifact dir
+    python -m repro.runtime.verify ckpt/dyhsl.npz        # checkpoint ->
+                                                         # dyhsl.artifacts sidecar
+
+prints one verdict line per plan (trace hash, step count, OK or the
+findings) and a per-store summary; exits 1 if any plan has findings.
+
+Lint mode::
+
+    python -m repro.runtime.verify --lint src/repro/serving
+
+runs the concurrency lint over the given files/directories and exits 1
+on any unsuppressed finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from .lint import LINT_RULES, lint_paths
+from .plan import PLAN_RULES, verify_store
+
+
+def _resolve_store_root(path: Path) -> Path:
+    """Map a checkpoint ``.npz`` to its artifact sidecar directory."""
+    if path.suffix == ".npz" or (not path.is_dir() and path.with_suffix(".npz").exists()):
+        from ...training.checkpoints import artifact_dir_for
+
+        return artifact_dir_for(path)
+    return path
+
+
+def _audit(paths: List[str], quiet: bool) -> int:
+    status = 0
+    for raw in paths:
+        root = _resolve_store_root(Path(raw))
+        if not root.is_dir():
+            print(f"{raw}: no artifact store at {root}", file=sys.stderr)
+            status = 2
+            continue
+        reports = verify_store(root)
+        bad = sum(0 if report.ok else 1 for report in reports.values())
+        print(f"{root}: {len(reports)} plan(s), {bad} with findings "
+              f"(rules {'/'.join(PLAN_RULES)})")
+        for key in sorted(reports):
+            report = reports[key]
+            if report.ok:
+                if not quiet:
+                    print(f"  {key[:16]}  OK  "
+                          f"({report.steps} steps, dtype {report.dtype})")
+                continue
+            status = max(status, 1)
+            print(f"  {key[:16]}  FAIL")
+            for finding in report.findings:
+                print(f"    {finding}")
+    return status
+
+
+def _lint(paths: List[str]) -> int:
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding)
+    print(f"{len(findings)} finding(s) (rules {'/'.join(LINT_RULES)}) "
+          f"over {len(paths)} path(s)")
+    return 1 if findings else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.verify",
+        description="Statically verify compiled plan artifacts, or lint "
+                    "serving code for concurrency hazards.",
+    )
+    parser.add_argument(
+        "paths", nargs="+",
+        help="artifact directories or .npz checkpoints (default mode); "
+             "python files/directories with --lint",
+    )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run the concurrency lint instead of the store audit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="store audit: only print plans with findings",
+    )
+    options = parser.parse_args(argv)
+    if options.lint:
+        return _lint(options.paths)
+    return _audit(options.paths, options.quiet)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
