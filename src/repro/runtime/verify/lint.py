@@ -27,6 +27,16 @@ by walking the AST:
     function nested in the spawning scope — none of which survive the
     ``spawn`` start method's pickling) and must not smuggle lambdas
     through ``args``.
+``L-RETRY``
+    Retry-loop hygiene: a loop that swallows an exception and
+    ``continue``s (a re-dispatch loop) must back off before the next
+    attempt — a bare ``while True: try/except: continue`` hot-spins the
+    failing dependency, and a bounded ``for`` retry without any
+    sleep/backoff/delay call hammers it just as hard.  Loops with a
+    backoff call anywhere in their body (``time.sleep``, a
+    ``*_backoff*``/``*_delay*`` helper) pass; use
+    :class:`repro.serving.RetryPolicy` for the canonical bounded,
+    jittered implementation.
 
 Findings reuse the plan verifier's :class:`~.plan.Diagnostic` with
 ``path``/``line`` set.  Suppress a finding by putting
@@ -54,19 +64,23 @@ from .plan import Diagnostic
 __all__ = ["CANONICAL_LOCK_ORDER", "LINT_RULES", "lint_paths", "lint_source"]
 
 #: Lint rule ids, in severity order.
-LINT_RULES = ("L-LOCK-ORDER", "L-BLOCK", "L-SPAWN")
+LINT_RULES = ("L-LOCK-ORDER", "L-BLOCK", "L-SPAWN", "L-RETRY")
 
 #: Canonical outermost-to-innermost lock acquisition order across
 #: ``repro.serving``.  A thread may only acquire rightward: the service
 #: swap/request locks wrap everything, routing wraps batching, the
-#: buffer/monitor/cache ``_lock`` family sits inside those, the process
-#: tier's queue condition and spawn lock nest further in, and the stats
-#: locks are innermost leaves (never held across another acquisition).
+#: resilience layer's breaker/retry bookkeeping sits inside the flush it
+#: instruments, the buffer/monitor/cache ``_lock`` family nests inside
+#: those, the process tier's queue condition and spawn lock nest further
+#: in, and the stats locks are innermost leaves (never held across
+#: another acquisition).
 CANONICAL_LOCK_ORDER = (
     "_swap_lock",
     "_requests_lock",
     "_route_lock",
     "_flush_lock",
+    "_breaker_lock",
+    "_retry_lock",
     "_lock",
     "_queue_lock",
     "_cond",
@@ -365,6 +379,122 @@ def _lint_function(
     visit(node.body, [])
 
 
+_BACKOFF_HINTS = ("sleep", "backoff", "delay")
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _has_backoff(loop) -> bool:
+    """True when the loop body contains a sleep/backoff/delay call."""
+    for node in _iter_body(loop):
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name and any(hint in name for hint in _BACKOFF_HINTS):
+                return True
+    return False
+
+
+def _handler_continues(handler: ast.ExceptHandler) -> bool:
+    """True when ``handler`` re-enters its loop with ``continue``.
+
+    Only the handler's own loop counts: a ``continue`` inside a loop (or
+    function) nested within the handler targets that inner construct.
+    """
+    stack = list(handler.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, ast.Continue):
+            return True
+        if isinstance(
+            stmt, (ast.For, ast.While, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        stack.extend(
+            child for child in ast.iter_child_nodes(stmt)
+            if isinstance(child, ast.stmt)
+        )
+    return False
+
+
+_ATTEMPT_HINTS = ("attempt", "retry", "retries", "tries")
+
+
+def _is_retry_shaped(loop) -> bool:
+    """Is ``loop`` a *re-attempt* loop (vs. iterating over alternatives)?
+
+    ``while True`` re-runs the same body; so does ``for attempt in
+    range(...)`` when the loop variable or the range bound is named after
+    attempts.  A ``for item in collection`` that skips failing *items*
+    with ``continue`` is not a retry — each iteration targets new work.
+    """
+    if isinstance(loop, ast.While):
+        return isinstance(loop.test, ast.Constant) and bool(loop.test.value)
+    iterator = loop.iter
+    if not (
+        isinstance(iterator, ast.Call)
+        and isinstance(iterator.func, ast.Name)
+        and iterator.func.id == "range"
+    ):
+        return False
+    names = []
+    if isinstance(loop.target, ast.Name):
+        names.append(loop.target.id)
+    for arg in iterator.args:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name):
+                names.append(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                names.append(sub.attr)
+    return any(hint in name.lower() for name in names for hint in _ATTEMPT_HINTS)
+
+
+def _check_retry(node, path: str, out: List[Diagnostic]) -> None:
+    """Flag retry loops (except -> continue) that hot-spin without backoff."""
+    for loop in _iter_body(node):
+        if not isinstance(loop, (ast.While, ast.For)) or not _is_retry_shaped(loop):
+            continue
+        retry_handlers: List[ast.ExceptHandler] = []
+        stack = list(loop.body)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(
+                stmt, (ast.For, ast.While, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue  # inner loops are their own retry scopes
+            if isinstance(stmt, ast.Try):
+                retry_handlers.extend(
+                    handler for handler in stmt.handlers
+                    if _handler_continues(handler)
+                )
+            stack.extend(
+                child for child in ast.iter_child_nodes(stmt)
+                if isinstance(child, ast.stmt)
+            )
+        if not retry_handlers or _has_backoff(loop):
+            continue
+        unbounded = isinstance(loop, ast.While) and (
+            isinstance(loop.test, ast.Constant) and bool(loop.test.value)
+        )
+        shape = (
+            "unbounded retry loop (`while True` with `except: continue`)"
+            if unbounded
+            else "retry loop (`except: continue`)"
+        )
+        out.append(Diagnostic(
+            "L-RETRY",
+            f"{shape} without backoff before the next attempt; bound the "
+            "attempts and back off (RetryPolicy is the canonical helper)",
+            path=path,
+            line=retry_handlers[0].lineno,
+        ))
+
+
 def _check_spawn(
     call: ast.Call,
     nested_defs: Set[str],
@@ -472,6 +602,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
             qualified, cls, node, path, summaries, method_classes,
             module_functions, findings,
         )
+        _check_retry(node, path, findings)
     suppressions = _suppressed_rules(source)
     kept = [f for f in findings if not _is_suppressed(f, suppressions)]
     kept.sort(key=lambda f: (f.line or 0, f.rule))

@@ -38,6 +38,17 @@ atomically, with in-flight requests completing on the old version.
   ``(model version, window hash or buffer token, horizon)`` with hit/miss
   accounting.
 
+A **resilience layer** (:mod:`repro.serving.resilience`) runs through all
+three tiers: per-request deadlines (``deadline_ms=`` on every query,
+:class:`DeadlineExceeded` on expiry), bounded jittered-backoff retries of
+retryable failures, per-shard circuit breakers (replica reroute /
+``"nodes"``-mode :class:`PartialResult`), optional marked-stale degraded
+serving (:class:`StaleForecast`), a shared-memory heartbeat watchdog for
+hung worker processes, and ``service.health()``.  It is proven by a
+deterministic fault-injection harness (:mod:`repro.serving.faults`):
+seeded :class:`FaultPlan` rules drive named ``fault_point`` sites
+(kill / hang / delay / raise / corrupt) bit-for-bit reproducibly.
+
 See ``examples/serve_forecasts.py`` for an end-to-end walkthrough and
 ``benchmarks/bench_serving_throughput.py`` for the micro-batching,
 runtime and shard-sweep measurements.
@@ -52,7 +63,19 @@ from .batching import (
     PendingForecast,
 )
 from .buffer import RollingWindowBuffer
-from .cache import CacheStats, ForecastCache, hash_window
+from .cache import CacheStats, ForecastCache, StaleForecast, hash_window
+from .faults import (
+    FAULT_ACTIONS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_fault_plan,
+    clear_fault_plan,
+    fault_point,
+    fault_report,
+    inject,
+    install_fault_plan,
+)
 from .process_tier import (
     EXECUTOR_ENV_VAR,
     LANES,
@@ -73,6 +96,24 @@ from .quality import (
     QualityStats,
     SensorHealthMonitor,
     StepReport,
+)
+from .resilience import (
+    BreakerSnapshot,
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    PartialResult,
+    ResilienceConfig,
+    ResilienceError,
+    ResilientForward,
+    RetryPolicy,
+    ServiceHealth,
+    ShardHealth,
+    TransientError,
+    WatchdogConfig,
+    WorkerCrashed,
+    is_retryable,
 )
 from .service import ForecastFrontend, ForecastService, ServiceStats, SwapReport
 from .sharding import (
@@ -117,5 +158,34 @@ __all__ = [
     "RollingWindowBuffer",
     "ForecastCache",
     "CacheStats",
+    "StaleForecast",
     "hash_window",
+    # Resilience layer
+    "ResilienceConfig",
+    "ResilienceError",
+    "ResilientForward",
+    "RetryPolicy",
+    "Deadline",
+    "DeadlineExceeded",
+    "TransientError",
+    "WorkerCrashed",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "BreakerSnapshot",
+    "PartialResult",
+    "ServiceHealth",
+    "ShardHealth",
+    "WatchdogConfig",
+    "is_retryable",
+    # Fault-injection harness
+    "FAULT_ACTIONS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "fault_point",
+    "inject",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "active_fault_plan",
+    "fault_report",
 ]

@@ -49,6 +49,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..tensor import Tensor, no_grad
+from .resilience import Deadline, DeadlineExceeded, ResilienceError
 
 __all__ = [
     "PendingForecast",
@@ -81,6 +82,16 @@ class PendingForecast:
         """Whether the forecast has been computed (or failed)."""
         return self._done
 
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The failure behind this handle, if it failed (``None`` otherwise).
+
+        Lets degraded-mode callers (partial-result assembly, stale-serve
+        fallbacks) inspect the underlying cause without triggering the
+        re-raise in :meth:`result`.
+        """
+        return self._error
+
     def _fulfil(self, value: np.ndarray) -> None:
         self._value = value
         self._done = True
@@ -96,6 +107,11 @@ class PendingForecast:
         if not self._done:  # defensive: flush must settle every pending handle
             raise RuntimeError("flush did not settle this request")
         if self._error is not None:
+            if isinstance(self._error, ResilienceError):
+                # Typed resilience failures (DeadlineExceeded, WorkerCrashed,
+                # CircuitOpen) are the caller-facing contract — re-raise them
+                # unwrapped so except clauses can match on the type.
+                raise self._error
             raise RuntimeError("batched forward failed for this request") from self._error
         return self._value
 
@@ -162,6 +178,10 @@ class BatcherStats:
     #: ``failed_requests`` and never in ``coalesced``.
     failed_flushes: int = 0
     failed_requests: int = 0
+    #: Requests whose deadline expired while queued; failed typed with
+    #: :class:`~repro.serving.DeadlineExceeded` before any compute, and
+    #: never counted in ``coalesced`` or ``failed_requests``.
+    expired_requests: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -218,7 +238,7 @@ class MicroBatcher:
         self.max_batch_size = max_batch_size
         self.auto_flush_at = auto_flush_at
         self.submit_listener: Optional[Callable[[], None]] = None
-        self._queue: List[Tuple[np.ndarray, PendingForecast, float]] = []
+        self._queue: List[Tuple[np.ndarray, PendingForecast, float, Optional[Deadline]]] = []
         self._queue_lock = threading.Lock()
         self._flush_lock = threading.Lock()
         self._stats_lock = threading.Lock()
@@ -245,8 +265,15 @@ class MicroBatcher:
         oldest = self.oldest_pending_at()
         return None if oldest is None else max(0.0, time.monotonic() - oldest)
 
-    def submit(self, window: np.ndarray) -> PendingForecast:
-        """Enqueue one observation window ``(T, N, F)`` for forecasting."""
+    def submit(self, window: np.ndarray,
+               deadline: Optional[Deadline] = None) -> PendingForecast:
+        """Enqueue one observation window ``(T, N, F)`` for forecasting.
+
+        ``deadline`` rides with the queue entry: if the budget expires
+        before the entry reaches a forward pass, the next flush fails its
+        handle with a typed :class:`~repro.serving.DeadlineExceeded`
+        instead of spending compute on an answer nobody is waiting for.
+        """
         window = np.asarray(window, dtype=float)
         if window.ndim != 3:
             raise ValueError(f"window must have shape (T, N, F); got {window.shape}")
@@ -258,7 +285,7 @@ class MicroBatcher:
                     f"shape {self._queue[0][0].shape}"
                 )
             was_empty = not self._queue
-            self._queue.append((window, handle, time.monotonic()))
+            self._queue.append((window, handle, time.monotonic(), deadline))
             should_flush = self.auto_flush_at is not None and len(self._queue) >= self.auto_flush_at
         with self._stats_lock:
             self.stats.requests += 1
@@ -288,12 +315,34 @@ class MicroBatcher:
         with self._flush_lock:
             while True:
                 with self._queue_lock:
+                    # Sweep expired entries first so a stale request never
+                    # occupies a slot in the batch about to compute.
+                    expired = [
+                        entry for entry in self._queue
+                        if entry[3] is not None and entry[3].expired
+                    ]
+                    if expired:
+                        self._queue = [
+                            entry for entry in self._queue
+                            if entry[3] is None or not entry[3].expired
+                        ]
                     chunk = self._queue[: self.max_batch_size]
                     del self._queue[: len(chunk)]
+                for _, handle, _, entry_deadline in expired:
+                    handle._fail(
+                        DeadlineExceeded(
+                            entry_deadline.budget_ms,
+                            entry_deadline.elapsed_ms(),
+                            "batch-queue",
+                        )
+                    )
+                if expired:
+                    with self._stats_lock:
+                        self.stats.expired_requests += len(expired)
                 if not chunk:
                     return fulfilled
                 try:
-                    windows = np.stack([window for window, _, _ in chunk], axis=0)
+                    windows = np.stack([window for window, _, _, _ in chunk], axis=0)
                     with no_grad():
                         outputs = self.forward_fn(Tensor(windows))
                     predictions = outputs.data if isinstance(outputs, Tensor) else np.asarray(outputs)
@@ -303,7 +352,7 @@ class MicroBatcher:
                             f"batch of {len(chunk)}"
                         )
                 except BaseException as error:
-                    for _, handle, _ in chunk:
+                    for _, handle, _, _ in chunk:
                         handle._fail(error)
                     with self._stats_lock:
                         self.stats._record_failure(len(chunk))
@@ -312,7 +361,7 @@ class MicroBatcher:
                     except (AttributeError, TypeError):  # exceptions with __slots__
                         pass
                     raise
-                for index, (_, handle, _) in enumerate(chunk):
+                for index, (_, handle, _, _) in enumerate(chunk):
                     handle._fulfil(predictions[index].copy())
                 with self._stats_lock:
                     self.stats._record_flush(len(chunk))

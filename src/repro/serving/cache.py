@@ -20,10 +20,32 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["hash_window", "CacheStats", "ForecastCache"]
+__all__ = ["hash_window", "CacheStats", "ForecastCache", "StaleForecast"]
 
 #: Cache key: (model version, window content hash, forecast horizon).
 CacheKey = Tuple[str, str, int]
+
+
+class StaleForecast(np.ndarray):
+    """A cached forecast served in degraded mode, marked as stale.
+
+    Behaves exactly like the underlying ``(H, N)`` array but carries
+    ``stale=True`` plus the model version the entry was computed under, so
+    a caller opting into stale-serve (``ResilienceConfig(serve_stale=True)``)
+    can distinguish a degraded answer from a fresh one.
+    """
+
+    stale = True
+
+    def __new__(cls, forecast: np.ndarray, from_version: str = "") -> "StaleForecast":
+        obj = np.asarray(forecast).view(cls)
+        obj.from_version = str(from_version)
+        return obj
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is None:
+            return
+        self.from_version = getattr(obj, "from_version", "")
 
 
 def hash_window(window: np.ndarray) -> str:
@@ -62,6 +84,8 @@ class CacheStats:
     evictions: int
     size: int
     max_entries: int
+    #: Degraded-mode lookups answered from an older model version's entry.
+    stale_hits: int = 0
 
     @property
     def requests(self) -> int:
@@ -97,10 +121,16 @@ class ForecastCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._entries: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
+        # Secondary index for stale-serve: (window_hash, horizon) -> the
+        # most recently stored full key for that content, regardless of
+        # model version.  Lets a degraded lookup find the entry an older
+        # generation computed for the same window.
+        self._by_content: dict = {}
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._stale_hits = 0
 
     @staticmethod
     def make_key(model_version: str, window: np.ndarray, horizon: int) -> CacheKey:
@@ -126,6 +156,27 @@ class ForecastCache:
             self._hits += 1
         return entry.copy()
 
+    def get_stale(self, key: CacheKey) -> Optional[StaleForecast]:
+        """Degraded-mode lookup: any version's entry for the same window.
+
+        Used by stale-serve fallbacks when fresh compute is unavailable
+        (deadline already spent, all shards' breakers open).  Returns the
+        most recently stored entry whose window hash and horizon match
+        ``key`` — even one computed by an *older model version* — wrapped
+        in :class:`StaleForecast` so the caller can tell it apart.  Counts
+        a ``stale_hit``, never a hit or miss (the fresh :meth:`get` miss
+        was already recorded by the caller's earlier lookup).
+        """
+        _, window_hash, horizon = key
+        with self._lock:
+            stored_key = self._by_content.get((window_hash, horizon))
+            entry = self._entries.get(stored_key) if stored_key is not None else None
+            if entry is None:
+                return None
+            self._entries.move_to_end(stored_key)
+            self._stale_hits += 1
+        return StaleForecast(entry.copy(), from_version=stored_key[0])
+
     def put(self, key: CacheKey, forecast: np.ndarray) -> None:
         """Store a forecast, evicting the least recently used entry if full."""
         forecast = np.asarray(forecast, dtype=float).copy()
@@ -133,9 +184,13 @@ class ForecastCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = forecast
+            self._by_content[(key[1], key[2])] = key
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
                 self._evictions += 1
+                content = (evicted_key[1], evicted_key[2])
+                if self._by_content.get(content) == evicted_key:
+                    del self._by_content[content]
 
     def __contains__(self, key: CacheKey) -> bool:
         with self._lock:
@@ -149,6 +204,7 @@ class ForecastCache:
         """Drop all entries (counters are preserved)."""
         with self._lock:
             self._entries.clear()
+            self._by_content.clear()
 
     def stats(self) -> CacheStats:
         """Snapshot of the hit/miss/eviction counters."""
@@ -159,4 +215,5 @@ class ForecastCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 max_entries=self.max_entries,
+                stale_hits=self._stale_hits,
             )

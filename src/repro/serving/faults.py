@@ -1,0 +1,235 @@
+"""Deterministic, seeded fault-injection harness for the serving stack.
+
+The serving tiers are sprinkled with named *fault points* — e.g.
+``fault_point("worker.dispatch")`` just before a worker executes a batch,
+``fault_point("artifact.load")`` inside the plan loader, or
+``fault_point("shm.publish")`` before a response header is written.  When no
+plan is installed a fault point is a near-free no-op (one global read and a
+``None`` check).  Chaos tests install a :class:`FaultPlan` that maps sites to
+actions (``kill`` / ``hang`` / ``delay`` / ``raise`` / ``corrupt``) with a
+per-site probability, a per-site fire cap, and a single integer seed.
+
+Determinism is the whole point: whether a given *visit* to a site fires is a
+pure function of ``(plan.seed, site, visit_index)`` — a SHA1 hash, not shared
+RNG state — so a soak test replays bit-for-bit from its seed alone, in the
+parent process and in forked/spawned workers alike.  Plans are picklable and
+are shipped to process-tier workers, which install them at entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "fault_point",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "active_fault_plan",
+    "inject",
+    "fault_report",
+]
+
+FAULT_ACTIONS = ("kill", "hang", "delay", "raise", "corrupt")
+
+# How long a "hang" wedges the calling thread.  Long enough that any sane
+# watchdog timeout trips first; short enough that an escaped hang cannot
+# wedge a test job forever.
+_HANG_SECONDS = 600.0
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``raise`` action at a fault point.
+
+    Marked ``retryable`` so the resilience layer treats it as transient —
+    chaos tests rely on injected raises being retried, never silently
+    swallowed and never escalated as deterministic failures.
+    """
+
+    retryable = True
+
+    def __init__(self, site: str, visit: int) -> None:
+        super().__init__(f"injected fault at {site!r} (visit {visit})")
+        self.site = site
+        self.visit = visit
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: what happens at ``site`` and how often."""
+
+    site: str
+    action: str = "raise"
+    probability: float = 1.0
+    delay_ms: float = 0.0
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected one of {FAULT_ACTIONS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.delay_ms < 0:
+            raise ValueError("delay_ms must be >= 0")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError("max_fires must be >= 0")
+
+
+def _decision(seed: int, site: str, visit: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one visit to one site."""
+    digest = hashlib.sha1(
+        f"{seed}:{site}:{visit}".encode("utf-8")
+    ).digest()
+    (word,) = struct.unpack("<Q", digest[:8])
+    return word / float(1 << 64)
+
+
+@dataclass
+class FaultPlan:
+    """A picklable, seeded set of fault rules.
+
+    ``rules`` maps site name -> :class:`FaultSpec`.  Visit counters live on
+    the plan instance; a freshly-unpickled copy (e.g. in a spawned worker)
+    starts its own visit sequence, which is still deterministic because the
+    worker's visit order is determined by the request stream.
+    """
+
+    seed: int = 0
+    rules: Dict[str, FaultSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._visit_lock = threading.Lock()
+        self._visits: Dict[str, int] = {}
+        self._fires: Dict[str, int] = {}
+
+    def __getstate__(self):
+        return {"seed": self.seed, "rules": self.rules}
+
+    def __setstate__(self, state) -> None:
+        self.seed = state["seed"]
+        self.rules = state["rules"]
+        self._visit_lock = threading.Lock()
+        self._visits = {}
+        self._fires = {}
+
+    @classmethod
+    def build(cls, seed: int, specs: Sequence[FaultSpec]) -> "FaultPlan":
+        rules = {}
+        for spec in specs:
+            if spec.site in rules:
+                raise ValueError(f"duplicate fault rule for site {spec.site!r}")
+            rules[spec.site] = spec
+        return cls(seed=seed, rules=rules)
+
+    def decide(self, site: str) -> Tuple[Optional[FaultSpec], int]:
+        """Record one visit to ``site`` and decide whether a fault fires.
+
+        Returns ``(spec, visit_index)`` when the fault fires, else
+        ``(None, visit_index)``.
+        """
+        spec = self.rules.get(site)
+        with self._visit_lock:
+            visit = self._visits.get(site, 0)
+            self._visits[site] = visit + 1
+            if spec is None:
+                return None, visit
+            if spec.max_fires is not None and self._fires.get(site, 0) >= spec.max_fires:
+                return None, visit
+            if _decision(self.seed, site, visit) >= spec.probability:
+                return None, visit
+            self._fires[site] = self._fires.get(site, 0) + 1
+            return spec, visit
+
+    def report(self) -> Dict[str, Dict[str, int]]:
+        with self._visit_lock:
+            return {
+                site: {
+                    "visits": self._visits.get(site, 0),
+                    "fires": self._fires.get(site, 0),
+                }
+                for site in sorted(set(self._visits) | set(self.rules))
+            }
+
+
+# The installed plan. ``None`` keeps fault_point() a near-free no-op; reads
+# are a single global fetch and are deliberately unlocked (plan swaps are
+# test-only and happen between request waves).
+_PLAN: Optional[FaultPlan] = None
+
+
+def install_fault_plan(plan: FaultPlan) -> None:
+    global _PLAN
+    _PLAN = plan
+
+
+def clear_fault_plan() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    return _PLAN
+
+
+class inject:
+    """Context manager scoping a plan installation: ``with inject(plan): ...``"""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def __enter__(self) -> FaultPlan:
+        install_fault_plan(self.plan)
+        return self.plan
+
+    def __exit__(self, *exc) -> None:
+        clear_fault_plan()
+
+
+def fault_report() -> Dict[str, Dict[str, int]]:
+    """Visit/fire counts for the installed plan (empty when none)."""
+    plan = _PLAN
+    return plan.report() if plan is not None else {}
+
+
+def fault_point(site: str, payload: Optional[np.ndarray] = None) -> None:
+    """Execute the installed fault rule for ``site``, if any.
+
+    ``payload`` gives ``corrupt`` actions an ndarray to mutate in place.
+    Disabled (no plan installed) this is a no-op costing one global read.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    spec, visit = plan.decide(site)
+    if spec is None:
+        return
+    action = spec.action
+    if action == "raise":
+        raise InjectedFault(site, visit)
+    if action == "delay":
+        time.sleep(spec.delay_ms / 1000.0)
+        return
+    if action == "corrupt":
+        if payload is not None and payload.size:
+            flat = payload.reshape(-1)
+            flat[visit % flat.size] = np.nan
+        return
+    if action == "hang":
+        time.sleep(_HANG_SECONDS)
+        return
+    if action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)

@@ -77,6 +77,8 @@ from ..runtime import (
     resolve_precision,
 )
 from ..runtime.engine import pad_batch_to_bucket
+from .faults import FaultPlan, fault_point, install_fault_plan
+from .resilience import Deadline, TransientError, WatchdogConfig, WorkerCrashed
 
 __all__ = [
     "EXECUTOR_ENV_VAR",
@@ -170,9 +172,25 @@ class ServiceOverloaded(RuntimeError):
     callers (and load shedders above them) can log an actionable reason.
     The request was rejected at *accept* time — nothing was enqueued, so
     nothing is silently dropped later.
+
+    Machine-usable backoff contract (stable fields):
+
+    - ``retry_after_hint`` — suggested client backoff in **seconds** before
+      retrying this lane, derived from how far over its limit the lane is.
+      A hint, not a promise: the lane may still be full after the wait.
+    - ``depths`` — a ``{lane: pending_rows}`` snapshot across *all* lanes
+      at reject time, so a client can decide to retry on another lane
+      (e.g. downgrade interactive work to bulk) instead of waiting.
     """
 
-    def __init__(self, lane: str, pending: int, limit: int) -> None:
+    def __init__(
+        self,
+        lane: str,
+        pending: int,
+        limit: int,
+        retry_after_hint: Optional[float] = None,
+        depths: Optional[Dict[str, int]] = None,
+    ) -> None:
         super().__init__(
             f"{lane} lane is over its admission limit "
             f"({pending} pending >= limit {limit}); request rejected"
@@ -180,6 +198,13 @@ class ServiceOverloaded(RuntimeError):
         self.lane = lane
         self.pending = pending
         self.limit = limit
+        if retry_after_hint is None:
+            # Heuristic: scale a small base wait by the overflow ratio, so
+            # the deeper over-limit the lane is, the longer the hint.
+            over = (pending / limit) if limit else 1.0
+            retry_after_hint = min(0.05 * max(over, 1.0), 5.0)
+        self.retry_after_hint = float(retry_after_hint)
+        self.depths = dict(depths) if depths is not None else {lane: pending}
 
 
 @dataclass(frozen=True)
@@ -203,12 +228,19 @@ class _LaneGate:
     for unbounded deployments.
     """
 
-    def __init__(self, lane: str, limit: Optional[int], depth_fn: Callable[[], int]) -> None:
+    def __init__(
+        self,
+        lane: str,
+        limit: Optional[int],
+        depth_fn: Callable[[], int],
+        snapshot_fn: Optional[Callable[[], Dict[str, int]]] = None,
+    ) -> None:
         if limit is not None and limit < 0:
             raise ValueError(f"{lane}_queue_depth must be >= 0 when set")
         self.lane = lane
         self.limit = limit
         self._depth_fn = depth_fn
+        self._snapshot_fn = snapshot_fn
         self._lock = threading.Lock()
         self._admitted = 0
         self._rejected = 0
@@ -219,7 +251,8 @@ class _LaneGate:
         with self._lock:
             if self.limit is not None and pending + rows > self.limit:
                 self._rejected += rows
-                raise ServiceOverloaded(self.lane, pending, self.limit)
+                depths = self._snapshot_fn() if self._snapshot_fn is not None else None
+                raise ServiceOverloaded(self.lane, pending, self.limit, depths=depths)
             self._admitted += rows
 
     def stats(self) -> LaneStats:
@@ -245,18 +278,31 @@ class ProcessTierStats:
     interactive_rows: int
     bulk_rows: int
     segment_nbytes: int
+    escalations: int = 0
+    hung_detections: int = 0
 
 
 # ----------------------------------------------------------------------
 # The shared-memory wire protocol.
 #
-# One segment per shard:  [request slots][response slots][plan arena].
+# One segment per shard:
+# ``[heartbeat block][request slots][response slots][plan arena]``.
 # Each slot is a fixed 128-byte header followed by a payload region; the
 # header records everything needed to view the payload as an ndarray (and
 # for an arena-resident output, ``offset`` points straight into the arena
 # — the zero-copy publish).  Slot index is ``seq % slots``; the dispatcher
 # fully consumes a response before issuing the next request, so two slots
 # are already one more than strictly required.
+#
+# The heartbeat block holds the worker's liveness beacon: a magic word,
+# a monotonically-increasing beat counter, and a ``time.monotonic()``
+# timestamp (valid across processes on Linux — CLOCK_MONOTONIC is
+# system-wide).  The worker writes it from its *serve loop only* — never
+# a side thread — so a wedged main loop (hang, deadlock, runaway compute)
+# stops the beacon, which is exactly what the parent's watchdog watches.
+# Corollary: a legitimate long plan replay also pauses the beacon, so the
+# watchdog's ``hang_timeout_s`` must exceed worst-case single-chunk
+# compute time (documented on :class:`~repro.serving.WatchdogConfig`).
 # ----------------------------------------------------------------------
 _MAGIC = 0x52504C4E  # "RPLN"
 _HEADER = struct.Struct("<IBBBBQQQ8Q")  # magic kind lane dtype ndim seq nbytes offset dims[8]
@@ -267,6 +313,27 @@ _KIND_OK = 2
 _KIND_ERR = 3
 _DTYPE_CODES = {"float64": 0, "float32": 1}
 _DTYPE_BY_CODE = {code: np.dtype(name) for name, code in _DTYPE_CODES.items()}
+
+_HB_MAGIC = 0x48425254  # "HBRT"
+_HB_STRUCT = struct.Struct("<QQd")  # magic beat monotonic-timestamp
+_HB_NBYTES = 64  # one aligned block at segment offset 0
+
+
+def _write_heartbeat(shm, beat: int) -> None:
+    shm.buf[0 : _HB_STRUCT.size] = _HB_STRUCT.pack(_HB_MAGIC, beat, time.monotonic())
+
+
+def _read_heartbeat(shm) -> Optional[Tuple[int, float]]:
+    """``(beat, timestamp)`` of the worker's last beacon, or ``None``.
+
+    The 24-byte read is not atomic against the worker's write; a torn read
+    fails the magic check (or yields a slightly stale timestamp), both of
+    which the watchdog tolerates — it only acts on *seconds* of silence.
+    """
+    magic, beat, stamp = _HB_STRUCT.unpack(bytes(shm.buf[0 : _HB_STRUCT.size]))
+    if magic != _HB_MAGIC:
+        return None
+    return beat, stamp
 
 
 def _align(nbytes: int) -> int:
@@ -282,6 +349,7 @@ class _SegmentLayout:
     response_payload_cap: int
     request_stride: int
     response_stride: int
+    request_base: int
     response_base: int
     arena_offset: int
     arena_nbytes: int
@@ -293,7 +361,8 @@ class _SegmentLayout:
     ) -> "_SegmentLayout":
         request_stride = _align(_HEADER_NBYTES + request_payload_cap)
         response_stride = _align(_HEADER_NBYTES + response_payload_cap)
-        response_base = slots * request_stride
+        request_base = _HB_NBYTES
+        response_base = request_base + slots * request_stride
         arena_offset = response_base + slots * response_stride
         return cls(
             slots=slots,
@@ -301,6 +370,7 @@ class _SegmentLayout:
             response_payload_cap=response_payload_cap,
             request_stride=request_stride,
             response_stride=response_stride,
+            request_base=request_base,
             response_base=response_base,
             arena_offset=arena_offset,
             arena_nbytes=arena_nbytes,
@@ -308,7 +378,7 @@ class _SegmentLayout:
         )
 
     def request_offset(self, slot: int) -> int:
-        return slot * self.request_stride
+        return self.request_base + slot * self.request_stride
 
     def response_offset(self, slot: int) -> int:
         return self.response_base + slot * self.response_stride
@@ -349,6 +419,7 @@ def _worker_get_plan(plans, stores, key, arena, layout):
     if plan is not None:
         plans.move_to_end(key)
         return plan
+    fault_point("artifact.load")
     spec = values = None
     last_error: Optional[Exception] = None
     for store in stores:
@@ -397,7 +468,8 @@ def _worker_serve_one(conn, shm, seg_addr, plans, stores, arena, layout, threads
             raise ValueError(f"payload [{offset}, {offset + nbytes}) overruns the segment")
         window = np.frombuffer(shm.buf, dtype=dtype, count=int(np.prod(shape)), offset=offset).reshape(shape)
         if request_delay:
-            time.sleep(request_delay)  # fault-injection hook (tests only)
+            time.sleep(request_delay)  # legacy fault-injection hook (tests only)
+        fault_point("worker.dispatch", window)
         plan = _worker_get_plan(plans, stores, key, arena, layout)
         if plan.spec.dtype != dtype.name or tuple(plan.spec.stats.input_shape) != shape:
             raise ValueError(
@@ -425,6 +497,11 @@ def _worker_serve_one(conn, shm, seg_addr, plans, stores, arena, layout, threads
         np.frombuffer(shm.buf, dtype=result.dtype, count=result.size, offset=out_offset)[
             :
         ] = result.reshape(-1)
+    try:
+        fault_point("shm.publish")
+    except Exception as error:
+        _worker_reply_error(conn, shm, layout, slot, seq, f"{type(error).__name__}: {error}")
+        return
     header = _pack_header(
         _KIND_OK, 0, _DTYPE_CODES[result.dtype.name], seq, result.nbytes, out_offset, result.shape
     )
@@ -433,7 +510,8 @@ def _worker_serve_one(conn, shm, seg_addr, plans, stores, arena, layout, threads
     conn.send(("res", seq, slot))
 
 
-def _worker_main(conn, shm_name, layout, store_roots, threads, request_delay=0.0) -> None:
+def _worker_main(conn, shm_name, layout, store_roots, threads, request_delay=0.0,
+                 fault_plan=None) -> None:
     """Entry point of one shard's worker process: bind, replay, publish."""
     import gc
     import signal
@@ -457,15 +535,28 @@ def _worker_main(conn, shm_name, layout, store_roots, threads, request_delay=0.0
     # must NOT unregister it: that would cancel the parent's registration
     # and turn the parent's own unlink into a tracker error.  The parent
     # is the segment's sole owner; the child only maps and unmaps.
+    if fault_plan is not None:
+        # The plan travelled over the spawn/fork pickle boundary; install
+        # it so this process's fault points fire on their own deterministic
+        # visit sequence.
+        install_fault_plan(fault_plan)
+
     shm = shared_memory.SharedMemory(name=shm_name)
     segment = np.frombuffer(shm.buf, dtype=np.uint8)
     seg_addr = segment.__array_interface__["data"][0]
     arena = segment[layout.arena_offset : layout.arena_offset + layout.arena_nbytes]
     stores = [ArtifactStore(root, readonly=True) for root in store_roots]
     plans: "OrderedDict[str, object]" = OrderedDict()
+    beat = 0
     try:
         while True:
+            # Liveness beacon: written only from this serve loop, so a
+            # wedged loop stops the beacon and trips the parent watchdog.
+            beat += 1
+            _write_heartbeat(shm, beat)
             try:
+                if not conn.poll(0.05):
+                    continue
                 message = conn.recv()
             except (EOFError, OSError):
                 return
@@ -475,6 +566,8 @@ def _worker_main(conn, shm_name, layout, store_roots, threads, request_delay=0.0
                 return
             if message[0] != "req" or len(message) != 4:
                 continue
+            beat += 1
+            _write_heartbeat(shm, beat)
             _worker_serve_one(
                 conn, shm, seg_addr, plans, stores, arena, layout, threads,
                 message, request_delay,
@@ -504,14 +597,20 @@ class _WorkerDied(RuntimeError):
     """Internal: the worker process exited while a request was in flight."""
 
 
-class _Job:
-    __slots__ = ("array", "lane", "key", "trim", "event", "result", "error")
+class _WorkerHung(RuntimeError):
+    """Internal: the worker is alive but its heartbeat went silent too long."""
 
-    def __init__(self, array: np.ndarray, lane: str, key: str, trim: int) -> None:
+
+class _Job:
+    __slots__ = ("array", "lane", "key", "trim", "deadline", "event", "result", "error")
+
+    def __init__(self, array: np.ndarray, lane: str, key: str, trim: int,
+                 deadline: Optional[Deadline] = None) -> None:
         self.array = array
         self.lane = lane
         self.key = key
         self.trim = trim
+        self.deadline = deadline
         self.event = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
@@ -563,7 +662,9 @@ class _ProcessWorker:
     """One shard's worker process, its segment, and its dispatcher thread."""
 
     def __init__(self, shard: int, ctx, start_method: str, layout: _SegmentLayout,
-                 store_roots: Sequence[str], threads: int, request_delay: float) -> None:
+                 store_roots: Sequence[str], threads: int, request_delay: float,
+                 watchdog: Optional[WatchdogConfig] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         from multiprocessing import shared_memory
 
         self.shard = shard
@@ -573,9 +674,14 @@ class _ProcessWorker:
         self._store_roots = list(store_roots)
         self._threads = threads
         self._request_delay = request_delay
+        self._watchdog = watchdog if watchdog is not None else WatchdogConfig()
+        self._fault_plan = fault_plan
         self.respawns = 0
+        self.escalations = 0
+        self.hung_detections = 0
+        self._respawn_times: "deque[float]" = deque()
         self._seq = 0
-        self._corrupt_next_request = False  # fault-injection hook (tests)
+        self._corrupt_next_request = False  # legacy fault-injection hook (tests)
         self.shm = shared_memory.SharedMemory(
             create=True, size=layout.total_nbytes
         )
@@ -594,7 +700,7 @@ class _ProcessWorker:
         self.process = self._ctx.Process(
             target=_worker_main,
             args=(child_conn, self.shm.name, self.layout, self._store_roots,
-                  self._threads, self._request_delay),
+                  self._threads, self._request_delay, self._fault_plan),
             name=f"repro-plan-worker-{self.shard}",
             daemon=True,
         )
@@ -602,12 +708,54 @@ class _ProcessWorker:
         child_conn.close()
         self.conn = parent_conn
 
+    def _stop_process(self, grace: float = 1.0) -> None:
+        """Reap the worker, escalating join → terminate → kill.
+
+        ``process.join(timeout=...)`` alone can leave a live process behind
+        (a wedged worker never exits on its own); each escalation step that
+        has to fire is counted in ``stats().process_tier.escalations``.
+        """
+        self.process.join(timeout=grace)
+        if self.process.is_alive():
+            self.escalations += 1
+            self.process.terminate()
+            self.process.join(timeout=grace)
+        if self.process.is_alive():
+            self.escalations += 1
+            self.process.kill()
+            self.process.join(timeout=grace)
+
+    def _respawn_delay(self) -> float:
+        """Capped exponential backoff from the recent-respawn history.
+
+        The first respawn inside a quiet window is immediate (fast
+        recovery from an isolated crash); repeats double the delay up to
+        the cap, and crossing ``storm_threshold`` respawns inside
+        ``storm_window_s`` pins the delay at the cap (storm protection).
+        """
+        wd = self._watchdog
+        now = time.monotonic()
+        while self._respawn_times and now - self._respawn_times[0] > wd.storm_window_s:
+            self._respawn_times.popleft()
+        recent = len(self._respawn_times)
+        if recent == 0:
+            return 0.0
+        if recent >= wd.storm_threshold:
+            return wd.respawn_backoff_cap_s
+        return min(
+            wd.respawn_backoff_base_s * (2.0 ** (recent - 1)), wd.respawn_backoff_cap_s
+        )
+
     def _respawn(self) -> None:
         try:
             self.conn.close()
         except OSError:
             pass
-        self.process.join(timeout=1.0)
+        self._stop_process()
+        delay = self._respawn_delay()
+        self._respawn_times.append(time.monotonic())
+        if delay > 0.0:
+            time.sleep(delay)
         self.respawns += 1
         self._spawn()
 
@@ -618,11 +766,17 @@ class _ProcessWorker:
             if job is None:
                 return
             try:
+                if job.deadline is not None:
+                    # Fail fast: an expired request must not occupy the
+                    # worker for a result nobody is waiting on.
+                    job.deadline.check("process-queue")
                 job.result = self._roundtrip(job)
+            except _WorkerHung as hang:
+                self.hung_detections += 1
+                job.error = WorkerCrashed(self.shard, str(hang), hung=True)
+                self._respawn()
             except _WorkerDied as death:
-                job.error = RuntimeError(
-                    f"shard {self.shard} worker process died mid-batch ({death})"
-                )
+                job.error = WorkerCrashed(self.shard, str(death))
                 self._respawn()
             except BaseException as error:
                 job.error = error
@@ -630,6 +784,13 @@ class _ProcessWorker:
                 job.array = None  # type: ignore[assignment]
                 self.queue.task_done(job)
                 job.event.set()
+
+    def heartbeat_age(self) -> Optional[float]:
+        """Seconds since the worker's last beacon (``None`` before first)."""
+        beacon = _read_heartbeat(self.shm)
+        if beacon is None:
+            return None
+        return max(0.0, time.monotonic() - beacon[1])
 
     def _roundtrip(self, job: _Job) -> np.ndarray:
         self._seq += 1
@@ -653,6 +814,8 @@ class _ProcessWorker:
             self.conn.send(("req", seq, slot, job.key))
         except (BrokenPipeError, OSError) as error:
             raise _WorkerDied(f"pipe send failed: {error}") from None
+        sent_at = time.monotonic()
+        hang_timeout = self._watchdog.hang_timeout_s
         while True:
             try:
                 if self.conn.poll(0.05):
@@ -667,6 +830,21 @@ class _ProcessWorker:
                 raise _WorkerDied(
                     f"pid {self.process.pid}, exitcode {self.process.exitcode}"
                 )
+            waited = time.monotonic() - sent_at
+            if waited > hang_timeout:
+                # The worker is alive but silent past the hang budget AND
+                # its heartbeat beacon is stale — it is wedged, not merely
+                # slow (a healthy worker beacons between requests, so only
+                # a single-request compute longer than hang_timeout_s can
+                # false-positive; that bound is part of the config
+                # contract).
+                age = self.heartbeat_age()
+                if age is None or age > hang_timeout:
+                    raise _WorkerHung(
+                        f"pid {self.process.pid} silent for {waited:.2f}s "
+                        f"(heartbeat age {'unknown' if age is None else f'{age:.2f}s'}, "
+                        f"hang_timeout_s={hang_timeout})"
+                    )
         try:
             message = self.conn.recv()
         except (EOFError, OSError) as error:
@@ -681,9 +859,13 @@ class _ProcessWorker:
             raise _WorkerDied(f"malformed response header (magic 0x{magic:08x}, seq {hdr_seq})")
         if kind == _KIND_ERR:
             raw = bytes(self.shm.buf[offset : offset + nbytes])
-            raise RuntimeError(
-                f"process worker rejected request: {raw.decode('utf-8', 'replace')}"
-            )
+            detail = raw.decode("utf-8", "replace")
+            if detail.startswith(("InjectedFault:", "ArtifactError:")):
+                # Transient by contract: injected chaos faults and
+                # artifact-load rejects (a torn read during a concurrent
+                # spill, an unreadable store replica) clear on retry.
+                raise TransientError(f"process worker rejected request: {detail}")
+            raise RuntimeError(f"process worker rejected request: {detail}")
         dtype = _DTYPE_BY_CODE[dtype_code]
         shape = tuple(int(dim) for dim in dims[:ndim])
         view = np.frombuffer(
@@ -706,13 +888,7 @@ class _ProcessWorker:
             self.conn.send(("stop",))
         except (BrokenPipeError, OSError):
             pass
-        self.process.join(timeout=1.0)
-        if self.process.is_alive():  # pragma: no cover - stuck worker
-            self.process.terminate()
-            self.process.join(timeout=1.0)
-            if self.process.is_alive():
-                self.process.kill()
-                self.process.join(timeout=1.0)
+        self._stop_process()
         try:
             self.conn.close()
         except OSError:
@@ -785,10 +961,12 @@ class _ProcessShardForward:
         self._shard = shard
         self._pset = pset if pset is not None else tier.current_generation()
 
-    def __call__(self, x, precision: Optional[str] = None, lane: str = "bulk") -> np.ndarray:
+    def __call__(self, x, precision: Optional[str] = None, lane: str = "bulk",
+                 deadline: Optional[Deadline] = None) -> np.ndarray:
         array = x.data if hasattr(x, "data") else np.asarray(x)
         return self._tier.call(
-            self._shard, array, lane=lane, precision=precision, pset=self._pset
+            self._shard, array, lane=lane, precision=precision, pset=self._pset,
+            deadline=deadline,
         )
 
     # Plan-cache surface, delegated to the parent-side provider.
@@ -860,6 +1038,8 @@ class ProcessShardExecutor:
         artifact_store: Optional[ArtifactStore] = None,
         start_method: Optional[str] = None,
         bulk_chunk_rows: int = 32,
+        watchdog: Optional[WatchdogConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
         _request_delay: float = 0.0,
     ) -> None:
         import multiprocessing as mp
@@ -875,6 +1055,8 @@ class ProcessShardExecutor:
         self._output_length = int(output_length)
         self._num_nodes = int(num_nodes)
         self._chunk_rows = int(bulk_chunk_rows)
+        self._watchdog = watchdog if watchdog is not None else WatchdogConfig()
+        self._fault_plan = fault_plan
         self._request_delay = float(_request_delay)
         self._spill_root = tempfile.mkdtemp(prefix="repro-plan-spill-")
         self._spill = ArtifactStore(self._spill_root)
@@ -1004,13 +1186,16 @@ class ProcessShardExecutor:
                     self._store_roots,
                     self.provider(shard, pset=pset).threads,
                     self._request_delay,
+                    watchdog=self._watchdog,
+                    fault_plan=self._fault_plan,
                 )
                 self._workers[shard] = worker
         return worker
 
     # ------------------------------------------------------------------
     def _make_jobs(self, shard: int, array: np.ndarray, lane: str,
-                   dtype: np.dtype, pset: Optional[_ProviderSet] = None) -> List[_Job]:
+                   dtype: np.dtype, pset: Optional[_ProviderSet] = None,
+                   deadline: Optional[Deadline] = None) -> List[_Job]:
         provider = self.provider(shard, pset=pset)
         jobs: List[_Job] = []
         for start in range(0, array.shape[0], self._chunk_rows):
@@ -1019,7 +1204,7 @@ class ProcessShardExecutor:
             padded, _ = pad_batch_to_bucket(chunk, provider.bucket_cap)
             padded = np.ascontiguousarray(padded)
             key = self._ensure_key(shard, padded.shape, dtype, pset=pset)
-            job = _Job(padded, lane, key, trim)
+            job = _Job(padded, lane, key, trim, deadline=deadline)
             jobs.append(job)
         return jobs
 
@@ -1050,7 +1235,8 @@ class ProcessShardExecutor:
 
     def call(self, shard: int, array, lane: str = "bulk",
              precision: Optional[str] = None,
-             pset: Optional[_ProviderSet] = None) -> np.ndarray:
+             pset: Optional[_ProviderSet] = None,
+             deadline: Optional[Deadline] = None) -> np.ndarray:
         """Forward one ``(B, T, N, F)`` batch through a shard's worker.
 
         Bit-identical to the thread tier: the batch is cast to the plan
@@ -1059,6 +1245,10 @@ class ProcessShardExecutor:
         the worker, and the trimmed output exit-cast back to float64.
         ``pset`` selects the weights generation (default: current) — plans
         are compiled, keyed and replayed against that generation only.
+        ``deadline`` rides with every dispatched chunk: a chunk still
+        queued when the budget expires fails typed instead of computing
+        (a chunk already *on the wire* completes — finished work is never
+        thrown away).
         """
         if lane not in _LANE_IDS:
             raise ValueError(f"unknown lane {lane!r}; expected one of {LANES}")
@@ -1071,23 +1261,36 @@ class ProcessShardExecutor:
             return np.asarray(provider(array, precision=precision))
         if array.shape[0] == 0:
             return np.empty((0, self._output_length, self._shard_span(shard)))
+        if deadline is not None:
+            deadline.check("process-accept")
         dtype = np.dtype(resolve_precision(precision if precision is not None else provider.precision))
         if array.dtype != dtype:
             array = array.astype(dtype)
-        jobs = self._make_jobs(shard, array, lane, dtype, pset=pset)
+        jobs = self._make_jobs(shard, array, lane, dtype, pset=pset, deadline=deadline)
         self._dispatch(shard, jobs, pset=pset)
         return np.concatenate(self._settle(jobs), axis=0)
 
     def call_fanout(self, shards: Sequence[int], array, lane: str = "bulk",
                     precision: Optional[str] = None,
-                    pset: Optional[_ProviderSet] = None) -> List[np.ndarray]:
-        """Forward one batch on several shards concurrently (node fan-out)."""
+                    pset: Optional[_ProviderSet] = None,
+                    deadline: Optional[Deadline] = None,
+                    return_errors: bool = False) -> List:
+        """Forward one batch on several shards concurrently (node fan-out).
+
+        With ``return_errors=True`` a failing shard contributes its
+        exception object in place of an output array instead of aborting
+        the whole fan-out — the caller can then degrade to a typed
+        :class:`~repro.serving.PartialResult` rather than losing the
+        healthy shards' work.
+        """
         if self._closed:
             return [
                 self.call(shard, array, lane=lane, precision=precision, pset=pset)
                 for shard in shards
             ]
         array = np.asarray(array)
+        if deadline is not None:
+            deadline.check("process-accept")
         per_shard: List[List[_Job]] = []
         for shard in shards:
             provider = self.provider(shard, pset=pset)
@@ -1095,10 +1298,19 @@ class ProcessShardExecutor:
                 resolve_precision(precision if precision is not None else provider.precision)
             )
             shard_array = array.astype(dtype) if array.dtype != dtype else array
-            jobs = self._make_jobs(shard, shard_array, lane, dtype, pset=pset)
+            jobs = self._make_jobs(shard, shard_array, lane, dtype, pset=pset,
+                                   deadline=deadline)
             self._dispatch(shard, jobs, pset=pset)
             per_shard.append(jobs)
-        return [np.concatenate(self._settle(jobs), axis=0) for jobs in per_shard]
+        results: List = []
+        for jobs in per_shard:
+            try:
+                results.append(np.concatenate(self._settle(jobs), axis=0))
+            except Exception as error:
+                if not return_errors:
+                    raise
+                results.append(error)
+        return results
 
     # ------------------------------------------------------------------
     def proxy(self, shard: int,
@@ -1136,6 +1348,40 @@ class ProcessShardExecutor:
             worker.process.pid if worker is not None else None for worker in self._workers
         ]
 
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Ship ``plan`` to workers spawned (or respawned) from now on.
+
+        Worker-side fault points only; install the plan in the parent via
+        :func:`~repro.serving.install_fault_plan` to drive parent-side
+        sites too.  Already-running workers keep their current plan.
+        """
+        self._fault_plan = plan
+        for worker in self._workers:
+            if worker is not None:
+                worker._fault_plan = plan
+
+    def worker_health(self) -> List[Dict[str, object]]:
+        """Per-shard liveness snapshot (watchdog view) for ``health()``."""
+        rows: List[Dict[str, object]] = []
+        for shard, worker in enumerate(self._workers):
+            if worker is None:
+                rows.append({
+                    "shard": shard, "pid": None, "alive": None,
+                    "heartbeat_age_s": None, "respawns": 0,
+                    "hung_detections": 0, "escalations": 0,
+                })
+                continue
+            rows.append({
+                "shard": shard,
+                "pid": worker.process.pid,
+                "alive": worker.process.is_alive(),
+                "heartbeat_age_s": worker.heartbeat_age(),
+                "respawns": worker.respawns,
+                "hung_detections": worker.hung_detections,
+                "escalations": worker.escalations,
+            })
+        return rows
+
     def segment_names(self) -> List[str]:
         """Shared-memory segment names of the spawned workers."""
         return [worker.shm.name for worker in self._workers if worker is not None]
@@ -1147,6 +1393,12 @@ class ProcessShardExecutor:
                 workers=sum(1 for worker in self._workers if worker is not None),
                 respawns=sum(
                     worker.respawns for worker in self._workers if worker is not None
+                ),
+                escalations=sum(
+                    worker.escalations for worker in self._workers if worker is not None
+                ),
+                hung_detections=sum(
+                    worker.hung_detections for worker in self._workers if worker is not None
                 ),
                 interactive_batches=self._lane_batches["interactive"],
                 bulk_batches=self._lane_batches["bulk"],

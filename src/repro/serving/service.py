@@ -72,8 +72,17 @@ from .batching import (
     PendingForecast,
 )
 from .buffer import RollingWindowBuffer
-from .cache import CacheStats, ForecastCache
+from .cache import CacheStats, ForecastCache, StaleForecast
 from .quality import QualityConfig, QualityStats, SensorHealthMonitor
+from .resilience import (
+    Deadline,
+    DeadlineExceeded,
+    ResilienceConfig,
+    ResilienceError,
+    ResilientForward,
+    ServiceHealth,
+    ShardHealth,
+)
 
 __all__ = ["ServiceStats", "SwapReport", "ForecastFrontend", "ForecastService"]
 
@@ -166,6 +175,7 @@ def _merge_batcher_stats(parts: List[BatcherStats]) -> BatcherStats:
         merged.largest_batch = max(merged.largest_batch, part.largest_batch)
         merged.failed_flushes += part.failed_flushes
         merged.failed_requests += part.failed_requests
+        merged.expired_requests += part.expired_requests
     return merged
 
 
@@ -192,12 +202,22 @@ class ForecastFrontend:
         artifact_dir: Optional[Union[str, Path, ArtifactStore]] = None,
         quality: Union[None, bool, QualityConfig, SensorHealthMonitor] = None,
         quality_adjacency: Optional[np.ndarray] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         config = getattr(model, "config", None)
         if config is None:
             raise ValueError("model must expose a config attribute")
         model.eval()
         self.config = config
+        # Failure policy for every serving path: deadlines, bounded retries,
+        # optional circuit breakers, stale-serve.  The default config retries
+        # retryable failures only and enables no breakers — see
+        # docs/serving_quickstart.md §"Resilience & degraded modes".
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self._stale_served = 0
+        # Expiries on direct (non-queued) paths; the batch queue's sweep
+        # counts its own in BatcherStats.expired_requests.
+        self._expired_direct = 0
         self._gen = _Generation(model, scaler, model_version or _weights_fingerprint(model))
         self._swap_lock = threading.Lock()
         self._swaps = 0
@@ -411,6 +431,53 @@ class ForecastFrontend:
         with self._requests_lock:
             self._requests += count
 
+    def _count_stale(self, count: int = 1) -> None:
+        with self._requests_lock:
+            self._stale_served += count
+
+    def _check_deadline(self, deadline: Optional[Deadline], stage: str) -> None:
+        """Deadline probe that keeps :meth:`health` honest.
+
+        Direct-path expiries (predict, precision chunks — anything outside
+        the batch queue, whose sweep already counts its own) land in the
+        ``expired_requests`` health counter before the typed raise.
+        """
+        if deadline is None:
+            return
+        try:
+            deadline.check(stage)
+        except DeadlineExceeded:
+            with self._requests_lock:
+                self._expired_direct += 1
+            raise
+
+    def _entry_deadline(self, deadline_ms: Optional[float]) -> Optional[Deadline]:
+        """Capture a request's time budget at entry.
+
+        An explicit ``deadline_ms`` wins; otherwise the service-wide
+        ``ResilienceConfig.default_deadline_ms`` applies; ``None`` for both
+        means no budget (the historical behaviour).
+        """
+        if deadline_ms is None:
+            deadline_ms = self.resilience.default_deadline_ms
+        return Deadline.after(deadline_ms)
+
+    def _serve_stale_instead(self, key, error: BaseException) -> Optional[StaleForecast]:
+        """Degraded-mode fallback: a marked-stale cache entry for ``key``.
+
+        Only consulted when ``ResilienceConfig(serve_stale=True)`` and only
+        for typed resilience failures — a deterministic error (bad shape,
+        unknown horizon) must surface, not be papered over with old data.
+        """
+        if not self.resilience.serve_stale or self.cache is None or key is None:
+            return None
+        if not isinstance(error, ResilienceError):
+            return None
+        stale = self.cache.get_stale(key)
+        if stale is not None:
+            self._count_stale()
+        return stale
+
     # ------------------------------------------------------------------
     def _warm_up_sizes(self, batch_sizes, cap: int) -> List[int]:
         """Resolve a warm-up ladder: explicit sizes, or doubling up to ``cap``."""
@@ -450,6 +517,7 @@ class ForecastFrontend:
         windows: List[np.ndarray],
         precision: Optional[str] = None,
         gen: Optional[_Generation] = None,
+        deadline: Optional[Deadline] = None,
     ) -> List[np.ndarray]:
         """Run the model for deduplicated misses (normalised in and out).
 
@@ -459,11 +527,14 @@ class ForecastFrontend:
         the wrong policy — and compute on the calling thread.  ``gen`` is
         the generation captured at request entry; the compute must run on
         that generation's engines even if a swap lands mid-request.
+        ``deadline`` is the budget captured at entry; expired requests fail
+        typed before compute.
         """
         raise NotImplementedError
 
     def _submit_parts(
-        self, window: np.ndarray, gen: Optional[_Generation] = None
+        self, window: np.ndarray, gen: Optional[_Generation] = None,
+        deadline: Optional[Deadline] = None,
     ) -> List["PendingForecast"]:
         """Enqueue one normalised window; returns its pending parts."""
         raise NotImplementedError
@@ -495,12 +566,16 @@ class ForecastFrontend:
         horizon: int,
         precision: Optional[str] = None,
         gen: Optional[_Generation] = None,
+        deadline: Optional[Deadline] = None,
     ) -> np.ndarray:
         """Serve normalised windows: cache hits, deduplicated misses, stack.
 
         ``precision`` is a resolved per-request override; it namespaces the
         cache keys (a float32 answer must never satisfy a float64 query)
-        and is forwarded to :meth:`_compute_misses`.
+        and is forwarded to :meth:`_compute_misses`.  When compute fails
+        with a typed resilience error and stale-serve is on, misses are
+        answered from any model version's cached entry for the same window
+        (the whole stacked result is then a :class:`StaleForecast`).
         """
         gen = gen or self._gen
         version = self._key_version(precision, gen=gen)
@@ -517,28 +592,49 @@ class ForecastFrontend:
                     continue
             miss_groups.setdefault(key, []).append(index)
 
+        served_stale = False
         if miss_groups:
             groups = list(miss_groups.items())
             self._admit("bulk", len(groups))
-            outputs = self._compute_misses(
-                [normalised[group[0]] for _, group in groups],
-                precision=precision,
-                gen=gen,
-            )
-            for (key, group), output in zip(groups, outputs):
-                forecast = self._denormalise(output, gen=gen)[:horizon]
-                if self.cache is not None:
-                    self.cache.put(key, forecast)
-                results[group[0]] = forecast
-                for index in group[1:]:
-                    results[index] = forecast.copy()
-        return np.stack(results, axis=0)
+            try:
+                outputs = self._compute_misses(
+                    [normalised[group[0]] for _, group in groups],
+                    precision=precision,
+                    gen=gen,
+                    deadline=deadline,
+                )
+            except ResilienceError as error:
+                if not (self.resilience.serve_stale and self.cache is not None):
+                    raise
+                stale = [self.cache.get_stale(key) for key, _ in groups]
+                if any(entry is None for entry in stale):
+                    # Degraded mode can only answer what some generation
+                    # once computed; a window never seen fails typed.
+                    raise
+                self._count_stale(len(groups))
+                served_stale = True
+                outputs = None
+                for (key, group), entry in zip(groups, stale):
+                    results[group[0]] = entry
+                    for index in group[1:]:
+                        results[index] = entry.copy()
+            if outputs is not None:
+                for (key, group), output in zip(groups, outputs):
+                    forecast = self._denormalise(output, gen=gen)[:horizon]
+                    if self.cache is not None:
+                        self.cache.put(key, forecast)
+                    results[group[0]] = forecast
+                    for index in group[1:]:
+                        results[index] = forecast.copy()
+        stacked = np.stack(results, axis=0)
+        return StaleForecast(stacked) if served_stale else stacked
 
     def forecast_many(
         self,
         windows: np.ndarray,
         horizon: Optional[int] = None,
         precision: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         """Forecast a batch of raw windows with caching plus batched compute.
 
@@ -553,9 +649,15 @@ class ForecastFrontend:
         for this query only — e.g. ``precision="float64"`` is the SLA path
         of a ``precision="float32"`` deployment, served bit-identically to
         an all-float64 service from its own cache namespace.
+
+        ``deadline_ms`` caps the request's total time budget: misses still
+        queued (or dispatched chunks still waiting) past the budget fail
+        with a typed :class:`~repro.serving.DeadlineExceeded` instead of
+        computing.
         """
         horizon = self._check_horizon(horizon)
         precision = self._resolve_request_precision(precision)
+        deadline = self._entry_deadline(deadline_ms)
         # One generation per request: a hot swap mid-batch must not mix the
         # old scaler's normalisation with the new model's forward.
         gen = self._gen
@@ -563,9 +665,12 @@ class ForecastFrontend:
         self._count_requests(len(normalised))
         if not normalised:
             return self._empty_forecasts(horizon)
-        return self._serve_normalised_batch(normalised, horizon, precision=precision, gen=gen)
+        return self._serve_normalised_batch(
+            normalised, horizon, precision=precision, gen=gen, deadline=deadline
+        )
 
-    def submit(self, window: np.ndarray, horizon: Optional[int] = None) -> AsyncForecast:
+    def submit(self, window: np.ndarray, horizon: Optional[int] = None,
+               deadline_ms: Optional[float] = None) -> AsyncForecast:
         """Enqueue one raw window; returns a handle to collect later.
 
         The batched forward runs when ``auto_flush_at`` requests are
@@ -573,9 +678,13 @@ class ForecastFrontend:
         lazily on :meth:`AsyncForecast.result` — whichever happens first.
         Cache hits return an already-settled handle.  (See the concrete
         service's ``auto_flush_at`` documentation for *which thread* the
-        size-threshold flush runs on.)
+        size-threshold flush runs on.)  ``deadline_ms`` rides with the
+        queued entry: if it expires before a flush reaches the entry, the
+        handle fails typed with
+        :class:`~repro.serving.DeadlineExceeded` instead of computing.
         """
         horizon = self._check_horizon(horizon)
+        deadline = self._entry_deadline(deadline_ms)
         self._count_requests()
         gen = self._gen
         normalised = self._normalise_window(window, gen=gen)
@@ -586,7 +695,7 @@ class ForecastFrontend:
             if cached is not None:
                 return AsyncForecast.completed(cached)
         self._admit("bulk", 1)
-        parts = self._submit_parts(normalised, gen=gen)
+        parts = self._submit_parts(normalised, gen=gen, deadline=deadline)
         return AsyncForecast(parts, self._finalize(key, horizon, gen=gen))
 
     # ------------------------------------------------------------------
@@ -699,6 +808,46 @@ class ForecastFrontend:
         )
 
     # ------------------------------------------------------------------
+    # Health surface (resilience visibility).
+    # ------------------------------------------------------------------
+    def _health_shards(self) -> Tuple[ShardHealth, ...]:
+        """Per-shard liveness/breaker rows; concrete services override."""
+        return ()
+
+    def _health_lane_depths(self) -> dict:
+        return {}
+
+    def _health_counters(self) -> Tuple[int, int]:
+        """(expired_requests, retries) for the health snapshot."""
+        return 0, 0
+
+    def health(self) -> ServiceHealth:
+        """Resilience snapshot: breaker states, worker liveness, lane depths.
+
+        ``healthy`` is the operator's one-bit summary: no breaker is open
+        and no spawned worker is known dead.  The per-shard rows carry the
+        detail (heartbeat ages, respawn/hang counters, breaker snapshots).
+        """
+        shards = self._health_shards()
+        expired, retries = self._health_counters()
+        healthy = True
+        for shard in shards:
+            if shard.breaker is not None and shard.breaker.state == "open":
+                healthy = False
+            if shard.worker_alive is False:
+                healthy = False
+        with self._requests_lock:
+            stale_served = self._stale_served
+        return ServiceHealth(
+            healthy=healthy,
+            shards=shards,
+            lane_depths=self._health_lane_depths(),
+            stale_served=stale_served,
+            expired_requests=expired,
+            retries=retries,
+        )
+
+    # ------------------------------------------------------------------
     # Lifecycle: subclasses with background threads override close().
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -785,6 +934,7 @@ class ForecastService(ForecastFrontend):
         artifact_dir: Optional[Union[str, Path, ArtifactStore]] = None,
         quality: Union[None, bool, QualityConfig, SensorHealthMonitor] = None,
         quality_adjacency: Optional[np.ndarray] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         super().__init__(
             model,
@@ -797,12 +947,18 @@ class ForecastService(ForecastFrontend):
             artifact_dir=artifact_dir,
             quality=quality,
             quality_adjacency=quality_adjacency,
+            resilience=resilience,
         )
         self._max_batch_size = max_batch_size
         self._auto_flush_at = auto_flush_at
+        # The single worker's breaker (None unless configured).  Created
+        # once and shared across generations, so a hot swap never resets
+        # an open breaker's failure history.
+        self._breaker = self.resilience.make_breaker(0)
         # Batcher counters of generations retired by hot swaps, folded into
         # stats() so a swap never resets the service's lifetime telemetry.
         self._retired_stats: List[BatcherStats] = []
+        self._retired_retries = 0
         self._gen.engine, _, _ = self._build_engine(model, warm_sizes=())
         self.flusher: Optional[BackgroundFlusher] = (
             BackgroundFlusher([self.batcher], linger_ms=linger_ms)
@@ -848,6 +1004,12 @@ class ForecastService(ForecastFrontend):
                 forward.compile_for(self._example_batch(size))
             info = forward.cache_info()
             reused, compiled = info.artifact_loads, info.compiles
+        # Breaker + bounded-retry policy wraps the forward at the one point
+        # every serving path funnels through (the batcher's forward_fn and
+        # the direct _predict path read the same object).
+        forward = ResilientForward(
+            forward, retry=self.resilience.retry, breaker=self._breaker
+        )
         batcher = MicroBatcher(
             forward, max_batch_size=self._max_batch_size, auto_flush_at=self._auto_flush_at
         )
@@ -864,6 +1026,7 @@ class ForecastService(ForecastFrontend):
         except BaseException:
             pass  # the affected handles carry the error
         self._retired_stats.append(old.engine.batcher.stats)
+        self._retired_retries += getattr(old.engine.forward, "retries", 0)
         if self.flusher is not None:
             self.flusher.retarget([self.batcher])
 
@@ -874,6 +1037,7 @@ class ForecastService(ForecastFrontend):
         horizon: int,
         precision: Optional[str] = None,
         gen: Optional[_Generation] = None,
+        deadline: Optional[Deadline] = None,
     ) -> np.ndarray:
         """One uncached forward of a normalised window -> raw-scale forecast.
 
@@ -883,6 +1047,7 @@ class ForecastService(ForecastFrontend):
         """
         gen = gen or self._gen
         forward = gen.engine.forward
+        self._check_deadline(deadline, "predict")
         with no_grad():
             if self.runtime == "compiled":
                 outputs = (
@@ -901,6 +1066,7 @@ class ForecastService(ForecastFrontend):
         horizon: int,
         precision: Optional[str] = None,
         gen: Optional[_Generation] = None,
+        deadline: Optional[Deadline] = None,
     ) -> np.ndarray:
         """Serve one normalised window, consulting the cache around the model."""
         gen = gen or self._gen
@@ -910,7 +1076,15 @@ class ForecastService(ForecastFrontend):
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
-        forecast = self._predict(window, horizon, precision=precision, gen=gen)
+        try:
+            forecast = self._predict(
+                window, horizon, precision=precision, gen=gen, deadline=deadline
+            )
+        except ResilienceError as error:
+            stale = self._serve_stale_instead(key, error)
+            if stale is not None:
+                return stale
+            raise
         if self.cache is not None:
             self.cache.put(key, forecast)
         return forecast.copy()
@@ -921,6 +1095,7 @@ class ForecastService(ForecastFrontend):
         window: np.ndarray,
         horizon: Optional[int] = None,
         precision: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         """Forecast the next steps from one raw-scale window.
 
@@ -935,6 +1110,12 @@ class ForecastService(ForecastFrontend):
             Per-request override of the service's execution-precision
             policy (e.g. the float64 SLA path of a float32 deployment);
             served from its own cache namespace.
+        deadline_ms:
+            Per-request time budget; overrides the service-wide
+            ``ResilienceConfig.default_deadline_ms``.  An expired budget
+            fails the request with :class:`DeadlineExceeded` before the
+            forward runs — or serves a :class:`StaleForecast` when
+            ``serve_stale`` is enabled and a matching entry exists.
 
         Returns
         -------
@@ -944,9 +1125,14 @@ class ForecastService(ForecastFrontend):
         horizon = self._check_horizon(horizon)
         precision = self._resolve_request_precision(precision)
         self._count_requests()
+        deadline = self._entry_deadline(deadline_ms)
         gen = self._gen
         return self._forecast_normalised(
-            self._normalise_window(window, gen=gen), horizon, precision=precision, gen=gen
+            self._normalise_window(window, gen=gen),
+            horizon,
+            precision=precision,
+            gen=gen,
+            deadline=deadline,
         )
 
     def forecast_node(
@@ -955,11 +1141,14 @@ class ForecastService(ForecastFrontend):
         node: int,
         horizon: Optional[int] = None,
         precision: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         """Forecast a single sensor: returns shape ``(horizon,)``."""
         if not 0 <= node < self.config.num_nodes:
             raise IndexError(f"node {node} out of range [0, {self.config.num_nodes})")
-        return self.forecast(window, horizon=horizon, precision=precision)[:, node]
+        return self.forecast(
+            window, horizon=horizon, precision=precision, deadline_ms=deadline_ms
+        )[:, node]
 
     # ------------------------------------------------------------------
     # The compute hooks behind the shared forecast_many / submit skeleton
@@ -979,6 +1168,7 @@ class ForecastService(ForecastFrontend):
         windows: List[np.ndarray],
         precision: Optional[str] = None,
         gen: Optional[_Generation] = None,
+        deadline: Optional[Deadline] = None,
     ) -> List[np.ndarray]:
         engine = (gen or self._gen).engine
         if precision is not None:
@@ -989,22 +1179,28 @@ class ForecastService(ForecastFrontend):
             size = engine.batcher.max_batch_size
             outputs: List[np.ndarray] = []
             for start in range(0, len(windows), size):
+                self._check_deadline(deadline, "precision-chunk")
                 chunk = np.stack(windows[start : start + size], axis=0)
                 outputs.extend(engine.forward(chunk, precision=precision))
             return outputs
-        pending = [engine.batcher.submit(window) for window in windows]
+        pending = [engine.batcher.submit(window, deadline=deadline) for window in windows]
         engine.batcher.flush()
         return [handle.result() for handle in pending]
 
     def _submit_parts(
-        self, window: np.ndarray, gen: Optional[_Generation] = None
+        self,
+        window: np.ndarray,
+        gen: Optional[_Generation] = None,
+        deadline: Optional[Deadline] = None,
     ) -> List[PendingForecast]:
-        return [(gen or self._gen).engine.batcher.submit(window)]
+        return [(gen or self._gen).engine.batcher.submit(window, deadline=deadline)]
 
     # ------------------------------------------------------------------
     # Streaming operation
     # ------------------------------------------------------------------
-    def forecast_latest(self, horizon: Optional[int] = None) -> np.ndarray:
+    def forecast_latest(
+        self, horizon: Optional[int] = None, deadline_ms: Optional[float] = None
+    ) -> np.ndarray:
         """Forecast from the most recent buffered window (streaming path).
 
         Cache lookups are keyed on the buffer's O(1) version token instead
@@ -1014,6 +1210,7 @@ class ForecastService(ForecastFrontend):
         """
         horizon = self._check_horizon(horizon)
         self._count_requests()
+        deadline = self._entry_deadline(deadline_ms)
         if self.cache is None:
             # snapshot(also=...): lock-consistent copy, and the serving
             # generation is captured under that same lock — a racing ingest
@@ -1021,7 +1218,7 @@ class ForecastService(ForecastFrontend):
             # mid-window (the swap publishes its generation inside
             # buffer.rescale, under this very lock).
             window, _, gen = self.buffer.snapshot(also=lambda: self._gen)
-            return self._predict(window, horizon, gen=gen).copy()
+            return self._predict(window, horizon, gen=gen, deadline=deadline).copy()
         key = (self._key_version(), self.buffer.cache_token(), horizon)
         cached = self.cache.get(key)
         if cached is not None:
@@ -1033,7 +1230,16 @@ class ForecastService(ForecastFrontend):
         # window with the new model.
         window, token, gen = self.buffer.snapshot(also=lambda: self._gen)
         key = (self._key_version(gen=gen), token, horizon)
-        forecast = self._predict(window, horizon, gen=gen)
+        try:
+            forecast = self._predict(window, horizon, gen=gen, deadline=deadline)
+        except ResilienceError as error:
+            # Stale streaming fallback: the content index keys on the buffer
+            # token, so an entry a *previous model version* computed for this
+            # very window is still discoverable after a hot swap.
+            stale = self._serve_stale_instead(key, error)
+            if stale is not None:
+                return stale
+            raise
         self.cache.put(key, forecast)
         return forecast.copy()
 
@@ -1084,6 +1290,32 @@ class ForecastService(ForecastFrontend):
                 self.batcher.flush()
             except BaseException:
                 pass  # the affected handles carry the error
+
+    # ------------------------------------------------------------------
+    # health() hooks (see ForecastFrontend.health)
+    # ------------------------------------------------------------------
+    def _health_shards(self) -> Tuple[ShardHealth, ...]:
+        return (
+            ShardHealth(
+                shard=0,
+                breaker=self._breaker.snapshot() if self._breaker is not None else None,
+                worker_pid=None,
+                worker_alive=None,
+                heartbeat_age_s=None,
+                respawns=0,
+                hung_detections=0,
+            ),
+        )
+
+    def _health_lane_depths(self) -> dict:
+        return {"bulk": self.batcher.pending}
+
+    def _health_counters(self) -> Tuple[int, int]:
+        batcher = _merge_batcher_stats(self._retired_stats + [self.batcher.stats])
+        retries = self._retired_retries + getattr(self._forward, "retries", 0)
+        with self._requests_lock:
+            expired = self._expired_direct + batcher.expired_requests
+        return expired, retries
 
     def stats(self) -> ServiceStats:
         """Operational counters: requests, cache hit rate, batch amortisation."""

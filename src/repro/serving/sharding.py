@@ -48,8 +48,8 @@ from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -63,6 +63,7 @@ from .batching import (
     PendingForecast,
 )
 from .cache import CacheStats, hash_window
+from .faults import FaultPlan
 from .process_tier import (
     LaneStats,
     ProcessShardExecutor,
@@ -71,6 +72,17 @@ from .process_tier import (
     resolve_executor,
 )
 from .quality import QualityConfig, QualityStats, SensorHealthMonitor
+from .resilience import (
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    PartialResult,
+    ResilienceConfig,
+    ResilienceError,
+    ResilientForward,
+    ShardHealth,
+    is_retryable,
+)
 from .service import ForecastFrontend, _Generation, _merge_batcher_stats
 
 __all__ = [
@@ -284,6 +296,7 @@ class ShardedServiceStats:
             total.largest_batch = max(total.largest_batch, stats.largest_batch)
             total.failed_flushes += stats.failed_flushes
             total.failed_requests += stats.failed_requests
+            total.expired_requests += stats.expired_requests
         return total
 
 
@@ -372,6 +385,8 @@ class ShardedForecastService(ForecastFrontend):
         bulk_chunk_rows: int = 32,
         quality: Union[None, bool, QualityConfig, SensorHealthMonitor] = None,
         quality_adjacency: Optional[np.ndarray] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if mode not in SHARDING_MODES:
             raise ValueError(f"unknown sharding mode {mode!r}; expected one of {SHARDING_MODES}")
@@ -394,25 +409,42 @@ class ShardedForecastService(ForecastFrontend):
             artifact_dir=artifact_dir,
             quality=quality,
             quality_adjacency=quality_adjacency,
+            resilience=resilience,
         )
         self.mode = mode
         self.num_shards = num_shards
         self.auto_flush_at = auto_flush_at
         self._max_batch_size = max_batch_size
+        # One breaker per shard (None when breakers are disabled), shared
+        # across hot-swap generations so failure history survives a swap.
+        self._breakers: List = [
+            self.resilience.make_breaker(shard) for shard in range(num_shards)
+        ]
+        self._retired_retries = 0
+        self._fleet_retries = 0
         # Resolve (and validate) the executor and the admission gates
         # before any worker thread or process spawns — a constructor that
         # raises must not leak background machinery.
         self.executor = resolve_executor(executor, runtime=self.runtime)
         self._workers: List[_ShardWorker] = []
         self._tier: Optional[ProcessShardExecutor] = None
+        # Overload rejections snapshot every lane's depth, so a client's
+        # backoff decision sees the whole picture, not just its own lane.
+        lane_snapshot = lambda: {  # noqa: E731
+            lane: self._lane_depth(lane) for lane in ("bulk", "interactive")
+        }
         self._gates = {
             "bulk": _LaneGate(
-                "bulk", bulk_queue_depth, lambda: self._lane_depth("bulk")
+                "bulk",
+                bulk_queue_depth,
+                lambda: self._lane_depth("bulk"),
+                snapshot_fn=lane_snapshot,
             ),
             "interactive": _LaneGate(
                 "interactive",
                 interactive_queue_depth,
                 lambda: self._lane_depth("interactive"),
+                snapshot_fn=lane_snapshot,
             ),
         }
         # Every worker engine gets the SAME store object (resolved once by
@@ -443,6 +475,8 @@ class ShardedForecastService(ForecastFrontend):
                 artifact_store=store,
                 start_method=start_method,
                 bulk_chunk_rows=bulk_chunk_rows,
+                watchdog=self.resilience.watchdog,
+                fault_plan=fault_plan,
             )
         # Batcher counters of generations retired by hot swaps, folded into
         # stats() so a swap never resets the fleet's lifetime telemetry.
@@ -543,9 +577,20 @@ class ShardedForecastService(ForecastFrontend):
                 info = forward.cache_info()
                 reused += info.artifact_loads
                 compiled += info.compiles
+        # Every shard's compute funnels through its batcher's forward, so
+        # wrapping here puts the breaker consult, bounded retries and
+        # outcome accounting on one choke point per shard (engine plumbing
+        # — compile_for/cache_info/save_artifacts — delegates through).
         batchers = [
-            MicroBatcher(forward, max_batch_size=self._max_batch_size)
-            for forward in forwards
+            MicroBatcher(
+                ResilientForward(
+                    forward,
+                    retry=self.resilience.retry,
+                    breaker=self._breakers[index],
+                ),
+                max_batch_size=self._max_batch_size,
+            )
+            for index, forward in enumerate(forwards)
         ]
         return _FleetEngine(batchers, pset), reused, compiled
 
@@ -573,6 +618,7 @@ class ShardedForecastService(ForecastFrontend):
             job.wait()  # errors are carried by the affected handles
         for index, batcher in enumerate(old.engine.batchers):
             self._retired_shard_stats[index].append(batcher.stats)
+            self._retired_retries += getattr(batcher.forward_fn, "retries", 0)
         if self.flusher is not None:
             self.flusher.retarget(
                 [(worker.batcher, worker.flush_async) for worker in self._workers]
@@ -622,10 +668,32 @@ class ShardedForecastService(ForecastFrontend):
     # Routing and merging
     # ------------------------------------------------------------------
     def _next_worker(self) -> _ShardWorker:
+        """Round-robin over the replicas, skipping open circuit breakers.
+
+        With breakers enabled, a replica whose breaker is open is routed
+        *around* — the query lands on a healthy replica instead of failing
+        (reroute-on-breaker).  Only when every replica is refusing does the
+        query fail fast, with the soonest-to-recover breaker's
+        :class:`CircuitOpen`.
+        """
         with self._route_lock:
-            worker = self._workers[self._round_robin % len(self._workers)]
-            self._round_robin += 1
-        return worker
+            soonest: Optional[CircuitOpen] = None
+            for _ in range(len(self._workers)):
+                worker = self._workers[self._round_robin % len(self._workers)]
+                self._round_robin += 1
+                breaker = self._breakers[worker.index]
+                if breaker is None or breaker.allow():
+                    return worker
+                try:
+                    breaker.check()
+                except CircuitOpen as error:
+                    if soonest is None or error.retry_after < soonest.retry_after:
+                        soonest = error
+            if soonest is None:  # pragma: no cover - allow()/check() race
+                worker = self._workers[self._round_robin % len(self._workers)]
+                self._round_robin += 1
+                return worker
+            raise soonest
 
     def _owning_workers(self) -> List[_ShardWorker]:
         """The workers a full-network window must be routed to."""
@@ -634,17 +702,25 @@ class ShardedForecastService(ForecastFrontend):
         return [self._next_worker()]
 
     def _route_window(
-        self, window: np.ndarray, gen: Optional[_Generation] = None
+        self,
+        window: np.ndarray,
+        gen: Optional[_Generation] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[List[PendingForecast], List[_ShardWorker]]:
         """Submit one normalised window to its owning shards.
 
         Requests enqueue on the batchers of the generation captured at
         request entry, so a hot swap mid-request never splits one window
-        across two weight versions.
+        across two weight versions.  ``deadline`` rides with each queue
+        entry; an entry whose budget expires before its flush is failed
+        typed at the sweep, never computed.
         """
         engine = (gen or self._gen).engine
         workers = self._owning_workers()
-        return [engine.batchers[worker.index].submit(window) for worker in workers], workers
+        return [
+            engine.batchers[worker.index].submit(window, deadline=deadline)
+            for worker in workers
+        ], workers
 
     @staticmethod
     def _merge(parts: List[np.ndarray]) -> np.ndarray:
@@ -696,11 +772,39 @@ class ShardedForecastService(ForecastFrontend):
     # computes in the caller's thread: size-threshold drains are
     # scheduled onto the owning workers.
     # ------------------------------------------------------------------
+    def _nan_block(self, shard: int, rows: Optional[int] = None) -> np.ndarray:
+        """NaN filler for a failed shard's output columns (``"nodes"`` mode)."""
+        lo, hi = self._slices[shard]
+        shape: Tuple[int, ...] = (self.config.output_length, hi - lo)
+        if rows is not None:
+            shape = (rows,) + shape
+        return np.full(shape, np.nan)
+
+    def _raise_partial(
+        self,
+        outputs: List[np.ndarray],
+        failed: Dict[int, BaseException],
+        gen: Optional[_Generation],
+    ) -> None:
+        """Raise the typed degraded result for a nodes-mode fan-out.
+
+        ``PartialResult.forecast`` carries the raw-scale, full-horizon
+        merged forecasts ``(num_windows, T', N)`` with the failed shards'
+        node columns NaN — the healthy shards' work is handed to the
+        caller, never discarded.  Raised as an exception so the partial
+        data can never be cached or mistaken for a complete answer.
+        """
+        forecast = np.stack(
+            [self._denormalise(output, gen=gen) for output in outputs], axis=0
+        )
+        raise PartialResult(forecast, failed)
+
     def _compute_misses(
         self,
         windows: List[np.ndarray],
         precision: Optional[str] = None,
         gen: Optional[_Generation] = None,
+        deadline: Optional[Deadline] = None,
     ) -> List[np.ndarray]:
         engine = (gen or self._gen).engine
         if precision is not None:
@@ -715,6 +819,7 @@ class ShardedForecastService(ForecastFrontend):
             size = engine.batchers[0].max_batch_size
             outputs: List[np.ndarray] = []
             for start in range(0, len(windows), size):
+                self._check_deadline(deadline, "precision-chunk")
                 batch = np.stack(windows[start : start + size], axis=0)
                 if self.mode == "nodes":
                     parts = [
@@ -736,14 +841,50 @@ class ShardedForecastService(ForecastFrontend):
                         )
                     )
             return outputs
-        routed = [self._route_window(window, gen=gen) for window in windows]
-        self._drain([worker for _, workers in routed for worker in workers], gen=gen)
-        return [self._merge([part.result() for part in parts]) for parts, _ in routed]
+        routed = [
+            self._route_window(window, gen=gen, deadline=deadline)
+            for window in windows
+        ]
+        touched = [worker for _, workers in routed for worker in workers]
+        if self.mode != "nodes":
+            self._drain(touched, gen=gen)
+            return [self._merge([part.result() for part in parts]) for parts, _ in routed]
+        # Nodes mode: a failed shard (breaker open, worker dead after
+        # retries) degrades to a typed PartialResult instead of throwing
+        # away every healthy shard's columns.  Non-resilience errors (a
+        # deterministic compute bug) still propagate loudly.
+        try:
+            self._drain(touched, gen=gen)
+        except ResilienceError:
+            pass  # settled per-part below
+        outputs: List[np.ndarray] = []
+        failed: Dict[int, BaseException] = {}
+        any_success = False
+        for parts, workers in routed:
+            merged_parts: List[np.ndarray] = []
+            for part, worker in zip(parts, workers):
+                try:
+                    merged_parts.append(np.asarray(part.result()))
+                    any_success = True
+                except ResilienceError as error:
+                    failed[worker.index] = error
+                    merged_parts.append(self._nan_block(worker.index))
+            outputs.append(self._merge(merged_parts))
+        if failed:
+            if not any_success:
+                # Nothing partial about a total failure (every shard's
+                # budget spent, every breaker open): surface the cause.
+                raise next(iter(failed.values()))
+            self._raise_partial(outputs, failed, gen)
+        return outputs
 
     def _submit_parts(
-        self, window: np.ndarray, gen: Optional[_Generation] = None
+        self,
+        window: np.ndarray,
+        gen: Optional[_Generation] = None,
+        deadline: Optional[Deadline] = None,
     ) -> List[PendingForecast]:
-        parts, workers = self._route_window(window, gen=gen)
+        parts, workers = self._route_window(window, gen=gen, deadline=deadline)
         self._maybe_auto_flush(workers, gen=gen)
         return parts
 
@@ -755,11 +896,15 @@ class ShardedForecastService(ForecastFrontend):
         window: np.ndarray,
         horizon: Optional[int] = None,
         precision: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         """Forecast one raw window: ``(horizon, N)``, bit-identical to
         :meth:`ForecastService.forecast`."""
         return self.forecast_many(
-            np.asarray(window, dtype=float)[None], horizon=horizon, precision=precision
+            np.asarray(window, dtype=float)[None],
+            horizon=horizon,
+            precision=precision,
+            deadline_ms=deadline_ms,
         )[0]
 
     def forecast_node(
@@ -768,6 +913,7 @@ class ShardedForecastService(ForecastFrontend):
         node: int,
         horizon: Optional[int] = None,
         precision: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         """Forecast a single sensor: returns shape ``(horizon,)``.
 
@@ -778,10 +924,13 @@ class ShardedForecastService(ForecastFrontend):
         if not 0 <= node < self.config.num_nodes:
             raise IndexError(f"node {node} out of range [0, {self.config.num_nodes})")
         if self.mode != "nodes":
-            return self.forecast(window, horizon=horizon, precision=precision)[:, node]
+            return self.forecast(
+                window, horizon=horizon, precision=precision, deadline_ms=deadline_ms
+            )[:, node]
         horizon = self._check_horizon(horizon)
         precision = self._resolve_request_precision(precision)
         self._count_requests()
+        deadline = self._entry_deadline(deadline_ms)
         gen = self._gen
         normalised = self._normalise_window(window, gen=gen)
         worker = self._workers[self.shard_of(node)]
@@ -798,14 +947,23 @@ class ShardedForecastService(ForecastFrontend):
             if cached is not None:
                 return cached[:, node - lo]
         self._admit("bulk", 1)
-        if precision is not None:
-            shard_output = np.asarray(
-                batcher.forward_fn(normalised[None], precision=precision)
-            )[0]
-        else:
-            handle = batcher.submit(normalised)
-            self._drain([worker], gen=gen)
-            shard_output = handle.result()
+        try:
+            if precision is not None:
+                self._check_deadline(deadline, "precision-chunk")
+                shard_output = np.asarray(
+                    batcher.forward_fn(normalised[None], precision=precision)
+                )[0]
+            else:
+                handle = batcher.submit(normalised, deadline=deadline)
+                self._drain([worker], gen=gen)
+                shard_output = handle.result()
+        except ResilienceError as error:
+            # Single-shard query: the owning shard IS the whole answer, so
+            # degraded mode is a marked-stale cache hit, never a partial.
+            stale = self._serve_stale_instead(key, error)
+            if stale is not None:
+                return stale[:, node - lo]
+            raise
         shard_forecast = self._denormalise(shard_output, gen=gen)[:horizon]
         if self.cache is not None:
             self.cache.put(key, shard_forecast)
@@ -814,14 +972,129 @@ class ShardedForecastService(ForecastFrontend):
     # ------------------------------------------------------------------
     # Streaming operation
     # ------------------------------------------------------------------
-    def forecast_latest(self, horizon: Optional[int] = None) -> np.ndarray:
+    def _count_retry_fleet(self, attempt: int, error: Optional[BaseException]) -> None:
+        """Aggregate retry counter for the interactive tier paths (the
+        batcher paths count inside their ResilientForward wrappers)."""
+        with self._requests_lock:
+            self._fleet_retries += 1
+
+    def _fanout_interactive(
+        self, batch: np.ndarray, pset, deadline: Optional[Deadline]
+    ) -> Tuple[List[np.ndarray], Dict[int, BaseException]]:
+        """Nodes-mode streaming fan-out through the process tier.
+
+        Shards whose breaker is open are never dispatched to; shards that
+        fail retryably get the retry policy's *remaining* attempts (the
+        fan-out itself was attempt one); outcomes feed the per-shard
+        breakers.  Returns the per-shard ``(1, T', cols)`` blocks (failed
+        shards NaN-filled) plus the shard -> error map.  Non-resilience
+        errors — a deterministic compute bug — propagate loudly.
+        """
+        parts: List[Optional[np.ndarray]] = [None] * self.num_shards
+        failed: Dict[int, BaseException] = {}
+        live: List[int] = []
+        for shard in range(self.num_shards):
+            breaker = self._breakers[shard]
+            if breaker is not None and not breaker.allow():
+                try:
+                    breaker.check()
+                except CircuitOpen as error:
+                    failed[shard] = error
+                    continue
+            live.append(shard)
+        results = (
+            self._tier.call_fanout(
+                live, batch, lane="interactive", pset=pset, deadline=deadline,
+                return_errors=True,
+            )
+            if live
+            else []
+        )
+        retry = self.resilience.retry
+        for shard, result in zip(live, results):
+            breaker = self._breakers[shard]
+            if (
+                isinstance(result, BaseException)
+                and is_retryable(result)
+                and retry is not None
+                and retry.max_attempts > 1
+            ):
+                self._count_retry_fleet(1, result)
+                remaining = replace(retry, max_attempts=retry.max_attempts - 1)
+                try:
+                    result = remaining.call(
+                        lambda s=shard: self._tier.call(
+                            s, batch, lane="interactive", pset=pset, deadline=deadline
+                        ),
+                        deadline=deadline,
+                        on_retry=self._count_retry_fleet,
+                    )
+                except Exception as error:
+                    result = error
+            if isinstance(result, BaseException):
+                if not isinstance(result, ResilienceError):
+                    raise result
+                if breaker is not None and not isinstance(result, DeadlineExceeded):
+                    breaker.record_failure()
+                failed[shard] = result
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                parts[shard] = result
+        for shard in failed:
+            parts[shard] = self._nan_block(shard, rows=1)
+        return parts, failed
+
+    def _call_replica_interactive(
+        self, batch: np.ndarray, pset, deadline: Optional[Deadline]
+    ) -> np.ndarray:
+        """Replica-mode streaming call: least-busy shard, rerouted around
+        open breakers, retried under the policy, outcome-fed breakers."""
+
+        def attempt() -> np.ndarray:
+            shard = self._tier.least_busy_shard()
+            breaker = self._breakers[shard]
+            if breaker is not None and not breaker.allow():
+                for candidate in range(self.num_shards):
+                    other = self._breakers[candidate]
+                    if other is None or other.allow():
+                        shard, breaker = candidate, other
+                        break
+                else:
+                    breaker.check()  # every replica refusing: raise typed
+            try:
+                result = self._tier.call(
+                    shard, batch, lane="interactive", pset=pset, deadline=deadline
+                )
+            except Exception as error:
+                if breaker is not None and not isinstance(error, DeadlineExceeded):
+                    breaker.record_failure()
+                raise
+            if breaker is not None:
+                breaker.record_success()
+            return result
+
+        retry = self.resilience.retry
+        if retry is None:
+            return attempt()
+        return retry.call(attempt, deadline=deadline, on_retry=self._count_retry_fleet)
+
+    def forecast_latest(
+        self, horizon: Optional[int] = None, deadline_ms: Optional[float] = None
+    ) -> np.ndarray:
         """Forecast from the rolling buffer via the shard workers.
 
         Keyed on the buffer's O(1) version token exactly like the
-        single-worker streaming path.
+        single-worker streaming path.  Degraded modes: an expired budget or
+        broken shard serves a marked-stale cache hit when
+        ``ResilienceConfig(serve_stale=True)`` and an entry exists (any
+        model version's entry for this very buffer state qualifies);
+        ``"nodes"`` mode raises :class:`PartialResult` carrying the healthy
+        shards' ``(horizon, N)`` forecast with failed columns NaN.
         """
         horizon = self._check_horizon(horizon)
         self._count_requests()
+        deadline = self._entry_deadline(deadline_ms)
         if self.cache is not None:
             key = (self._key_version(), self.buffer.cache_token(), horizon)
             cached = self.cache.get(key)
@@ -833,32 +1106,68 @@ class ShardedForecastService(ForecastFrontend):
         # inside buffer.rescale, under this very lock) lands entirely
         # before or after, never splitting window from weights.
         window, token, gen = self.buffer.snapshot(also=lambda: self._gen)
+        key = (
+            (self._key_version(gen=gen), token, horizon)
+            if self.cache is not None
+            else None
+        )
+        try:
+            forecast = self._forecast_latest_compute(window, horizon, gen, deadline)
+        except ResilienceError as error:
+            stale = self._serve_stale_instead(key, error)
+            if stale is not None:
+                return stale
+            raise
+        if self.cache is not None:
+            self.cache.put(key, forecast)
+        return forecast.copy()
+
+    def _forecast_latest_compute(
+        self,
+        window: np.ndarray,
+        horizon: int,
+        gen: _Generation,
+        deadline: Optional[Deadline],
+    ) -> np.ndarray:
+        """The streaming forward behind :meth:`forecast_latest`."""
         if self._tier is not None:
             # Process tier: dispatch on the interactive lane, which jumps
             # ahead of queued bulk chunks on every worker — the streaming
             # path stays responsive under backfill load.
             pset = gen.engine.pset
             if self.mode == "nodes":
-                parts = self._tier.call_fanout(
-                    range(self.num_shards), window[None], lane="interactive",
-                    pset=pset,
-                )
+                parts, failed = self._fanout_interactive(window[None], pset, deadline)
+                if len(failed) == self.num_shards:
+                    raise next(iter(failed.values()))
                 output = np.concatenate([part[0] for part in parts], axis=-1)
-            else:
-                output = self._tier.call(
-                    self._tier.least_busy_shard(), window[None], lane="interactive",
-                    pset=pset,
-                )[0]
-            forecast = self._denormalise(output, gen=gen)[:horizon]
-        else:
-            parts, workers = self._route_window(window, gen=gen)
+                forecast = self._denormalise(output, gen=gen)[:horizon]
+                if failed:
+                    raise PartialResult(forecast, failed)
+                return forecast
+            output = self._call_replica_interactive(window[None], pset, deadline)[0]
+            return self._denormalise(output, gen=gen)[:horizon]
+        parts, workers = self._route_window(window, gen=gen, deadline=deadline)
+        try:
             self._drain(workers, gen=gen)
-            forecast = self._denormalise(
-                self._merge([p.result() for p in parts]), gen=gen
-            )[:horizon]
-        if self.cache is not None:
-            self.cache.put((self._key_version(gen=gen), token, horizon), forecast)
-        return forecast.copy()
+        except ResilienceError:
+            if self.mode != "nodes":
+                raise
+        merged_parts: List[np.ndarray] = []
+        failed = {}
+        for part, worker in zip(parts, workers):
+            try:
+                merged_parts.append(np.asarray(part.result()))
+            except ResilienceError as error:
+                if self.mode != "nodes":
+                    raise
+                failed[worker.index] = error
+                merged_parts.append(self._nan_block(worker.index))
+        if failed and len(failed) == len(workers):
+            raise next(iter(failed.values()))
+        forecast = self._denormalise(self._merge(merged_parts), gen=gen)[:horizon]
+        if failed:
+            raise PartialResult(forecast, failed)
+        return forecast
 
     # ------------------------------------------------------------------
     def save_artifacts(self, path=None) -> List:
@@ -922,6 +1231,47 @@ class ShardedForecastService(ForecastFrontend):
         # The tier closes last: the drains above may still dispatch to it.
         if self._tier is not None:
             self._tier.close()
+
+    # ------------------------------------------------------------------
+    # health() hooks (see ForecastFrontend.health)
+    # ------------------------------------------------------------------
+    def _health_shards(self) -> Tuple[ShardHealth, ...]:
+        tier_rows: Dict[int, Dict[str, object]] = {}
+        if self._tier is not None:
+            for row in self._tier.worker_health():
+                tier_rows[int(row["shard"])] = row
+        shards: List[ShardHealth] = []
+        for shard in range(self.num_shards):
+            breaker = self._breakers[shard]
+            row = tier_rows.get(shard)
+            shards.append(
+                ShardHealth(
+                    shard=shard,
+                    breaker=breaker.snapshot() if breaker is not None else None,
+                    worker_pid=row["pid"] if row else None,
+                    worker_alive=row["alive"] if row else None,
+                    heartbeat_age_s=row["heartbeat_age_s"] if row else None,
+                    respawns=int(row["respawns"]) if row else 0,
+                    hung_detections=int(row["hung_detections"]) if row else 0,
+                )
+            )
+        return tuple(shards)
+
+    def _health_lane_depths(self) -> Dict[str, int]:
+        return {lane: self._lane_depth(lane) for lane in ("bulk", "interactive")}
+
+    def _health_counters(self) -> Tuple[int, int]:
+        retries = self._retired_retries
+        with self._requests_lock:
+            expired = self._expired_direct
+            retries += self._fleet_retries
+        for worker in self._workers:
+            merged = _merge_batcher_stats(
+                self._retired_shard_stats[worker.index] + [worker.batcher.stats]
+            )
+            expired += merged.expired_requests
+            retries += getattr(worker.batcher.forward_fn, "retries", 0)
+        return expired, retries
 
     def stats(self) -> ShardedServiceStats:
         """Per-shard and aggregate counters of the running service."""

@@ -225,6 +225,93 @@ class Tier:
         assert lint_source(source, path="ok.py") == []
 
 
+class TestRetryLoops:
+    def test_bare_while_true_redispatch(self):
+        source = """
+class Dispatcher:
+    def run(self, job):
+        while True:
+            try:
+                return self._dispatch(job)
+            except ConnectionError:
+                continue
+"""
+        findings = lint_source(source, path="bad.py")
+        assert _rules(findings) == ["L-RETRY"]
+        assert "unbounded" in findings[0].message
+
+    def test_bounded_attempt_loop_without_backoff(self):
+        source = """
+class Dispatcher:
+    def run(self, job):
+        for attempt in range(3):
+            try:
+                return self._dispatch(job)
+            except ConnectionError:
+                continue
+"""
+        findings = lint_source(source, path="bad.py")
+        assert _rules(findings) == ["L-RETRY"]
+        assert "unbounded" not in findings[0].message
+
+    def test_backoff_in_loop_passes(self):
+        source = """
+import time
+
+class Dispatcher:
+    def run(self, job):
+        for attempt in range(self.max_attempts):
+            try:
+                return self._dispatch(job)
+            except ConnectionError:
+                time.sleep(0.05 * attempt)
+                continue
+"""
+        assert lint_source(source, path="ok.py") == []
+
+    def test_backoff_helper_name_passes(self):
+        source = """
+class Worker:
+    def _respawn(self):
+        while True:
+            try:
+                return self._spawn()
+            except OSError:
+                self._respawn_delay()
+                continue
+"""
+        assert lint_source(source, path="ok.py") == []
+
+    def test_iterating_alternatives_is_not_a_retry(self):
+        """Skipping failing *items* of a collection is not a retry loop."""
+        source = """
+class Loader:
+    def load(self, key):
+        for store in self.stores:
+            try:
+                return store.load(key)
+            except OSError:
+                continue
+        raise KeyError(key)
+"""
+        assert lint_source(source, path="ok.py") == []
+
+    def test_inner_loop_continue_does_not_leak_to_outer(self):
+        source = """
+class Scanner:
+    def scan(self):
+        while True:
+            for item in self.items:
+                try:
+                    self.handle(item)
+                except ValueError:
+                    continue
+            if self.done():
+                return
+"""
+        assert lint_source(source, path="ok.py") == []
+
+
 class TestSuppression:
     def test_inline_and_preceding_line(self):
         source = """
@@ -293,5 +380,11 @@ class TestRealCode:
         assert main(["--lint", str(SERVING_DIR)]) == 0
 
     def test_rule_catalogue_exported(self):
-        assert LINT_RULES == ("L-LOCK-ORDER", "L-BLOCK", "L-SPAWN")
+        assert LINT_RULES == ("L-LOCK-ORDER", "L-BLOCK", "L-SPAWN", "L-RETRY")
         assert "_lock" in CANONICAL_LOCK_ORDER
+        # The resilience layer's locks are ranked: breaker/retry bookkeeping
+        # nests inside the flush it instruments, outside the _lock family.
+        flush = CANONICAL_LOCK_ORDER.index("_flush_lock")
+        generic = CANONICAL_LOCK_ORDER.index("_lock")
+        assert flush < CANONICAL_LOCK_ORDER.index("_breaker_lock") < generic
+        assert flush < CANONICAL_LOCK_ORDER.index("_retry_lock") < generic

@@ -475,6 +475,74 @@ class TestFaultInjection:
             assert np.abs(retry - reference).max() == 0.0
             assert service.stats().process_tier.respawns >= 1
 
+    def test_hung_worker_is_distinct_from_killed(self, tiny_model, forecasting_data):
+        """A wedged worker (alive, heartbeat silent) trips the watchdog.
+
+        Distinct from the SIGKILL path above: the process never exits on
+        its own, so detection comes from the heartbeat beacon going stale,
+        reaping needs the join -> terminate escalation, and the typed
+        error says "wedged (hang watchdog)", not "died".
+        """
+        from repro.serving import (
+            FaultPlan,
+            FaultSpec,
+            ResilienceConfig,
+            RetryPolicy,
+            WatchdogConfig,
+            WorkerCrashed,
+        )
+        from repro.serving.faults import _decision
+
+        # Dispatch visit 0 must stay safe on every worker incarnation (a
+        # respawned worker restarts its deterministic visit stream at 0);
+        # visit 1 wedges the serve loop.
+        probability = 0.5
+        seed = next(
+            s for s in range(20_000)
+            if _decision(s, "worker.dispatch", 0) >= probability
+            and _decision(s, "worker.dispatch", 1) < probability
+        )
+        plan = FaultPlan.build(
+            seed, [FaultSpec("worker.dispatch", action="hang", probability=probability)]
+        )
+        service = _sharded(
+            tiny_model,
+            forecasting_data,
+            num_shards=1,
+            mode="replicas",
+            cache_entries=0,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=1),  # surface the typed error
+                watchdog=WatchdogConfig(hang_timeout_s=0.5),
+            ),
+            fault_plan=plan,
+        )
+        try:
+            window = forecasting_data.dataset.signal[:12]
+            reference = service.forecast(window)  # dispatch visit 0: safe
+            first_pid = service._tier.worker_pids()[0]
+            with pytest.raises(WorkerCrashed) as excinfo:
+                service.forecast(window)  # visit 1: the serve loop wedges
+            assert excinfo.value.hung
+            assert "wedged (hang watchdog) mid-batch" in str(excinfo.value)
+            assert "died mid-batch" not in str(excinfo.value)
+            stats = service.stats().process_tier
+            assert stats.hung_detections == 1
+            assert stats.respawns >= 1
+            # A wedged process never joins politely: reaping escalated.
+            assert stats.escalations >= 1
+            assert service._tier.worker_pids()[0] != first_pid
+            row = service._tier.worker_health()[0]
+            assert row["hung_detections"] == 1 and row["alive"]
+            health = service.health()
+            assert health.healthy
+            assert health.shards[0].hung_detections == 1
+            # Post-recovery parity: the respawned worker serves the same
+            # bits (its visit 0 is safe again by construction).
+            np.testing.assert_array_equal(service.forecast(window), reference)
+        finally:
+            service.close()
+
     def test_corrupt_header_rejected_not_crashed(self, tiny_model, forecasting_data):
         windows = _raw_windows(forecasting_data, 2)
         batch = forecasting_data.scaler.transform(windows)

@@ -144,7 +144,9 @@ class TestRuntimeEscapeHatch:
         monkeypatch.setenv("REPRO_RUNTIME", "autograd")
         service = ForecastService(tiny_model, scaler=forecasting_data.scaler)
         assert service.runtime == "autograd"
-        assert service._forward is tiny_model
+        # The resilience wrapper fronts every forward; the engine underneath
+        # must be the plain autograd module.
+        assert service._forward.wrapped is tiny_model
 
     def test_invalid_mode_is_rejected(self, tiny_model, forecasting_data):
         with pytest.raises(ValueError):
